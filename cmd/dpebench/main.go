@@ -1,0 +1,104 @@
+// Command dpebench regenerates the paper's evaluation artifacts
+// (DESIGN.md §4) and prints them in the paper's format.
+//
+// Usage:
+//
+//	dpebench -exp table1      # E1: Table I via empirical class selection
+//	dpebench -exp fig1        # E2: Fig. 1 as measured attack advantages
+//	dpebench -exp mining      # E3: mining-result equality
+//	dpebench -exp accessarea  # E4: Section IV-C refinement
+//	dpebench -exp shared      # E5: shared-information columns
+//	dpebench -exp rules       # E6: association rules over encrypted logs
+//	dpebench -exp all         # everything (default)
+//
+// Scaling flags: -queries, -rows, -seed, -paillier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|all")
+	queries := flag.Int("queries", 60, "queries in the generated log")
+	rows := flag.Int("rows", 120, "rows per generated table")
+	seed := flag.String("seed", "seed-42", "workload seed")
+	paillier := flag.Int("paillier", 512, "Paillier modulus bits")
+	flag.Parse()
+
+	p := experiments.Params{Seed: *seed, Queries: *queries, Rows: *rows, PaillierBits: *paillier}
+	if err := run(*exp, p); err != nil {
+		fmt.Fprintln(os.Stderr, "dpebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, p experiments.Params) error {
+	all := exp == "all"
+	ran := false
+
+	if all || exp == "table1" {
+		ran = true
+		rows, err := experiments.Table1(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if all || exp == "fig1" {
+		ran = true
+		rows, err := experiments.Fig1(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig1(rows))
+		if !experiments.OrderingHolds(rows) {
+			return fmt.Errorf("fig1: measured ordering violates the taxonomy")
+		}
+		fmt.Println("Measured ordering matches Fig. 1: OK")
+		fmt.Println()
+	}
+	if all || exp == "mining" {
+		ran = true
+		rows, ctrl, err := experiments.MiningEquality(p, experiments.DefaultMiningParams())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderMining(rows, ctrl))
+	}
+	if all || exp == "accessarea" {
+		ran = true
+		rep, err := experiments.AccessAreaSecurity(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAccessAreaSecurity(rep))
+	}
+	if all || exp == "rules" {
+		ran = true
+		rep, err := experiments.AssociationRules(p, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderRules(rep))
+		if !rep.ShapesEqual {
+			return fmt.Errorf("rules: shapes differ between plaintext and ciphertext")
+		}
+	}
+	if all || exp == "shared" {
+		ran = true
+		rows, err := experiments.SharedInfo(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSharedInfo(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|all)", exp)
+	}
+	return nil
+}

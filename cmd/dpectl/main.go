@@ -1,0 +1,204 @@
+// Command dpectl drives the DPE pipeline interactively:
+//
+//	dpectl gen      -queries 20                 # generate a synthetic log
+//	dpectl encrypt  -measure token -queries 20  # encrypt the log, print it
+//	dpectl distance -measure token -queries 20  # pairwise distance matrix
+//	dpectl mine     -measure token -k 4         # cluster the encrypted log
+//	dpectl verify   -measure token              # check Definition 1
+//
+// Everything is deterministic in -seed; the master key comes from
+// -master (do not reuse the default outside demos).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dpe "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.String("seed", "dpectl", "workload seed")
+	master := fs.String("master", "dpectl-demo-master", "master secret")
+	queries := fs.Int("queries", 20, "queries in the log")
+	rowsN := fs.Int("rows", 80, "rows per table")
+	measureName := fs.String("measure", "token", "measure: token|structure|result|accessarea")
+	k := fs.Int("k", 4, "clusters for mine")
+	fs.Parse(os.Args[2:])
+
+	if err := run(cmd, *seed, *master, *queries, *rowsN, *measureName, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "dpectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dpectl <gen|encrypt|distance|mine|verify> [flags]")
+}
+
+func measureOf(name string) (dpe.Measure, error) {
+	switch name {
+	case "token":
+		return dpe.MeasureToken, nil
+	case "structure":
+		return dpe.MeasureStructure, nil
+	case "result":
+		return dpe.MeasureResult, nil
+	case "accessarea", "access-area":
+		return dpe.MeasureAccessArea, nil
+	default:
+		return 0, fmt.Errorf("unknown measure %q", name)
+	}
+}
+
+func setup(seed, master string, queries, rows int) (*dpe.Workload, *dpe.Owner, error) {
+	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
+		Seed: seed, Queries: queries, Rows: rows,
+		IncludeAggregates: true, IncludeJoins: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	owner, err := dpe.NewOwner([]byte(master), w.Schema, dpe.Config{PaillierBits: 512})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := owner.DeclareJoins(w.Queries); err != nil {
+		return nil, nil, err
+	}
+	return w, owner, nil
+}
+
+// matrices builds the plaintext and ciphertext distance matrices for a
+// measure, sharing exactly the inputs Table I prescribes.
+func matrices(w *dpe.Workload, owner *dpe.Owner, m dpe.Measure) (dpe.Matrix, dpe.Matrix, []string, error) {
+	encLog, err := owner.EncryptLog(w.Queries, m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var plain, enc dpe.Matrix
+	switch m {
+	case dpe.MeasureToken:
+		plain, err = dpe.TokenDistanceMatrix(w.Queries)
+		if err == nil {
+			enc, err = dpe.TokenDistanceMatrix(encLog)
+		}
+	case dpe.MeasureStructure:
+		plain, err = dpe.StructureDistanceMatrix(w.Queries)
+		if err == nil {
+			enc, err = dpe.StructureDistanceMatrix(encLog)
+		}
+	case dpe.MeasureResult:
+		plain, err = dpe.ResultDistanceMatrix(w.Queries, w.Catalog, nil)
+		if err == nil {
+			var encCat *dpe.Catalog
+			encCat, err = owner.EncryptCatalog(w.Catalog)
+			if err == nil {
+				enc, err = dpe.ResultDistanceMatrix(encLog, encCat, owner.ResultAggregator())
+			}
+		}
+	case dpe.MeasureAccessArea:
+		plain, err = dpe.AccessAreaDistanceMatrix(w.Queries, w.Domains, 0)
+		if err == nil {
+			var encDomains map[string]dpe.Domain
+			encDomains, err = owner.EncryptDomains(w.Domains)
+			if err == nil {
+				enc, err = dpe.AccessAreaDistanceMatrix(encLog, encDomains, 0)
+			}
+		}
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plain, enc, encLog, nil
+}
+
+func run(cmd, seed, master string, queries, rows int, measureName string, k int) error {
+	m, err := measureOf(measureName)
+	if err != nil {
+		return err
+	}
+	w, owner, err := setup(seed, master, queries, rows)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "gen":
+		for i, q := range w.Queries {
+			fmt.Printf("%3d  %s\n", i, q)
+		}
+		return nil
+
+	case "encrypt":
+		encLog, err := owner.EncryptLog(w.Queries, m)
+		if err != nil {
+			return err
+		}
+		for i, q := range encLog {
+			fmt.Printf("%3d  %s\n", i, q)
+		}
+		return nil
+
+	case "distance":
+		_, enc, _, err := matrices(w, owner, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pairwise %s distances over the ENCRYPTED log (%d queries):\n", m, len(enc))
+		for i := range enc {
+			for j := range enc[i] {
+				fmt.Printf("%5.2f ", enc[i][j])
+			}
+			fmt.Println()
+		}
+		return nil
+
+	case "mine":
+		_, enc, _, err := matrices(w, owner, m)
+		if err != nil {
+			return err
+		}
+		res, err := dpe.KMedoids(enc, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("k-medoids over the ENCRYPTED log (measure %s, k=%d, cost %.3f):\n", m, k, res.Cost)
+		for c := range res.Medoids {
+			fmt.Printf("cluster %d (medoid query %d):\n", c, res.Medoids[c])
+			for i, a := range res.Assign {
+				if a == c {
+					fmt.Printf("   %3d  %s\n", i, w.Queries[i])
+				}
+			}
+		}
+		return nil
+
+	case "verify":
+		plain, enc, _, err := matrices(w, owner, m)
+		if err != nil {
+			return err
+		}
+		rep, err := dpe.VerifyPreservation(plain, enc, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("measure %s: %d pairs, max |Δd| = %.2e, distance-preserving: %v\n",
+			m, rep.Pairs, rep.MaxAbsError, rep.Preserved)
+		if !rep.Preserved {
+			return fmt.Errorf("Definition 1 violated")
+		}
+		return nil
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

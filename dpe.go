@@ -1,0 +1,325 @@
+// Package dpe is the public API of the reproduction of "Distance-Based
+// Data Mining Over Encrypted Data" (Tex, Schäler, Böhm — ICDE 2018).
+//
+// The library lets a data owner encrypt an SQL query log (and, when
+// needed, database contents and attribute domains) such that one of four
+// query-distance measures is *preserved exactly* — so a service provider
+// can run distance-based mining (clustering, outlier detection, kNN) on
+// ciphertext and obtain bit-identical results (Definition 1 of the
+// paper).
+//
+// The typical flow:
+//
+//	schema := dpe.NewSchema()
+//	schema.MustAddTable("photoobj", []dpe.ColumnInfo{...})
+//	owner, _ := dpe.NewOwner([]byte("master secret"), schema, dpe.Config{})
+//	encLog, _ := owner.EncryptLog(queries, dpe.MeasureToken)
+//
+//	// provider side: only ciphertext
+//	m, _ := dpe.TokenDistanceMatrix(encLog)
+//	clusters, _ := dpe.KMedoids(m, 4)
+//
+// Package layering: this facade re-exports the pieces of internal/...
+// (crypto classes, SQL engine, CryptDB-style rewriter, distance
+// measures, mining algorithms, KIT-DPE core) needed to use the system;
+// the internal packages carry the full implementation and their own
+// documentation.
+package dpe
+
+import (
+	"fmt"
+
+	"repro/internal/accessarea"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/distance"
+	"repro/internal/encdb"
+	"repro/internal/mining"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// Measure selects one of the paper's four SQL query-distance measures
+// (Table I).
+type Measure int
+
+// The four measures.
+const (
+	// MeasureToken is token-based query-string distance (Definition 3).
+	MeasureToken Measure = iota
+	// MeasureStructure is query-structure distance (SnipSuggest
+	// features).
+	MeasureStructure
+	// MeasureResult is query-result distance (Jaccard over result
+	// tuples); requires sharing encrypted DB content.
+	MeasureResult
+	// MeasureAccessArea is query-access-area distance (Definition 5);
+	// requires sharing encrypted attribute domains.
+	MeasureAccessArea
+)
+
+func (m Measure) String() string {
+	switch m {
+	case MeasureToken:
+		return "token"
+	case MeasureStructure:
+		return "structure"
+	case MeasureResult:
+		return "result"
+	case MeasureAccessArea:
+		return "access-area"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// mode maps a Measure to its appropriate encryption mode (the Table I
+// class assignment validated by experiment E1).
+func (m Measure) mode() (encdb.Mode, error) {
+	switch m {
+	case MeasureToken:
+		return encdb.ModeToken, nil
+	case MeasureStructure:
+		return encdb.ModeStructure, nil
+	case MeasureResult:
+		return encdb.ModeResult, nil
+	case MeasureAccessArea:
+		return encdb.ModeAccessArea, nil
+	default:
+		return 0, fmt.Errorf("dpe: unknown measure %d", int(m))
+	}
+}
+
+// Re-exported building blocks. These are aliases, so values flow freely
+// between the facade and code that (within this module) uses the
+// internal packages directly.
+type (
+	// Schema is the plaintext schema shared between owner and rewriter.
+	Schema = encdb.Schema
+	// ColumnInfo describes one plaintext column.
+	ColumnInfo = encdb.ColumnInfo
+	// Catalog is an in-memory relational database.
+	Catalog = db.Catalog
+	// Row is one tuple.
+	Row = db.Row
+	// Result is a query result relation.
+	Result = db.Result
+	// Value is a dynamically-typed SQL value.
+	Value = value.Value
+	// Domain is an attribute's inclusive value range.
+	Domain = accessarea.Domain
+	// Matrix is a symmetric pairwise distance matrix.
+	Matrix = distance.Matrix
+	// Statement is a parsed SQL query.
+	Statement = sqlparse.SelectStmt
+	// PreservationReport is the outcome of a Definition 1 check.
+	PreservationReport = core.PreservationReport
+	// KMedoidsResult holds a k-medoids clustering.
+	KMedoidsResult = mining.KMedoidsResult
+	// Workload is a generated synthetic benchmark workload.
+	Workload = workload.Workload
+	// WorkloadConfig controls workload generation.
+	WorkloadConfig = workload.Config
+)
+
+// Column kinds for Schema construction.
+const (
+	KindInt    = encdb.KindInt
+	KindFloat  = encdb.KindFloat
+	KindString = encdb.KindString
+)
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return encdb.NewSchema() }
+
+// NewCatalog returns an empty relational catalog.
+func NewCatalog() *Catalog { return db.NewCatalog() }
+
+// SchemaFromCatalog derives a schema from an existing catalog.
+func SchemaFromCatalog(cat *Catalog) (*Schema, error) { return encdb.SchemaFromCatalog(cat) }
+
+// Parse parses one SELECT statement of the supported SQL subset.
+func Parse(query string) (*Statement, error) { return sqlparse.Parse(query) }
+
+// Config tunes an Owner.
+type Config struct {
+	// PaillierBits sizes the HOM (Paillier) keys; 0 means 1024.
+	PaillierBits int
+}
+
+// Owner is the data-owner side of a deployment: it holds the master
+// secret and performs all encryption and decryption. The service
+// provider never holds an Owner — it works on the encrypted artifacts
+// with the package-level Provider* functions.
+type Owner struct {
+	d      *encdb.Deployment
+	schema *Schema
+}
+
+// NewOwner creates a deployment from a master secret and the plaintext
+// schema. All keys derive deterministically from the secret.
+func NewOwner(master []byte, schema *Schema, cfg Config) (*Owner, error) {
+	d, err := encdb.NewDeployment(master, encdb.Config{PaillierBits: cfg.PaillierBits})
+	if err != nil {
+		return nil, err
+	}
+	return &Owner{d: d, schema: schema}, nil
+}
+
+// DeclareJoins must be called before encryption when the workload joins
+// columns: it unifies the joined columns' keys (JOIN / JOIN-OPE usage
+// modes).
+func (o *Owner) DeclareJoins(queries []string) error {
+	stmts, err := parseAll(queries)
+	if err != nil {
+		return err
+	}
+	return o.d.DeclareJoins(o.schema, stmts)
+}
+
+// EncryptLog encrypts a query log under the appropriate DPE-scheme for
+// the measure (the Table I assignment). The result is a ciphertext log:
+// parseable SQL whose identifiers and constants are encrypted.
+func (o *Owner) EncryptLog(queries []string, m Measure) ([]string, error) {
+	mode, err := m.mode()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(queries))
+	for i, q := range queries {
+		enc, err := o.d.EncryptQueryString(q, o.schema, mode)
+		if err != nil {
+			return nil, fmt.Errorf("dpe: query %d: %w", i, err)
+		}
+		out[i] = enc
+	}
+	return out, nil
+}
+
+// EncryptCatalog encrypts database contents (the DB-Content shared
+// information needed for MeasureResult).
+func (o *Owner) EncryptCatalog(cat *Catalog) (*Catalog, error) {
+	return o.d.EncryptCatalog(cat, o.schema)
+}
+
+// EncryptDomains encrypts attribute domains (the Domains shared
+// information needed for MeasureAccessArea). Keys of the result are
+// encrypted attribute names.
+func (o *Owner) EncryptDomains(domains map[string]Domain) (map[string]Domain, error) {
+	return o.d.EncryptDomains(o.schema, domains)
+}
+
+// RunEncrypted executes one plaintext query through the full encrypted
+// pipeline (rewrite, execute over the encrypted catalog, decrypt) —
+// result equivalence in action.
+func (o *Owner) RunEncrypted(query string, encCat *Catalog) (*Result, error) {
+	return o.d.RunEncrypted(query, o.schema, encCat)
+}
+
+// ResultAggregator returns the aggregate evaluator the provider must
+// plug into result-distance computation over an encrypted catalog
+// (Paillier SUM/AVG). It contains only public-key material.
+func (o *Owner) ResultAggregator() db.Aggregator {
+	return o.d.Aggregator()
+}
+
+func parseAll(queries []string) ([]*Statement, error) {
+	out := make([]*Statement, len(queries))
+	for i, q := range queries {
+		s, err := sqlparse.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("dpe: query %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// --- provider-side distance computation (works on plaintext and on
+// ciphertext logs identically — that is the point of DPE) ---
+
+// TokenDistanceMatrix computes the pairwise token distances of a log.
+func TokenDistanceMatrix(queries []string) (Matrix, error) {
+	return distance.BuildMatrix(len(queries), func(i, j int) (float64, error) {
+		return distance.Token(queries[i], queries[j])
+	})
+}
+
+// StructureDistanceMatrix computes pairwise query-structure distances.
+func StructureDistanceMatrix(queries []string) (Matrix, error) {
+	stmts, err := parseAll(queries)
+	if err != nil {
+		return nil, err
+	}
+	return distance.BuildMatrix(len(stmts), func(i, j int) (float64, error) {
+		return distance.Structure(stmts[i], stmts[j]), nil
+	})
+}
+
+// ResultDistanceMatrix computes pairwise query-result distances by
+// executing the log over the catalog. For an encrypted log pass the
+// encrypted catalog and the Owner's ResultAggregator (nil for
+// plaintext).
+func ResultDistanceMatrix(queries []string, cat *Catalog, agg db.Aggregator) (Matrix, error) {
+	stmts, err := parseAll(queries)
+	if err != nil {
+		return nil, err
+	}
+	rc := &distance.ResultComputer{Catalog: cat, Options: db.Options{Aggregate: agg}}
+	return distance.BuildMatrix(len(stmts), func(i, j int) (float64, error) {
+		return rc.Distance(stmts[i], stmts[j])
+	})
+}
+
+// AccessAreaDistanceMatrix computes pairwise access-area distances.
+// x is Definition 5's partial-overlap value; 0 means the paper default
+// 0.5.
+func AccessAreaDistanceMatrix(queries []string, domains map[string]Domain, x float64) (Matrix, error) {
+	stmts, err := parseAll(queries)
+	if err != nil {
+		return nil, err
+	}
+	params := distance.AccessAreaParams{Domains: domains, X: x}
+	return distance.BuildMatrix(len(stmts), func(i, j int) (float64, error) {
+		return distance.AccessArea(stmts[i], stmts[j], params)
+	})
+}
+
+// VerifyPreservation checks Definition 1 empirically: the plaintext and
+// ciphertext distance matrices must agree entry-wise (within tol; 0
+// means 1e-12).
+func VerifyPreservation(plain, enc Matrix, tol float64) (*PreservationReport, error) {
+	if len(plain) != len(enc) {
+		return nil, fmt.Errorf("dpe: matrix sizes differ: %d vs %d", len(plain), len(enc))
+	}
+	return core.VerifyDPE(len(plain),
+		func(i, j int) (float64, error) { return plain[i][j], nil },
+		func(i, j int) (float64, error) { return enc[i][j], nil },
+		tol)
+}
+
+// --- mining re-exports (distance-matrix based, deterministic) ---
+
+// KMedoids clusters with the Park–Jun k-medoids algorithm.
+func KMedoids(m Matrix, k int) (*KMedoidsResult, error) { return mining.KMedoids(m, k) }
+
+// DBSCAN clusters density-based; label -1 (dpe.Noise) marks noise.
+func DBSCAN(m Matrix, eps float64, minPts int) ([]int, error) { return mining.DBSCAN(m, eps, minPts) }
+
+// Noise is DBSCAN's noise label.
+const Noise = mining.Noise
+
+// CompleteLink clusters agglomeratively with the complete-link
+// criterion, cutting at k clusters.
+func CompleteLink(m Matrix, k int) ([]int, error) { return mining.CompleteLink(m, k) }
+
+// Outliers finds Knorr–Ng DB(p, D) distance-based outliers.
+func Outliers(m Matrix, p, d float64) ([]bool, error) { return mining.Outliers(m, p, d) }
+
+// KNN returns the k nearest neighbors of item q.
+func KNN(m Matrix, q, k int) ([]int, error) { return mining.KNN(m, q, k) }
+
+// GenerateWorkload creates the deterministic SkyServer-like synthetic
+// workload used by the experiments and examples.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) { return workload.Generate(cfg) }

@@ -1,0 +1,204 @@
+package dpe
+
+import (
+	"strings"
+	"testing"
+)
+
+// workloadFixture builds a small deterministic workload through the
+// public API only.
+func workloadFixture(t *testing.T) (*Workload, *Owner) {
+	t.Helper()
+	w, err := GenerateWorkload(WorkloadConfig{Seed: "api-test", Queries: 18, Rows: 40, IncludeAggregates: true, IncludeJoins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewOwner([]byte("api-master"), w.Schema, Config{PaillierBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.DeclareJoins(w.Queries); err != nil {
+		t.Fatal(err)
+	}
+	return w, owner
+}
+
+func TestMeasureStrings(t *testing.T) {
+	for m, want := range map[Measure]string{
+		MeasureToken: "token", MeasureStructure: "structure",
+		MeasureResult: "result", MeasureAccessArea: "access-area",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if _, err := Measure(99).mode(); err == nil {
+		t.Error("unknown measure must error")
+	}
+}
+
+func TestEndToEndTokenPreservation(t *testing.T) {
+	w, owner := workloadFixture(t)
+	encLog, err := owner.EncryptLog(w.Queries, MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := TokenDistanceMatrix(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := TokenDistanceMatrix(encLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyPreservation(plain, enc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Preserved {
+		t.Fatalf("token distance not preserved: %+v", rep)
+	}
+	// Mining equality on top.
+	pk, err := KMedoids(plain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek, err := KMedoids(enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pk.Assign {
+		if pk.Assign[i] != ek.Assign[i] {
+			t.Fatalf("clusterings differ at %d", i)
+		}
+	}
+}
+
+func TestEndToEndStructurePreservation(t *testing.T) {
+	w, owner := workloadFixture(t)
+	encLog, err := owner.EncryptLog(w.Queries, MeasureStructure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := StructureDistanceMatrix(w.Queries)
+	enc, err := StructureDistanceMatrix(encLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := VerifyPreservation(plain, enc, 0)
+	if !rep.Preserved {
+		t.Fatalf("structure distance not preserved: %+v", rep)
+	}
+}
+
+func TestEndToEndResultPreservation(t *testing.T) {
+	w, owner := workloadFixture(t)
+	encLog, err := owner.EncryptLog(w.Queries, MeasureResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encCat, err := owner.EncryptCatalog(w.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ResultDistanceMatrix(w.Queries, w.Catalog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ResultDistanceMatrix(encLog, encCat, owner.ResultAggregator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := VerifyPreservation(plain, enc, 0)
+	if !rep.Preserved {
+		t.Fatalf("result distance not preserved: %+v", rep)
+	}
+}
+
+func TestEndToEndAccessAreaPreservation(t *testing.T) {
+	w, owner := workloadFixture(t)
+	encLog, err := owner.EncryptLog(w.Queries, MeasureAccessArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encDomains, err := owner.EncryptDomains(w.Domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AccessAreaDistanceMatrix(w.Queries, w.Domains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := AccessAreaDistanceMatrix(encLog, encDomains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := VerifyPreservation(plain, enc, 0)
+	if !rep.Preserved {
+		t.Fatalf("access-area distance not preserved: %+v", rep)
+	}
+}
+
+func TestEncryptedLogLeaksNoPlaintext(t *testing.T) {
+	w, owner := workloadFixture(t)
+	for _, m := range []Measure{MeasureToken, MeasureStructure, MeasureResult, MeasureAccessArea} {
+		encLog, err := owner.EncryptLog(w.Queries, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i, q := range encLog {
+			for _, ident := range []string{"photoobj", "specobj", "objid", "mag_r", "STAR", "GALAXY"} {
+				if strings.Contains(q, ident) {
+					t.Fatalf("%v: query %d leaks %q:\n%s", m, i, ident, q)
+				}
+			}
+		}
+	}
+}
+
+func TestRunEncryptedRoundTrip(t *testing.T) {
+	w, owner := workloadFixture(t)
+	encCat, err := owner.EncryptCatalog(w.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := owner.RunEncrypted("SELECT COUNT(*) FROM photoobj WHERE mag_r < 20", encCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() == 0 {
+		t.Fatalf("unexpected result: %+v", res.Rows)
+	}
+}
+
+func TestVerifyPreservationSizeMismatch(t *testing.T) {
+	if _, err := VerifyPreservation(Matrix{{0}}, Matrix{{0, 1}, {1, 0}}, 0); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+func TestParseExported(t *testing.T) {
+	s, err := Parse("SELECT a FROM r WHERE b > 1")
+	if err != nil || s == nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("not sql"); err == nil {
+		t.Fatal("bad query must error")
+	}
+}
+
+func TestSchemaConstruction(t *testing.T) {
+	schema := NewSchema()
+	schema.MustAddTable("t", []ColumnInfo{{Name: "a", Kind: KindInt}, {Name: "b", Kind: KindString}})
+	owner, err := NewOwner([]byte("m"), schema, Config{PaillierBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := owner.EncryptLog([]string{"SELECT a FROM t WHERE b = 'x'"}, MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 1 || strings.Contains(enc[0], "'x'") {
+		t.Fatalf("encryption failed: %v", enc)
+	}
+}

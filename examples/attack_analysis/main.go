@@ -1,0 +1,108 @@
+// Attack analysis: why the taxonomy of Fig. 1 matters. We encrypt the
+// same skewed constant column under PROB, DET, and OPE and mount the
+// query-log attacks of Sanamrad & Kossmann [9] against each — showing
+// exactly the leakage hierarchy the paper's security assessment
+// (KIT-DPE step 4) relies on.
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/attack"
+	"repro/internal/crypto/det"
+	"repro/internal/crypto/ope"
+	"repro/internal/crypto/prf"
+	"repro/internal/crypto/prob"
+)
+
+func main() {
+	// A mildly skewed column of 24 distinct values, 3000 observations.
+	const nVals, nObs = 24, 3000
+	drbg := prf.NewDRBG([]byte("attack-example"), []byte("stream"))
+	var vals []string
+	var weights []float64
+	var norm float64
+	for i := 0; i < nVals; i++ {
+		vals = append(vals, fmt.Sprintf("city-%02d", i))
+		w := 1 / math.Pow(float64(i+1), 0.4)
+		weights = append(weights, w)
+		norm += w
+	}
+	var aux []attack.ValueFreq
+	for i, v := range vals {
+		aux = append(aux, attack.ValueFreq{Value: v, Freq: weights[i] / norm})
+	}
+	var plain []string
+	for i := 0; i < nObs; i++ {
+		u := drbg.Float64() * norm
+		acc, pick := 0.0, nVals-1
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				pick = j
+				break
+			}
+		}
+		plain = append(plain, vals[pick])
+	}
+
+	// Encrypt the stream under each class.
+	detScheme := det.NewFromSeed([]byte("victim"))
+	probScheme := prob.NewFromSeed([]byte("victim"))
+	opeScheme, err := ope.New([]byte("victim"), ope.Params{DomainBits: 16, ExpansionBits: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rank := make(map[string]uint64)
+	for i, v := range vals {
+		rank[v] = uint64(i)
+	}
+
+	samplesFor := func(enc func(string) string) []attack.Sample {
+		out := make([]attack.Sample, len(plain))
+		for i, p := range plain {
+			out[i] = attack.Sample{Cipher: enc(p), Truth: p}
+		}
+		return out
+	}
+	detSamples := samplesFor(func(p string) string { return hex.EncodeToString(detScheme.Encrypt([]byte(p))) })
+	probSamples := samplesFor(func(p string) string {
+		c, err := probScheme.Encrypt([]byte(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return hex.EncodeToString(c)
+	})
+	opeSamples := samplesFor(func(p string) string {
+		c, err := opeScheme.Encrypt(rank[p])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return hex.EncodeToString(c)
+	})
+
+	base := attack.Baseline(detSamples, aux)
+	fmt.Printf("attacker's structure-free baseline (guess most frequent value): %.1f%%\n\n", 100*base)
+	fmt.Printf("%-6s | %-18s | %-10s | %s\n", "class", "attack", "recovery", "advantage over baseline")
+	fmt.Println("---------------------------------------------------------------")
+	report := func(class string, samples []attack.Sample, name string, rec float64) {
+		fmt.Printf("%-6s | %-18s | %9.1f%% | %.1f%%\n", class, name, 100*rec, 100*attack.Advantage(rec, base))
+	}
+	report("PROB", probSamples, "frequency", attack.Frequency(probSamples, aux))
+	report("DET", detSamples, "frequency", attack.Frequency(detSamples, aux))
+	kpa, err := attack.KnownPlaintext(detSamples, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("DET", detSamples, "known-plaintext(5)", kpa)
+	report("OPE", opeSamples, "frequency", attack.Frequency(opeSamples, aux))
+	report("OPE", opeSamples, "sorting", attack.Sorting(opeSamples, aux))
+
+	fmt.Println("\nreading: PROB gives the attacker nothing; DET leaks frequencies;")
+	fmt.Println("OPE leaks frequencies AND order — each step down Fig. 1 is measurable.")
+	fmt.Println("KIT-DPE step 3 therefore always picks the HIGHEST class that still")
+	fmt.Println("preserves the distance measure (Definition 6).")
+}

@@ -1,0 +1,458 @@
+// Package accessarea implements query access areas (Nguyen et al. [16])
+// and the interval algebra behind the paper's query-access-area distance
+// (Definition 5). The access area of a query Q regarding an attribute A,
+// access_A(Q), is the part of A's domain that Q can touch, derived
+// symbolically from Q's predicates.
+//
+// Areas are normalized unions of intervals with open/closed endpoints.
+// Crucially, the algebra uses order comparisons only — never arithmetic
+// like "c−1" — so applying any strictly increasing map (e.g. OPE
+// encryption) to every endpoint preserves emptiness, equality, and
+// overlap of areas. That property is exactly what makes the paper's
+// access-area DPE-scheme work.
+package accessarea
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// Domain is the inclusive value range of an attribute; both bounds must
+// be non-NULL and mutually comparable with the attribute's constants.
+type Domain struct {
+	Min value.Value
+	Max value.Value
+}
+
+// Endpoint is one interval bound.
+type Endpoint struct {
+	V    value.Value
+	Open bool // true: value excluded
+}
+
+// Interval is a contiguous part of a domain. Invariant (after
+// normalization): Lo.V <= Hi.V, and if Lo.V == Hi.V both ends are closed.
+type Interval struct {
+	Lo Endpoint
+	Hi Endpoint
+}
+
+// Area is a normalized set of disjoint intervals, sorted by lower bound.
+type Area struct {
+	ivs []Interval
+}
+
+// Empty returns the empty area.
+func Empty() Area { return Area{} }
+
+// Whole returns the area covering the full domain.
+func Whole(d Domain) Area {
+	return NewArea(Interval{Lo: Endpoint{V: d.Min}, Hi: Endpoint{V: d.Max}})
+}
+
+// Point returns the single-value area {v}.
+func Point(v value.Value) Area {
+	return NewArea(Interval{Lo: Endpoint{V: v}, Hi: Endpoint{V: v}})
+}
+
+// NewArea builds a normalized area from arbitrary intervals.
+func NewArea(ivs ...Interval) Area {
+	var a Area
+	for _, iv := range ivs {
+		if ivEmpty(iv) {
+			continue
+		}
+		a.ivs = append(a.ivs, iv)
+	}
+	a.normalize()
+	return a
+}
+
+func ivEmpty(iv Interval) bool {
+	c, ok := iv.Lo.V.Compare(iv.Hi.V)
+	if !ok {
+		return true // incomparable endpoints: treat as empty
+	}
+	if c > 0 {
+		return true
+	}
+	if c == 0 && (iv.Lo.Open || iv.Hi.Open) {
+		return true
+	}
+	return false
+}
+
+// cmpLo orders lower endpoints: smaller value first; at equal values a
+// closed bound covers more, so it sorts first.
+func cmpLo(a, b Endpoint) int {
+	c, _ := a.V.Compare(b.V)
+	if c != 0 {
+		return c
+	}
+	switch {
+	case a.Open == b.Open:
+		return 0
+	case a.Open:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// cmpHi orders upper endpoints: smaller value first; at equal values an
+// open bound covers less, so it sorts first.
+func cmpHi(a, b Endpoint) int {
+	c, _ := a.V.Compare(b.V)
+	if c != 0 {
+		return c
+	}
+	switch {
+	case a.Open == b.Open:
+		return 0
+	case a.Open:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// touchesOrOverlaps reports whether interval b starts no later than "just
+// after" a ends, i.e. a ∪ b is contiguous given a.Lo <= b.Lo.
+func touchesOrOverlaps(a, b Interval) bool {
+	c, _ := b.Lo.V.Compare(a.Hi.V)
+	if c < 0 {
+		return true
+	}
+	if c > 0 {
+		return false
+	}
+	// Equal boundary value: contiguous unless both sides exclude it.
+	return !(a.Hi.Open && b.Lo.Open)
+}
+
+func (a *Area) normalize() {
+	if len(a.ivs) == 0 {
+		return
+	}
+	// Insertion sort by lower bound (areas are tiny).
+	for i := 1; i < len(a.ivs); i++ {
+		for j := i; j > 0 && cmpLo(a.ivs[j].Lo, a.ivs[j-1].Lo) < 0; j-- {
+			a.ivs[j], a.ivs[j-1] = a.ivs[j-1], a.ivs[j]
+		}
+	}
+	merged := a.ivs[:1]
+	for _, iv := range a.ivs[1:] {
+		last := &merged[len(merged)-1]
+		if touchesOrOverlaps(*last, iv) {
+			if cmpHi(iv.Hi, last.Hi) > 0 {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	a.ivs = merged
+}
+
+// IsEmpty reports whether the area contains no values.
+func (a Area) IsEmpty() bool { return len(a.ivs) == 0 }
+
+// Intervals returns a copy of the normalized interval list.
+func (a Area) Intervals() []Interval { return append([]Interval(nil), a.ivs...) }
+
+// Equal reports whether two areas cover exactly the same region.
+func (a Area) Equal(b Area) bool {
+	if len(a.ivs) != len(b.ivs) {
+		return false
+	}
+	for i := range a.ivs {
+		x, y := a.ivs[i], b.ivs[i]
+		if cmpLo(x.Lo, y.Lo) != 0 || cmpHi(x.Hi, y.Hi) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a ∪ b.
+func (a Area) Union(b Area) Area {
+	return NewArea(append(a.Intervals(), b.ivs...)...)
+}
+
+// Intersect returns a ∩ b.
+func (a Area) Intersect(b Area) Area {
+	var out []Interval
+	for _, x := range a.ivs {
+		for _, y := range b.ivs {
+			lo := x.Lo
+			if cmpLo(y.Lo, lo) > 0 {
+				lo = y.Lo
+			}
+			hi := x.Hi
+			if cmpHi(y.Hi, hi) < 0 {
+				hi = y.Hi
+			}
+			iv := Interval{Lo: lo, Hi: hi}
+			if !ivEmpty(iv) {
+				out = append(out, iv)
+			}
+		}
+	}
+	return NewArea(out...)
+}
+
+// Overlaps reports whether a ∩ b is non-empty.
+func (a Area) Overlaps(b Area) bool { return !a.Intersect(b).IsEmpty() }
+
+// Complement returns d \ a within the inclusive domain d.
+func (a Area) Complement(d Domain) Area {
+	if a.IsEmpty() {
+		return Whole(d)
+	}
+	var out []Interval
+	cursor := Endpoint{V: d.Min} // closed lower frontier
+	for _, iv := range a.ivs {
+		gap := Interval{Lo: cursor, Hi: Endpoint{V: iv.Lo.V, Open: !iv.Lo.Open}}
+		if !ivEmpty(gap) {
+			out = append(out, gap)
+		}
+		cursor = Endpoint{V: iv.Hi.V, Open: !iv.Hi.Open}
+	}
+	tail := Interval{Lo: cursor, Hi: Endpoint{V: d.Max}}
+	if !ivEmpty(tail) {
+		out = append(out, tail)
+	}
+	return NewArea(out...)
+}
+
+// String renders the area like "[1,5) ∪ {7} ∪ (9,12]".
+func (a Area) String() string {
+	if a.IsEmpty() {
+		return "∅"
+	}
+	var parts []string
+	for _, iv := range a.ivs {
+		if c, _ := iv.Lo.V.Compare(iv.Hi.V); c == 0 {
+			parts = append(parts, "{"+iv.Lo.V.String()+"}")
+			continue
+		}
+		lb, rb := "[", "]"
+		if iv.Lo.Open {
+			lb = "("
+		}
+		if iv.Hi.Open {
+			rb = ")"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s,%s%s", lb, iv.Lo.V.String(), iv.Hi.V.String(), rb))
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// --- extraction from queries ---
+
+// Extract computes access_attr(stmt) given the attribute's domain.
+// The attribute is matched by unqualified name (the case-study logs use
+// unique attribute names per schema, as does [16]).
+//
+// The second result reports whether the query accesses the attribute at
+// all, i.e. whether attr occurs in any WHERE or JOIN-ON predicate;
+// Definition 5 averages δ only over accessed attributes. Per Section IV-C
+// of the paper, the SELECT clause has no influence.
+func Extract(stmt *sqlparse.SelectStmt, attr string, dom Domain) (Area, bool, error) {
+	accessed := AccessedAttributes(stmt)[attr]
+	if !accessed {
+		return Empty(), false, nil
+	}
+	area := Whole(dom)
+	var err error
+	if stmt.Where != nil {
+		area, err = extractExpr(stmt.Where, attr, dom)
+		if err != nil {
+			return Empty(), true, err
+		}
+	}
+	// JOIN ... ON predicates conjoin with WHERE.
+	for _, j := range stmt.Joins {
+		jArea, jErr := extractExpr(j.On, attr, dom)
+		if jErr != nil {
+			return Empty(), true, jErr
+		}
+		area = area.Intersect(jArea)
+	}
+	return area, true, nil
+}
+
+// AccessedAttributes returns the set of unqualified attribute names that
+// occur in WHERE or JOIN-ON predicates.
+func AccessedAttributes(stmt *sqlparse.SelectStmt) map[string]bool {
+	out := make(map[string]bool)
+	collect := func(e sqlparse.Expr) {
+		sqlparse.Walk(e, func(x sqlparse.Expr) bool {
+			if c, ok := x.(*sqlparse.ColumnRef); ok {
+				out[c.Name] = true
+			}
+			return true
+		})
+	}
+	if stmt.Where != nil {
+		collect(stmt.Where)
+	}
+	for _, j := range stmt.Joins {
+		collect(j.On)
+	}
+	return out
+}
+
+// extractExpr computes the attr-region a boolean expression can reach.
+// Predicates not mentioning attr leave it unconstrained (whole domain).
+func extractExpr(e sqlparse.Expr, attr string, dom Domain) (Area, error) {
+	switch n := e.(type) {
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND":
+			l, err := extractExpr(n.Left, attr, dom)
+			if err != nil {
+				return Empty(), err
+			}
+			r, err := extractExpr(n.Right, attr, dom)
+			if err != nil {
+				return Empty(), err
+			}
+			return l.Intersect(r), nil
+		case "OR":
+			l, err := extractExpr(n.Left, attr, dom)
+			if err != nil {
+				return Empty(), err
+			}
+			r, err := extractExpr(n.Right, attr, dom)
+			if err != nil {
+				return Empty(), err
+			}
+			return l.Union(r), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			return extractComparison(n, attr, dom)
+		default:
+			return Whole(dom), nil
+		}
+
+	case *sqlparse.UnaryExpr:
+		if n.Op == "NOT" {
+			inner, err := extractExpr(n.Expr, attr, dom)
+			if err != nil {
+				return Empty(), err
+			}
+			return inner.Complement(dom), nil
+		}
+		return Whole(dom), nil
+
+	case *sqlparse.InExpr:
+		if !isAttr(n.Expr, attr) {
+			return Whole(dom), nil
+		}
+		area := Empty()
+		for _, item := range n.List {
+			lit, ok := item.(*sqlparse.Literal)
+			if !ok {
+				return Whole(dom), nil
+			}
+			area = area.Union(Point(lit.Value))
+		}
+		if n.Not {
+			return area.Complement(dom), nil
+		}
+		return area, nil
+
+	case *sqlparse.BetweenExpr:
+		if !isAttr(n.Expr, attr) {
+			return Whole(dom), nil
+		}
+		lo, okL := n.Lo.(*sqlparse.Literal)
+		hi, okH := n.Hi.(*sqlparse.Literal)
+		if !okL || !okH {
+			return Whole(dom), nil
+		}
+		area := NewArea(Interval{Lo: Endpoint{V: lo.Value}, Hi: Endpoint{V: hi.Value}})
+		if n.Not {
+			return area.Complement(dom), nil
+		}
+		return area, nil
+
+	case *sqlparse.LikeExpr, *sqlparse.IsNullExpr:
+		// Not interval-decomposable: conservatively whole domain.
+		return Whole(dom), nil
+
+	default:
+		return Whole(dom), nil
+	}
+}
+
+func isAttr(e sqlparse.Expr, attr string) bool {
+	c, ok := e.(*sqlparse.ColumnRef)
+	return ok && c.Name == attr
+}
+
+func extractComparison(n *sqlparse.BinaryExpr, attr string, dom Domain) (Area, error) {
+	col, lit, op, ok := normalizeComparison(n, attr)
+	if !ok {
+		// attr not involved, or attr compared to a non-literal (e.g. a
+		// join predicate): unconstrained.
+		return Whole(dom), nil
+	}
+	_ = col
+	v := lit.Value
+	if v.IsNull() {
+		// col <op> NULL is never true: empty access.
+		return Empty(), nil
+	}
+	switch op {
+	case "=":
+		return Point(v), nil
+	case "<>":
+		return Point(v).Complement(dom), nil
+	case "<":
+		return NewArea(Interval{Lo: Endpoint{V: dom.Min}, Hi: Endpoint{V: v, Open: true}}), nil
+	case "<=":
+		return NewArea(Interval{Lo: Endpoint{V: dom.Min}, Hi: Endpoint{V: v}}), nil
+	case ">":
+		return NewArea(Interval{Lo: Endpoint{V: v, Open: true}, Hi: Endpoint{V: dom.Max}}), nil
+	case ">=":
+		return NewArea(Interval{Lo: Endpoint{V: v}, Hi: Endpoint{V: dom.Max}}), nil
+	default:
+		return Whole(dom), nil
+	}
+}
+
+// normalizeComparison orients "attr op literal". For "literal op attr"
+// the operator is mirrored.
+func normalizeComparison(n *sqlparse.BinaryExpr, attr string) (*sqlparse.ColumnRef, *sqlparse.Literal, string, bool) {
+	if c, ok := n.Left.(*sqlparse.ColumnRef); ok && c.Name == attr {
+		if lit, ok := n.Right.(*sqlparse.Literal); ok {
+			return c, lit, n.Op, true
+		}
+		return nil, nil, "", false
+	}
+	if c, ok := n.Right.(*sqlparse.ColumnRef); ok && c.Name == attr {
+		if lit, ok := n.Left.(*sqlparse.Literal); ok {
+			return c, lit, mirror(n.Op), true
+		}
+	}
+	return nil, nil, "", false
+}
+
+func mirror(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}

@@ -1,0 +1,260 @@
+package accessarea
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+var dom = Domain{Min: value.Int(0), Max: value.Int(100)}
+
+func iv(lo int64, loOpen bool, hi int64, hiOpen bool) Interval {
+	return Interval{Lo: Endpoint{V: value.Int(lo), Open: loOpen}, Hi: Endpoint{V: value.Int(hi), Open: hiOpen}}
+}
+
+func TestEmptyAndWhole(t *testing.T) {
+	if !Empty().IsEmpty() {
+		t.Fatal("Empty() not empty")
+	}
+	w := Whole(dom)
+	if w.IsEmpty() || len(w.Intervals()) != 1 {
+		t.Fatalf("Whole = %v", w)
+	}
+}
+
+func TestNewAreaDropsEmptyIntervals(t *testing.T) {
+	a := NewArea(iv(5, false, 3, false), iv(4, true, 4, false), iv(2, false, 2, false))
+	if got := a.String(); got != "{2}" {
+		t.Fatalf("area = %s", got)
+	}
+}
+
+func TestNormalizeMerges(t *testing.T) {
+	cases := []struct {
+		in   []Interval
+		want string
+	}{
+		{[]Interval{iv(1, false, 5, false), iv(3, false, 8, false)}, "[1,8]"},
+		{[]Interval{iv(1, false, 5, false), iv(5, false, 8, false)}, "[1,8]"},
+		{[]Interval{iv(1, false, 5, true), iv(5, false, 8, false)}, "[1,8]"},
+		{[]Interval{iv(1, false, 5, true), iv(5, true, 8, false)}, "[1,5) ∪ (5,8]"},
+		{[]Interval{iv(6, false, 8, false), iv(1, false, 2, false)}, "[1,2] ∪ [6,8]"},
+	}
+	for _, c := range cases {
+		if got := NewArea(c.in...).String(); got != c.want {
+			t.Errorf("NewArea(%v) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEqualSensitivity(t *testing.T) {
+	a := NewArea(iv(1, false, 5, false))
+	b := NewArea(iv(1, false, 5, true))
+	if a.Equal(b) {
+		t.Fatal("[1,5] must differ from [1,5)")
+	}
+	if !a.Equal(NewArea(iv(1, false, 3, false), iv(3, false, 5, false))) {
+		t.Fatal("merged equal areas must compare equal")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewArea(iv(1, false, 5, false))
+	b := NewArea(iv(3, false, 8, false))
+	if got := a.Intersect(b).String(); got != "[3,5]" {
+		t.Fatalf("intersect = %s", got)
+	}
+	c := NewArea(iv(6, false, 7, false))
+	if !a.Intersect(c).IsEmpty() {
+		t.Fatal("disjoint intersect must be empty")
+	}
+	// Open boundary meeting closed boundary at the same point.
+	d := NewArea(iv(5, true, 9, false))
+	if !a.Intersect(d).IsEmpty() {
+		t.Fatalf("[1,5] ∩ (5,9] = %s, want empty", a.Intersect(d))
+	}
+	e := NewArea(iv(5, false, 9, false))
+	if got := a.Intersect(e).String(); got != "{5}" {
+		t.Fatalf("[1,5] ∩ [5,9] = %s, want {5}", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	a := Point(value.Int(50))
+	c := a.Complement(dom)
+	if got := c.String(); got != "[0,50) ∪ (50,100]" {
+		t.Fatalf("complement = %s", got)
+	}
+	// Complement of whole is empty and vice versa.
+	if !Whole(dom).Complement(dom).IsEmpty() {
+		t.Fatal("complement of whole must be empty")
+	}
+	if !Empty().Complement(dom).Equal(Whole(dom)) {
+		t.Fatal("complement of empty must be whole")
+	}
+	// Double complement is identity.
+	if !c.Complement(dom).Equal(a) {
+		t.Fatal("double complement must be identity")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := NewArea(iv(1, false, 5, false))
+	if !a.Overlaps(NewArea(iv(5, false, 9, false))) {
+		t.Fatal("[1,5] overlaps [5,9]")
+	}
+	if a.Overlaps(NewArea(iv(5, true, 9, false))) {
+		t.Fatal("[1,5] must not overlap (5,9]")
+	}
+}
+
+func extract(t *testing.T, q, attr string) (Area, bool) {
+	t.Helper()
+	a, accessed, err := Extract(sqlparse.MustParse(q), attr, dom)
+	if err != nil {
+		t.Fatalf("Extract(%q, %s): %v", q, attr, err)
+	}
+	return a, accessed
+}
+
+func TestExtractComparisons(t *testing.T) {
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"SELECT a FROM r WHERE x = 5", "{5}"},
+		{"SELECT a FROM r WHERE x < 5", "[0,5)"},
+		{"SELECT a FROM r WHERE x <= 5", "[0,5]"},
+		{"SELECT a FROM r WHERE x > 5", "(5,100]"},
+		{"SELECT a FROM r WHERE x >= 5", "[5,100]"},
+		{"SELECT a FROM r WHERE x <> 5", "[0,5) ∪ (5,100]"},
+		{"SELECT a FROM r WHERE 5 < x", "(5,100]"},
+		{"SELECT a FROM r WHERE x BETWEEN 3 AND 7", "[3,7]"},
+		{"SELECT a FROM r WHERE x NOT BETWEEN 3 AND 7", "[0,3) ∪ (7,100]"},
+		{"SELECT a FROM r WHERE x IN (1, 5, 9)", "{1} ∪ {5} ∪ {9}"},
+		{"SELECT a FROM r WHERE x > 2 AND x < 8", "(2,8)"},
+		{"SELECT a FROM r WHERE x < 2 OR x > 8", "[0,2) ∪ (8,100]"},
+		{"SELECT a FROM r WHERE NOT x = 5", "[0,5) ∪ (5,100]"},
+		{"SELECT a FROM r WHERE NOT (x > 2 AND x < 8)", "[0,2] ∪ [8,100]"},
+		{"SELECT a FROM r WHERE x = 3 AND y > 100", "{3}"},
+		{"SELECT a FROM r WHERE x = 3 OR y > 100", "[0,100]"},
+		{"SELECT a FROM r WHERE x > 10 AND x < 5", "∅"},
+	}
+	for _, c := range cases {
+		a, accessed := extract(t, c.q, "x")
+		if !accessed {
+			t.Errorf("%s: x should be accessed", c.q)
+		}
+		if got := a.String(); got != c.want {
+			t.Errorf("%s: area = %s, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+func TestExtractNotAccessed(t *testing.T) {
+	// x only in SELECT: not accessed (Section IV-C: SELECT clause has no
+	// influence on the access area).
+	_, accessed := extract(t, "SELECT x FROM r WHERE y = 1", "x")
+	if accessed {
+		t.Fatal("x must not count as accessed from the SELECT clause")
+	}
+	_, accessed = extract(t, "SELECT SUM(x) FROM r WHERE y = 1", "x")
+	if accessed {
+		t.Fatal("aggregated SELECT attribute must not count as accessed")
+	}
+}
+
+func TestExtractJoinPredicate(t *testing.T) {
+	a, accessed := extract(t, "SELECT a FROM r JOIN s ON r.x = s.y WHERE s.y > 3", "x")
+	if !accessed {
+		t.Fatal("x in ON must count as accessed")
+	}
+	// Column-column predicate leaves x unconstrained.
+	if !a.Equal(Whole(dom)) {
+		t.Fatalf("area = %s, want whole domain", a)
+	}
+}
+
+func TestExtractAttributeAbsent(t *testing.T) {
+	_, accessed := extract(t, "SELECT a FROM r WHERE y = 1", "z")
+	if accessed {
+		t.Fatal("z is not in the query")
+	}
+}
+
+func TestOrderPreservingMapInvariance(t *testing.T) {
+	// Core DPE property of the algebra: applying a strictly increasing
+	// map to all endpoints preserves equality/overlap/emptiness verdicts.
+	queries := []string{
+		"SELECT a FROM r WHERE x > 2 AND x < 8",
+		"SELECT a FROM r WHERE x BETWEEN 3 AND 7",
+		"SELECT a FROM r WHERE x = 5",
+		"SELECT a FROM r WHERE x <> 5",
+		"SELECT a FROM r WHERE x IN (1, 5, 9)",
+		"SELECT a FROM r WHERE x <= 2 OR x >= 9",
+	}
+	f := func(v int64) value.Value { return value.Int(3*v + 17) } // strictly increasing
+	mapArea := func(a Area) Area {
+		var ivs []Interval
+		for _, i := range a.Intervals() {
+			ivs = append(ivs, Interval{
+				Lo: Endpoint{V: f(i.Lo.V.AsInt()), Open: i.Lo.Open},
+				Hi: Endpoint{V: f(i.Hi.V.AsInt()), Open: i.Hi.Open},
+			})
+		}
+		return NewArea(ivs...)
+	}
+	var areas []Area
+	for _, q := range queries {
+		a, _ := extract(t, q, "x")
+		areas = append(areas, a)
+	}
+	for i := range areas {
+		for j := range areas {
+			plainEq := areas[i].Equal(areas[j])
+			plainOv := areas[i].Overlaps(areas[j])
+			encEq := mapArea(areas[i]).Equal(mapArea(areas[j]))
+			encOv := mapArea(areas[i]).Overlaps(mapArea(areas[j]))
+			if plainEq != encEq || plainOv != encOv {
+				t.Fatalf("invariance broken between %q and %q: eq %v->%v ov %v->%v",
+					queries[i], queries[j], plainEq, encEq, plainOv, encOv)
+			}
+		}
+	}
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	gen := func(lo, span int8, loOpen, hiOpen bool) Area {
+		l := int64(lo)
+		h := l + int64(span&0x1f)
+		return NewArea(Interval{Lo: Endpoint{V: value.Int(l), Open: loOpen}, Hi: Endpoint{V: value.Int(h), Open: hiOpen}})
+	}
+	f := func(a1, s1 int8, o1, o2 bool, a2, s2 int8, o3, o4 bool) bool {
+		x := gen(a1, s1, o1, o2)
+		y := gen(a2, s2, o3, o4)
+		return x.Union(y).Equal(y.Union(x)) && x.Intersect(y).Equal(y.Intersect(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	d := Domain{Min: value.Int(-50), Max: value.Int(50)}
+	gen := func(lo, span int8) Area {
+		l := int64(lo) % 40
+		h := l + int64(span&0xf)
+		return NewArea(Interval{Lo: Endpoint{V: value.Int(l)}, Hi: Endpoint{V: value.Int(h)}})
+	}
+	f := func(a1, s1, a2, s2 int8) bool {
+		x, y := gen(a1, s1), gen(a2, s2)
+		lhs := x.Union(y).Complement(d)
+		rhs := x.Complement(d).Intersect(y.Complement(d))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

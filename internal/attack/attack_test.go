@@ -1,0 +1,237 @@
+package attack
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/crypto/det"
+	"repro/internal/crypto/ope"
+	"repro/internal/crypto/prf"
+	"repro/internal/crypto/prob"
+)
+
+// zipfSamples draws n values from a skewed distribution over vals and
+// returns the plaintext stream plus the true frequencies.
+func zipfSamples(n int, vals []string, s float64, seed string) ([]string, []ValueFreq) {
+	d := prf.NewDRBG([]byte(seed), []byte("zipf"))
+	weights := make([]float64, len(vals))
+	var norm float64
+	for i := range vals {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		norm += weights[i]
+	}
+	var aux []ValueFreq
+	for i, v := range vals {
+		aux = append(aux, ValueFreq{Value: v, Freq: weights[i] / norm})
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		u := d.Float64() * norm
+		acc := 0.0
+		pick := len(vals) - 1
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				pick = j
+				break
+			}
+		}
+		out[i] = vals[pick]
+	}
+	return out, aux
+}
+
+func values(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%03d", i)
+	}
+	return out
+}
+
+func TestFrequencyAttackRecoversDET(t *testing.T) {
+	vals := values(16)
+	plain, aux := zipfSamples(3000, vals, 1.4, "det-attack")
+	s := det.NewFromSeed([]byte("victim"))
+	samples := make([]Sample, len(plain))
+	for i, p := range plain {
+		samples[i] = Sample{Cipher: hex.EncodeToString(s.Encrypt([]byte(p))), Truth: p}
+	}
+	base := Baseline(samples, aux)
+	rec := Frequency(samples, aux)
+	if rec <= base {
+		t.Fatalf("frequency attack on DET must beat baseline: rec=%v base=%v", rec, base)
+	}
+	if rec < 0.5 {
+		t.Fatalf("frequency attack on a strongly skewed DET column should recover most samples, got %v", rec)
+	}
+}
+
+func TestFrequencyAttackUselessAgainstPROB(t *testing.T) {
+	vals := values(16)
+	plain, aux := zipfSamples(1500, vals, 1.4, "prob-attack")
+	s := prob.NewFromSeed([]byte("victim"))
+	samples := make([]Sample, len(plain))
+	for i, p := range plain {
+		ct, err := s.Encrypt([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[i] = Sample{Cipher: hex.EncodeToString(ct), Truth: p}
+	}
+	base := Baseline(samples, aux)
+	rec := Frequency(samples, aux)
+	// Every ciphertext is unique: rank matching is noise, bounded well
+	// below the skewed baseline.
+	if Advantage(rec, base) > 0.02 {
+		t.Fatalf("frequency attack on PROB should have ~zero advantage: rec=%v base=%v", rec, base)
+	}
+}
+
+func TestSortingAttackBeatsFrequencyOnOPE(t *testing.T) {
+	// Uniform-ish distribution: frequency ranks are uninformative, but
+	// order is fully revealing.
+	nVals := 32
+	vals := values(nVals)
+	plain, aux := zipfSamples(4000, vals, 0.15, "ope-attack")
+	scheme, err := ope.New([]byte("victim-ope"), ope.Params{DomainBits: 16, ExpansionBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map value index to OPE ciphertext; hex preserves byte order.
+	cts := make(map[string]string, nVals)
+	for i, v := range vals {
+		c, err := scheme.Encrypt(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[v] = hex.EncodeToString(c)
+	}
+	samples := make([]Sample, len(plain))
+	for i, p := range plain {
+		samples[i] = Sample{Cipher: cts[p], Truth: p}
+	}
+	base := Baseline(samples, aux)
+	freq := Frequency(samples, aux)
+	sorting := Sorting(samples, aux)
+	if sorting <= freq {
+		t.Fatalf("sorting attack must beat frequency on near-uniform OPE: sort=%v freq=%v", sorting, freq)
+	}
+	if sorting < 0.8 {
+		t.Fatalf("sorting attack on OPE with full support should recover most samples: %v", sorting)
+	}
+	if Advantage(sorting, base) <= 0 {
+		t.Fatal("sorting attack must have positive advantage")
+	}
+}
+
+func TestKnownPlaintextExtendsOnDET(t *testing.T) {
+	vals := values(8)
+	plain, _ := zipfSamples(1000, vals, 1.0, "kpa")
+	s := det.NewFromSeed([]byte("victim"))
+	samples := make([]Sample, len(plain))
+	for i, p := range plain {
+		samples[i] = Sample{Cipher: hex.EncodeToString(s.Encrypt([]byte(p))), Truth: p}
+	}
+	rec, err := KnownPlaintext(samples, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knowing a handful of pairs should decrypt far more than 5 samples.
+	if rec*float64(len(samples)) < 50 {
+		t.Fatalf("KPA on DET should extend widely: %v", rec)
+	}
+}
+
+func TestKnownPlaintextDoesNotExtendOnPROB(t *testing.T) {
+	vals := values(8)
+	plain, _ := zipfSamples(500, vals, 1.0, "kpa-prob")
+	s := prob.NewFromSeed([]byte("victim"))
+	samples := make([]Sample, len(plain))
+	for i, p := range plain {
+		ct, _ := s.Encrypt([]byte(p))
+		samples[i] = Sample{Cipher: hex.EncodeToString(ct), Truth: p}
+	}
+	rec, err := KnownPlaintext(samples, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 / float64(len(samples))
+	if math.Abs(rec-want) > 1e-9 {
+		t.Fatalf("KPA on PROB must recover exactly the known samples: %v, want %v", rec, want)
+	}
+}
+
+func TestKnownPlaintextValidation(t *testing.T) {
+	if _, err := KnownPlaintext([]Sample{{Cipher: "a", Truth: "x"}}, []int{5}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+	if rec, err := KnownPlaintext(nil, nil); err != nil || rec != 0 {
+		t.Fatal("empty samples must return 0")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Baseline(nil, nil) != 0 || Frequency(nil, nil) != 0 || Sorting(nil, nil) != 0 {
+		t.Fatal("empty inputs must score 0")
+	}
+}
+
+func TestAdvantageClamp(t *testing.T) {
+	if Advantage(0.3, 0.5) != 0 {
+		t.Fatal("advantage below baseline must clamp to 0")
+	}
+	if math.Abs(Advantage(0.7, 0.5)-0.2) > 1e-12 {
+		t.Fatal("advantage arithmetic wrong")
+	}
+}
+
+// TestFig1OrderingEndToEnd is the core of experiment E2: measured
+// advantages must order PROB < DET < OPE (HOM behaves like PROB — it is
+// probabilistic).
+func TestFig1OrderingEndToEnd(t *testing.T) {
+	nVals := 24
+	vals := values(nVals)
+	// Mildly skewed distribution: skewed enough that frequency analysis
+	// beats guessing (DET > PROB), flat enough that order information
+	// adds real power (OPE > DET).
+	plain, aux := zipfSamples(3000, vals, 0.4, "fig1")
+
+	detScheme := det.NewFromSeed([]byte("fig1-det"))
+	probScheme := prob.NewFromSeed([]byte("fig1-prob"))
+	opeScheme, err := ope.New([]byte("fig1-ope"), ope.Params{DomainBits: 16, ExpansionBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opeCts := make(map[string]string)
+	for i, v := range vals {
+		c, _ := opeScheme.Encrypt(uint64(i))
+		opeCts[v] = hex.EncodeToString(c)
+	}
+
+	mk := func(enc func(string) string) []Sample {
+		out := make([]Sample, len(plain))
+		for i, p := range plain {
+			out[i] = Sample{Cipher: enc(p), Truth: p}
+		}
+		return out
+	}
+	detSamples := mk(func(p string) string { return hex.EncodeToString(detScheme.Encrypt([]byte(p))) })
+	probSamples := mk(func(p string) string {
+		c, _ := probScheme.Encrypt([]byte(p))
+		return hex.EncodeToString(c)
+	})
+	opeSamples := mk(func(p string) string { return opeCts[p] })
+
+	base := Baseline(detSamples, aux)
+	advPROB := Advantage(Frequency(probSamples, aux), base)
+	advDET := Advantage(Frequency(detSamples, aux), base)
+	// Best attack per class: OPE admits the sorting attack too.
+	advOPE := Advantage(math.Max(Frequency(opeSamples, aux), Sorting(opeSamples, aux)), base)
+
+	if !(advPROB < advDET && advDET < advOPE) {
+		t.Fatalf("Fig. 1 ordering violated: PROB=%v DET=%v OPE=%v", advPROB, advDET, advOPE)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyInvariants(t *testing.T) {
+	if err := ValidateTaxonomy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecurityLevels(t *testing.T) {
+	// Fig. 1 vertical order plus the Section IV-C remark (PROB > HOM).
+	if !MoreSecure(PROB, HOM) {
+		t.Fatal("PROB must be strictly more secure than HOM (Section IV-C)")
+	}
+	if !MoreSecure(HOM, DET) || !MoreSecure(DET, OPE) {
+		t.Fatal("row order violated")
+	}
+	// Same row: incomparable.
+	if MoreSecure(DET, JOIN) || MoreSecure(JOIN, DET) {
+		t.Fatal("DET and JOIN share a row")
+	}
+	if MoreSecure(OPE, JOINOPE) || MoreSecure(JOINOPE, OPE) {
+		t.Fatal("OPE and JOIN-OPE share a row")
+	}
+	if SecurityLevel("NOPE") != 0 {
+		t.Fatal("unknown class must level 0")
+	}
+}
+
+func TestSubclassEdges(t *testing.T) {
+	want := map[Class]Class{HOM: PROB, OPE: DET, JOIN: DET, JOINOPE: OPE, PROB: "", DET: ""}
+	for c, p := range want {
+		if Subclass(c) != p {
+			t.Errorf("Subclass(%s) = %s, want %s", c, Subclass(c), p)
+		}
+	}
+}
+
+func TestLeakageCoversAllClasses(t *testing.T) {
+	for _, c := range AllClasses() {
+		if l := Leakage(c); l == "" || l == "unknown class" {
+			t.Errorf("Leakage(%s) = %q", c, l)
+		}
+	}
+}
+
+func TestSortBySecurity(t *testing.T) {
+	sorted := SortBySecurity([]Class{OPE, DET, PROB, HOM})
+	if sorted[0] != PROB || sorted[1] != HOM || sorted[3] != OPE {
+		t.Fatalf("sorted = %v", sorted)
+	}
+}
+
+func TestVerifyDPEPreserved(t *testing.T) {
+	d := func(i, j int) (float64, error) { return float64(i + j), nil }
+	rep, err := VerifyDPE(5, d, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Preserved || rep.Pairs != 10 || rep.MaxAbsError != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestVerifyDPEViolation(t *testing.T) {
+	plain := func(i, j int) (float64, error) { return 0.5, nil }
+	enc := func(i, j int) (float64, error) {
+		if i == 1 && j == 2 {
+			return 0.9, nil
+		}
+		return 0.5, nil
+	}
+	rep, err := VerifyDPE(4, plain, enc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preserved {
+		t.Fatal("violation not detected")
+	}
+	if len(rep.CounterExamples) != 1 || rep.CounterExamples[0].I != 1 || rep.CounterExamples[0].J != 2 {
+		t.Fatalf("counterexamples = %+v", rep.CounterExamples)
+	}
+	if rep.MaxAbsError != 0.4 {
+		t.Fatalf("max error = %v", rep.MaxAbsError)
+	}
+}
+
+func TestVerifyDPETolerance(t *testing.T) {
+	plain := func(i, j int) (float64, error) { return 0.5, nil }
+	enc := func(i, j int) (float64, error) { return 0.5 + 1e-14, nil }
+	rep, _ := VerifyDPE(3, plain, enc, 1e-12)
+	if !rep.Preserved {
+		t.Fatal("tiny float noise must be tolerated")
+	}
+}
+
+func TestVerifyDPEErrorPropagation(t *testing.T) {
+	bad := func(i, j int) (float64, error) { return 0, errors.New("boom") }
+	ok := func(i, j int) (float64, error) { return 0, nil }
+	if _, err := VerifyDPE(3, bad, ok, 0); err == nil {
+		t.Fatal("plain error must propagate")
+	}
+	if _, err := VerifyDPE(3, ok, bad, 0); err == nil {
+		t.Fatal("enc error must propagate")
+	}
+}
+
+func TestVerifyEquivalence(t *testing.T) {
+	sets := []map[string]bool{{"a": true}, {"b": true, "c": true}}
+	same := func(i int) (map[string]bool, error) { return sets[i], nil }
+	rep, err := VerifyEquivalence(2, same, same)
+	if err != nil || !rep.Holds {
+		t.Fatalf("equal sides must hold: %+v, %v", rep, err)
+	}
+	other := func(i int) (map[string]bool, error) {
+		if i == 1 {
+			return map[string]bool{"b": true}, nil
+		}
+		return sets[i], nil
+	}
+	rep, _ = VerifyEquivalence(2, same, other)
+	if rep.Holds || rep.FirstFail != 1 {
+		t.Fatalf("failure not detected: %+v", rep)
+	}
+}
+
+func TestSelectAppropriatePicksHighestPreserving(t *testing.T) {
+	mk := func(label string, class Class, preserved bool) Candidate {
+		return Candidate{Label: label, Class: class, Verify: func() (*PreservationReport, error) {
+			return &PreservationReport{Pairs: 1, Preserved: preserved}, nil
+		}}
+	}
+	sel, err := SelectAppropriate([]Candidate{
+		mk("prob", PROB, false), // most secure but breaks the notion
+		mk("det", DET, true),
+		mk("ope", OPE, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Chosen == nil || sel.Chosen.Label != "det" {
+		t.Fatalf("chosen = %+v, want det (highest preserving)", sel.Chosen)
+	}
+	if len(sel.Reports) != 3 {
+		t.Fatalf("reports = %d", len(sel.Reports))
+	}
+}
+
+func TestSelectAppropriateNonePreserve(t *testing.T) {
+	sel, err := SelectAppropriate([]Candidate{
+		{Label: "x", Class: PROB, Verify: func() (*PreservationReport, error) {
+			return &PreservationReport{Preserved: false}, nil
+		}},
+	})
+	if err != nil || sel.Chosen != nil {
+		t.Fatalf("no candidate should be chosen: %+v, %v", sel, err)
+	}
+}
+
+func TestSelectAppropriateErrorPropagates(t *testing.T) {
+	_, err := SelectAppropriate([]Candidate{
+		{Label: "x", Class: PROB, Verify: func() (*PreservationReport, error) {
+			return nil, fmt.Errorf("verifier broke")
+		}},
+	})
+	if err == nil {
+		t.Fatal("verifier error must propagate")
+	}
+}
+
+func TestSQLMeasuresMatchTableI(t *testing.T) {
+	ms := SQLMeasures()
+	if len(ms) != 4 {
+		t.Fatalf("measures = %d", len(ms))
+	}
+	// Shared-information columns of Table I.
+	if !ms[0].Shared.Log || ms[0].Shared.DBContent || ms[0].Shared.Domains {
+		t.Fatalf("token row shared info wrong: %v", ms[0].Shared)
+	}
+	if !ms[2].Shared.DBContent {
+		t.Fatal("result distance must require DB content")
+	}
+	if !ms[3].Shared.Domains {
+		t.Fatal("access-area distance must require domains")
+	}
+	if ms[1].C != "features" || ms[3].Equivalence != "Access-Area Equivalence" {
+		t.Fatalf("row metadata wrong: %+v", ms)
+	}
+}
+
+func TestProcedureRunAndRender(t *testing.T) {
+	candidates := []Candidate{
+		{Label: "PROB constants", Class: PROB, Verify: func() (*PreservationReport, error) {
+			return &PreservationReport{Pairs: 10, Preserved: false, MaxAbsError: 0.4}, nil
+		}},
+		{Label: "DET constants", Class: DET, Verify: func() (*PreservationReport, error) {
+			return &PreservationReport{Pairs: 10, Preserved: true}, nil
+		}},
+	}
+	p, err := Run(SQLMeasures()[0], candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Selection.Chosen.Label != "DET constants" {
+		t.Fatalf("chosen = %v", p.Selection.Chosen)
+	}
+	row := p.TableRow()
+	if !strings.Contains(row, "Token") || !strings.Contains(row, "DET constants") {
+		t.Fatalf("row = %s", row)
+	}
+	sum := p.Summary()
+	for _, want := range []string{"step 1", "step 2", "step 3", "step 4", "VIOLATES", "preserves"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestProcedureNoCandidate(t *testing.T) {
+	p, err := Run(SQLMeasures()[0], []Candidate{
+		{Label: "x", Class: PROB, Verify: func() (*PreservationReport, error) {
+			return &PreservationReport{Preserved: false}, nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Assessment, "failed") {
+		t.Fatalf("assessment = %s", p.Assessment)
+	}
+	if !strings.Contains(p.TableRow(), "—") {
+		t.Fatalf("row = %s", p.TableRow())
+	}
+}
+
+func TestDefaultThreatModel(t *testing.T) {
+	tm := DefaultThreatModel()
+	if len(tm.Attacks) != 3 {
+		t.Fatalf("attacks = %d, want 3 (the passive attacks of [9])", len(tm.Attacks))
+	}
+}
+
+func TestSharedInformationString(t *testing.T) {
+	s := SharedInformation{Log: true, Domains: true}.String()
+	if !strings.Contains(s, "log=yes") || !strings.Contains(s, "db-content=no") || !strings.Contains(s, "domains=yes") {
+		t.Fatalf("rendered = %s", s)
+	}
+}

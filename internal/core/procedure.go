@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SharedInformation flags what must be shared with the service provider
+// to compute a measure (the "Shared Information" columns of Table I).
+type SharedInformation struct {
+	Log       bool
+	DBContent bool
+	Domains   bool
+}
+
+func (s SharedInformation) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	return fmt.Sprintf("log=%s db-content=%s domains=%s", mark(s.Log), mark(s.DBContent), mark(s.Domains))
+}
+
+// MeasureSpec describes one distance measure's row in Table I.
+type MeasureSpec struct {
+	Name        string
+	Shared      SharedInformation
+	Equivalence string // the equivalence notion (Definition 2 instance)
+	C           string // the characteristic function c
+}
+
+// SQLMeasures returns the paper's four SQL query-distance measures
+// (Table I rows, minus the class columns which are *derived* by
+// SelectAppropriate rather than asserted).
+func SQLMeasures() []MeasureSpec {
+	return []MeasureSpec{
+		{
+			Name:        "Token-Based Query-String Distance",
+			Shared:      SharedInformation{Log: true},
+			Equivalence: "Token Equivalence",
+			C:           "tokens",
+		},
+		{
+			Name:        "Query-Structure Distance",
+			Shared:      SharedInformation{Log: true},
+			Equivalence: "Structural Equivalence",
+			C:           "features",
+		},
+		{
+			Name:        "Query-Result Distance",
+			Shared:      SharedInformation{Log: true, DBContent: true},
+			Equivalence: "Result Equivalence",
+			C:           "result tuples",
+		},
+		{
+			Name:        "Query-Access-Area Distance",
+			Shared:      SharedInformation{Log: true, Domains: true},
+			Equivalence: "Access-Area Equivalence",
+			C:           "access_A",
+		},
+	}
+}
+
+// ThreatModel names the passive attacks a deployment shields against
+// (Section IV-A instantiates these for query logs after [9]).
+type ThreatModel struct {
+	// Attacks lists the instantiated passive attacks.
+	Attacks []string
+}
+
+// DefaultThreatModel returns the query-log threat model of Section IV-A.
+func DefaultThreatModel() ThreatModel {
+	return ThreatModel{Attacks: []string{
+		"query-only attack (ciphertext-only): infer constants, relation and attribute names from the encrypted log",
+		"known-query attack (known-plaintext): extend known (plain, encrypted) query pairs",
+		"chosen-query attack (chosen-plaintext): obtain encryptions of chosen queries",
+	}}
+}
+
+// SchemeAssignment is the concrete (EncRel, EncAttr, EncConst) choice —
+// the paper's high-level encryption scheme instantiated with classes.
+// EncConst is free-form because Table I's last column is composite
+// ("via CryptDB", "via CryptDB, except HOM").
+type SchemeAssignment struct {
+	EncRel   Class
+	EncAttr  Class
+	EncConst string
+}
+
+// Procedure is one run of KIT-DPE (Section III-B): the four steps, with
+// the empirical artifacts produced along the way.
+type Procedure struct {
+	// Step 1: security model.
+	Threat ThreatModel
+	// Step 1: the high-level encryption scheme, fixed for SQL logs:
+	// (EncRel, EncAttr, {EncA.Const}).
+	HighLevelScheme string
+	// Step 2: the measure and its equivalence notion.
+	Measure MeasureSpec
+	// Step 3: candidate implementations and the empirical selection.
+	Selection *Selection
+	// Step 4: security assessment, derived from the chosen classes.
+	Assessment string
+}
+
+// Run executes steps 2–4 of KIT-DPE for a measure given candidate
+// scheme implementations (step 1 is fixed by DefaultThreatModel and the
+// SQL high-level scheme).
+func Run(measure MeasureSpec, candidates []Candidate) (*Procedure, error) {
+	sel, err := SelectAppropriate(candidates)
+	if err != nil {
+		return nil, err
+	}
+	p := &Procedure{
+		Threat:          DefaultThreatModel(),
+		HighLevelScheme: "(EncRel, EncAttr, {EncA.Const : Attribute A})",
+		Measure:         measure,
+		Selection:       sel,
+	}
+	if sel.Chosen == nil {
+		p.Assessment = "NO candidate preserves the equivalence notion — scheme design failed"
+		return p, nil
+	}
+	p.Assessment = fmt.Sprintf(
+		"constants: %s (class %s, level %d; leaks %s); names: DET (leaks %s); security reduces to the cited PPE schemes [9]",
+		sel.Chosen.Label, sel.Chosen.Class, SecurityLevel(sel.Chosen.Class), Leakage(sel.Chosen.Class), Leakage(DET))
+	return p, nil
+}
+
+func sortedLabels(m map[string]*PreservationReport) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableRow renders the procedure outcome as one row of the paper's
+// Table I.
+func (p *Procedure) TableRow() string {
+	chosen := "—"
+	if p.Selection != nil && p.Selection.Chosen != nil {
+		chosen = p.Selection.Chosen.Label
+	}
+	return fmt.Sprintf("%-36s | %-28s | %-13s | DET | DET | %s",
+		p.Measure.Name, p.Measure.Equivalence, p.Measure.C, chosen)
+}
+
+// Summary renders a multi-line report of the run.
+func (p *Procedure) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "KIT-DPE run for %s\n", p.Measure.Name)
+	fmt.Fprintf(&sb, "  step 1  threat model: %d passive attacks; scheme %s\n", len(p.Threat.Attacks), p.HighLevelScheme)
+	fmt.Fprintf(&sb, "  step 2  equivalence notion: %s (c = %s)\n", p.Measure.Equivalence, p.Measure.C)
+	fmt.Fprintf(&sb, "  step 3  candidates tested: %d\n", len(p.Selection.Reports))
+	for _, label := range sortedLabels(p.Selection.Reports) {
+		rep := p.Selection.Reports[label]
+		status := "preserves"
+		switch {
+		case rep.Error != "":
+			status = "UNUSABLE (" + rep.Error + ")"
+		case !rep.Preserved:
+			status = fmt.Sprintf("VIOLATES (max err %.3f)", rep.MaxAbsError)
+		}
+		fmt.Fprintf(&sb, "          - %-24s %s over %d pairs\n", label, status, rep.Pairs)
+	}
+	fmt.Fprintf(&sb, "  step 4  %s\n", p.Assessment)
+	return sb.String()
+}

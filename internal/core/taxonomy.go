@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution as a library:
+//
+//   - the property-preserving encryption-class taxonomy of Fig. 1, with
+//     subclass edges and the partial security order;
+//   - distance-preserving encryption (Definition 1) and c-equivalence
+//     (Definition 2) as verifiable properties;
+//   - appropriate-class selection (Definition 6): the highest-security
+//     class that empirically preserves an equivalence notion;
+//   - the four-step KIT-DPE procedure (Section III-B) as an executable
+//     object whose output is a DPE-scheme description plus its security
+//     assessment.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class is a property-preserving encryption class (or usage mode) from
+// Fig. 1 of the paper.
+type Class string
+
+// The classes of Fig. 1. JOIN and JOINOPE are usage modes of DET and OPE
+// respectively (shared keys across join groups).
+const (
+	PROB    Class = "PROB"
+	HOM     Class = "HOM"
+	DET     Class = "DET"
+	JOIN    Class = "JOIN"
+	OPE     Class = "OPE"
+	JOINOPE Class = "JOIN-OPE"
+)
+
+// AllClasses lists the taxonomy's classes from most to least secure
+// (ties broken by subclass depth).
+func AllClasses() []Class {
+	return []Class{PROB, HOM, DET, JOIN, OPE, JOINOPE}
+}
+
+// SecurityLevel encodes Fig. 1's vertical axis: higher is more secure.
+// Classes on the same level are incomparable ("for classes in the same
+// row, a security ranking is not possible").
+//
+// The mapping follows the figure's rows and the Section IV-C remark that
+// PROB yields strictly higher security than HOM:
+//
+//	level 4: PROB
+//	level 3: HOM
+//	level 2: DET, JOIN
+//	level 1: OPE, JOIN-OPE
+func SecurityLevel(c Class) int {
+	switch c {
+	case PROB:
+		return 4
+	case HOM:
+		return 3
+	case DET, JOIN:
+		return 2
+	case OPE, JOINOPE:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Subclass returns the parent class in Fig. 1's subclass arrows
+// (HOM → PROB, OPE → DET, JOIN → DET, JOIN-OPE → OPE), or "" for roots.
+func Subclass(c Class) Class {
+	switch c {
+	case HOM:
+		return PROB
+	case OPE:
+		return DET
+	case JOIN:
+		return DET
+	case JOINOPE:
+		return OPE
+	default:
+		return ""
+	}
+}
+
+// MoreSecure reports whether a is strictly more secure than b in the
+// partial order; false when incomparable or equal.
+func MoreSecure(a, b Class) bool {
+	return SecurityLevel(a) > SecurityLevel(b)
+}
+
+// Leakage describes what each class reveals about the plaintexts — the
+// qualitative content of Fig. 1 used in security assessments.
+func Leakage(c Class) string {
+	switch c {
+	case PROB:
+		return "nothing beyond length"
+	case HOM:
+		return "nothing beyond length (supports additive aggregation)"
+	case DET:
+		return "equality of plaintexts"
+	case JOIN:
+		return "equality of plaintexts, across joined columns"
+	case OPE:
+		return "equality and order of plaintexts"
+	case JOINOPE:
+		return "equality and order of plaintexts, across joined columns"
+	default:
+		return "unknown class"
+	}
+}
+
+// SortBySecurity orders classes from most to least secure (stable within
+// a level).
+func SortBySecurity(cs []Class) []Class {
+	out := append([]Class(nil), cs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return SecurityLevel(out[i]) > SecurityLevel(out[j])
+	})
+	return out
+}
+
+// ValidateTaxonomy checks the structural invariants of Fig. 1: subclass
+// edges never increase security, and every class has a level. It exists
+// so the taxonomy itself is covered by the test suite rather than
+// asserted by prose.
+func ValidateTaxonomy() error {
+	for _, c := range AllClasses() {
+		if SecurityLevel(c) == 0 {
+			return fmt.Errorf("core: class %s has no security level", c)
+		}
+		if p := Subclass(c); p != "" {
+			if SecurityLevel(c) > SecurityLevel(p) {
+				return fmt.Errorf("core: subclass %s more secure than its parent %s", c, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package det implements the DET (deterministic) encryption class of the
+// paper's taxonomy (Fig. 1): two equal plaintexts map to the same
+// ciphertext, enabling equality checks — and hence token/feature-set
+// comparisons and equi-joins — over ciphertext.
+//
+// The instance is an SIV (synthetic IV) construction:
+//
+//	IV = HMAC-SHA256(K_mac, plaintext)[:16]
+//	CT = AES-256-CTR(K_enc, IV, plaintext)
+//	output = IV || CT
+//
+// The IV doubles as an authenticator: Decrypt recomputes it and rejects
+// mismatches. The construction is a deterministic authenticated encryption
+// scheme in the style of Rogaway–Shrimpton SIV.
+package det
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/prf"
+)
+
+// KeySize is the byte size of the scheme's master key.
+const KeySize = 32
+
+// ivSize is the synthetic IV length (one AES block).
+const ivSize = aes.BlockSize
+
+// ErrDecrypt is returned when a ciphertext is malformed or fails the
+// synthetic-IV integrity check.
+var ErrDecrypt = errors.New("det: decryption failed")
+
+// Scheme is a deterministic authenticated encryption scheme. It is safe
+// for concurrent use. Construct with New or NewFromSeed.
+type Scheme struct {
+	mac   *prf.PRF
+	block cipher.Block
+}
+
+// New returns a Scheme keyed with key, which must be KeySize bytes.
+// Independent MAC and encryption subkeys are derived internally.
+func New(key []byte) (*Scheme, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("det: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	root := prf.New(key)
+	encKey := root.Eval([]byte("det-enc-subkey"))
+	block, err := aes.NewCipher(encKey[:32])
+	if err != nil {
+		return nil, fmt.Errorf("det: %w", err)
+	}
+	return &Scheme{mac: root.Derive("det-mac-subkey"), block: block}, nil
+}
+
+// NewFromSeed derives a KeySize key from an arbitrary seed and returns the
+// corresponding Scheme.
+func NewFromSeed(seed []byte) *Scheme {
+	sum := sha256.Sum256(append([]byte("det-seed:"), seed...))
+	s, err := New(sum[:])
+	if err != nil {
+		panic(err) // unreachable: key size correct by construction
+	}
+	return s
+}
+
+// Encrypt deterministically encrypts plaintext. Equal inputs yield equal
+// outputs under the same key.
+func (s *Scheme) Encrypt(plaintext []byte) []byte {
+	iv := s.mac.Eval(plaintext)[:ivSize]
+	out := make([]byte, ivSize+len(plaintext))
+	copy(out, iv)
+	cipher.NewCTR(s.block, iv).XORKeyStream(out[ivSize:], plaintext)
+	return out
+}
+
+// Decrypt inverts Encrypt and verifies the synthetic IV, returning
+// ErrDecrypt on malformed or tampered input.
+func (s *Scheme) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < ivSize {
+		return nil, ErrDecrypt
+	}
+	iv := ciphertext[:ivSize]
+	pt := make([]byte, len(ciphertext)-ivSize)
+	cipher.NewCTR(s.block, iv).XORKeyStream(pt, ciphertext[ivSize:])
+	want := s.mac.Eval(pt)[:ivSize]
+	if !hmac.Equal(iv, want) {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// EncryptString is a convenience wrapper returning the deterministic
+// ciphertext of a string plaintext.
+func (s *Scheme) EncryptString(plaintext string) []byte {
+	return s.Encrypt([]byte(plaintext))
+}

@@ -1,0 +1,194 @@
+package hom
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/prf"
+)
+
+// testKeyBits keeps unit tests fast; correctness is size-independent.
+const testKeyBits = 512
+
+var (
+	testKeyOnce sync.Once
+	testKey     *PrivateKey
+)
+
+// key returns a process-wide test key: keygen is the expensive part and
+// the scheme's correctness properties do not depend on the specific key.
+func key(t *testing.T) *PrivateKey {
+	t.Helper()
+	testKeyOnce.Do(func() {
+		// Deterministic primes for reproducible tests.
+		drbg := prf.NewDRBG([]byte("paillier-test"), []byte("keygen"))
+		k, err := GenerateKey(drbg, testKeyBits)
+		if err != nil {
+			panic(err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestKeyGenValidation(t *testing.T) {
+	if _, err := GenerateKey(nil, 32); err == nil {
+		t.Fatal("GenerateKey must reject tiny moduli")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40)} {
+		c, err := sk.EncryptInt64(nil, m)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.DecryptInt64(c)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %d, want %d", got, m)
+		}
+	}
+}
+
+func TestProbabilistic(t *testing.T) {
+	// HOM is a subclass of PROB (Fig. 1): equal plaintexts must yield
+	// different ciphertexts.
+	sk := key(t)
+	c1, _ := sk.EncryptInt64(nil, 7)
+	c2, _ := sk.EncryptInt64(nil, 7)
+	if c1.Cmp(c2) == 0 {
+		t.Fatal("Paillier produced identical ciphertexts for equal plaintexts")
+	}
+	m1, _ := sk.Decrypt(c1)
+	m2, _ := sk.Decrypt(c2)
+	if m1.Cmp(m2) != 0 {
+		t.Fatal("distinct ciphertexts of 7 decrypted differently")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	sk := key(t)
+	cases := [][2]int64{{1, 2}, {0, 0}, {-5, 3}, {100000, 234567}, {-7, -9}}
+	for _, c := range cases {
+		ca, _ := sk.EncryptInt64(nil, c[0])
+		cb, _ := sk.EncryptInt64(nil, c[1])
+		sum, err := sk.DecryptInt64(sk.Add(ca, cb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != c[0]+c[1] {
+			t.Fatalf("Dec(Enc(%d)⊕Enc(%d)) = %d, want %d", c[0], c[1], sum, c[0]+c[1])
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	sk := key(t)
+	vals := []int64{5, -3, 12, 0, 99, -50}
+	var want int64
+	var cts []*big.Int
+	for _, v := range vals {
+		c, _ := sk.EncryptInt64(nil, v)
+		cts = append(cts, c)
+		want += v
+	}
+	got, err := sk.DecryptInt64(sk.Sum(cts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+	// Empty sum is an encryption of zero.
+	zero, err := sk.DecryptInt64(sk.Sum())
+	if err != nil || zero != 0 {
+		t.Fatalf("empty Sum decrypted to %d (err %v), want 0", zero, err)
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	sk := key(t)
+	for _, tc := range []struct{ m, k int64 }{{7, 3}, {7, 0}, {-4, 5}, {9, -2}, {-6, -3}} {
+		c, _ := sk.EncryptInt64(nil, tc.m)
+		got, err := sk.DecryptInt64(sk.MulConst(c, big.NewInt(tc.k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.m*tc.k {
+			t.Fatalf("Dec(Enc(%d)⊗%d) = %d, want %d", tc.m, tc.k, got, tc.m*tc.k)
+		}
+	}
+}
+
+func TestRerandomize(t *testing.T) {
+	sk := key(t)
+	c, _ := sk.EncryptInt64(nil, 123)
+	c2, err := sk.Rerandomize(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cmp(c2) == 0 {
+		t.Fatal("Rerandomize did not change the ciphertext")
+	}
+	m, _ := sk.DecryptInt64(c2)
+	if m != 123 {
+		t.Fatalf("Rerandomize changed plaintext to %d", m)
+	}
+}
+
+func TestMessageRange(t *testing.T) {
+	sk := key(t)
+	tooBig := new(big.Int).Add(sk.MessageSpaceHalf(), big.NewInt(1))
+	if _, err := sk.Encrypt(nil, tooBig); err != ErrMessageRange {
+		t.Fatalf("Encrypt(n/2+1) err = %v, want ErrMessageRange", err)
+	}
+	neg := new(big.Int).Neg(tooBig)
+	if _, err := sk.Encrypt(nil, neg); err != ErrMessageRange {
+		t.Fatalf("Encrypt(-(n/2+1)) err = %v, want ErrMessageRange", err)
+	}
+}
+
+func TestDecryptRejectsInvalid(t *testing.T) {
+	sk := key(t)
+	for _, c := range []*big.Int{nil, big.NewInt(0), big.NewInt(-5), new(big.Int).Set(sk.N2)} {
+		if _, err := sk.Decrypt(c); err == nil {
+			t.Fatalf("Decrypt(%v) must fail", c)
+		}
+	}
+}
+
+func TestQuickHomomorphism(t *testing.T) {
+	sk := key(t)
+	f := func(a, b int32) bool {
+		ca, err1 := sk.EncryptInt64(nil, int64(a))
+		cb, err2 := sk.EncryptInt64(nil, int64(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum, err := sk.DecryptInt64(sk.Add(ca, cb))
+		return err == nil && sum == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicKeygenFromDRBG(t *testing.T) {
+	k1, err := GenerateKey(prf.NewDRBG([]byte("s"), []byte("l")), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateKey(prf.NewDRBG([]byte("s"), []byte("l")), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.N.Cmp(k2.N) != 0 {
+		t.Fatal("keygen from identical DRBG streams must be reproducible")
+	}
+}

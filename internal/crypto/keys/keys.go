@@ -1,0 +1,78 @@
+// Package keys implements the key hierarchy for encrypting SQL query
+// logs and database contents. A single master key deterministically
+// derives every subordinate key (HKDF-style, via the prf package):
+//
+//   - one DET key for relation names (EncRel in the paper),
+//   - one DET key for attribute names (EncAttr),
+//   - per-column keys for constants ({EncA.Const : Attribute A}), one per
+//     (column, class) pair, where JOIN groups unify the labels of joined
+//     columns so cross-column equality survives encryption.
+//
+// Centralising derivation means the entire encrypted deployment is
+// reproducible from one secret plus the public schema, which is also how
+// the data owner re-derives keys to decrypt mining results.
+package keys
+
+import (
+	"repro/internal/crypto/join"
+	"repro/internal/crypto/prf"
+)
+
+// Class labels a property-preserving encryption class for key-derivation
+// purposes.
+type Class string
+
+// The encryption classes with per-column keys.
+const (
+	ClassPROB Class = "PROB"
+	ClassDET  Class = "DET"
+	ClassOPE  Class = "OPE"
+	ClassHOM  Class = "HOM"
+)
+
+// Manager derives all keys from a master secret. It is safe for
+// concurrent use.
+type Manager struct {
+	root   *prf.PRF
+	groups *join.Groups
+}
+
+// NewManager returns a Manager for the given master secret.
+func NewManager(master []byte) *Manager {
+	return &Manager{root: prf.New(master).Derive("kit-dpe-v1"), groups: join.NewGroups()}
+}
+
+// JoinGroups exposes the join-group structure so schema setup can declare
+// joinable column pairs before any constant is encrypted.
+func (m *Manager) JoinGroups() *join.Groups { return m.groups }
+
+// RelationKey returns the DET key bytes for relation names.
+func (m *Manager) RelationKey() []byte {
+	return m.root.Eval([]byte("relnames"))
+}
+
+// AttributeKey returns the DET key bytes for attribute names.
+func (m *Manager) AttributeKey() []byte {
+	return m.root.Eval([]byte("attrnames"))
+}
+
+// ColumnKey returns the key bytes for the given column and class.
+// Columns in the same join group receive identical keys for the DET and
+// OPE classes (the JOIN / JOIN-OPE usage modes); PROB and HOM keys are
+// always column-private since they never support cross-column matching.
+func (m *Manager) ColumnKey(table, column string, class Class) []byte {
+	var label string
+	switch class {
+	case ClassDET, ClassOPE:
+		label = m.groups.KeyLabel(table, column)
+	default:
+		label = "column:" + join.ColumnID(table, column)
+	}
+	return m.root.EvalParts([]byte("colkey"), []byte(label), []byte(class))
+}
+
+// HomSeed returns the deterministic seed for the deployment's Paillier
+// key pair. One HOM key pair serves the whole database, as in CryptDB.
+func (m *Manager) HomSeed() []byte {
+	return m.root.Eval([]byte("paillier-keygen-seed"))
+}

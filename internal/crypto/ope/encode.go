@@ -1,0 +1,36 @@
+package ope
+
+import "math"
+
+// EncodeInt64 maps a signed integer to an unsigned integer such that the
+// signed order of inputs equals the unsigned order of outputs. It is the
+// standard sign-bit flip.
+func EncodeInt64(v int64) uint64 {
+	return uint64(v) ^ (1 << 63)
+}
+
+// DecodeInt64 inverts EncodeInt64.
+func DecodeInt64(u uint64) int64 {
+	return int64(u ^ (1 << 63))
+}
+
+// EncodeFloat64 maps a float64 to a uint64 such that the numeric order of
+// (non-NaN) inputs equals the unsigned order of outputs: positive floats
+// get their sign bit set; negative floats are bitwise complemented.
+// -0.0 and +0.0 encode differently (adjacent), which is harmless for
+// range semantics.
+func EncodeFloat64(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits>>63 == 1 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
+
+// DecodeFloat64 inverts EncodeFloat64.
+func DecodeFloat64(u uint64) float64 {
+	if u>>63 == 1 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}

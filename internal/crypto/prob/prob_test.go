@@ -1,0 +1,104 @@
+package prob
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mustScheme(t *testing.T) *Scheme {
+	t.Helper()
+	return NewFromSeed([]byte("test-seed"))
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustScheme(t)
+	for _, pt := range [][]byte{nil, {}, []byte("a"), []byte("hello world"), bytes.Repeat([]byte{0xAB}, 1000)} {
+		ct, err := s.Encrypt(pt)
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		got, err := s.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip: got %q, want %q", got, pt)
+		}
+	}
+}
+
+func TestProbabilistic(t *testing.T) {
+	// The defining property of the PROB class: equal plaintexts yield
+	// different ciphertexts (with overwhelming probability).
+	s := mustScheme(t)
+	pt := []byte("SELECT * FROM r")
+	c1, _ := s.Encrypt(pt)
+	c2, _ := s.Encrypt(pt)
+	if bytes.Equal(c1, c2) {
+		t.Fatal("PROB scheme produced identical ciphertexts for equal plaintexts")
+	}
+}
+
+func TestKeySizeValidation(t *testing.T) {
+	if _, err := New(make([]byte, 16)); err == nil {
+		t.Fatal("New must reject short keys")
+	}
+	if _, err := New(make([]byte, KeySize)); err != nil {
+		t.Fatalf("New rejected a valid key: %v", err)
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	s := mustScheme(t)
+	ct, _ := s.Encrypt([]byte("payload"))
+	ct[len(ct)-1] ^= 0x01
+	if _, err := s.Decrypt(ct); err == nil {
+		t.Fatal("tampered ciphertext must fail decryption")
+	}
+}
+
+func TestShortCiphertext(t *testing.T) {
+	s := mustScheme(t)
+	for _, ct := range [][]byte{nil, {}, {1, 2, 3}} {
+		if _, err := s.Decrypt(ct); err == nil {
+			t.Fatalf("short ciphertext %v must fail", ct)
+		}
+	}
+}
+
+func TestCrossKeyRejection(t *testing.T) {
+	s1 := NewFromSeed([]byte("seed-1"))
+	s2 := NewFromSeed([]byte("seed-2"))
+	ct, _ := s1.Encrypt([]byte("secret"))
+	if _, err := s2.Decrypt(ct); err == nil {
+		t.Fatal("ciphertext must not decrypt under a different key")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := mustScheme(t)
+	f := func(pt []byte) bool {
+		ct, err := s.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decrypt(ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProbabilistic(t *testing.T) {
+	s := mustScheme(t)
+	f := func(pt []byte) bool {
+		c1, err1 := s.Encrypt(pt)
+		c2, err2 := s.Encrypt(pt)
+		return err1 == nil && err2 == nil && !bytes.Equal(c1, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

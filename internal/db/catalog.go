@@ -1,0 +1,182 @@
+// Package db implements the in-memory relational engine that stands in
+// for the SQL database of the paper's case study. It executes the parsed
+// query subset (see internal/sqlparse) over typed tables and returns
+// result tuples.
+//
+// The engine is deliberately ignorant of encryption: the encrypted
+// execution layer (internal/encdb) runs *rewritten* queries over tables
+// whose cells hold ciphertext byte strings, supplying a custom aggregate
+// evaluator for homomorphic SUM/AVG. Equality and order comparisons then
+// operate on DET/OPE ciphertexts with exactly the same code paths as on
+// plaintext — which is the mechanism behind result equivalence
+// (Definition 4 of the paper).
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// ColumnType declares a column's storage type.
+type ColumnType uint8
+
+// Column types.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeString
+	TypeBytes
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeBytes:
+		return "BYTES"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", uint8(t))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Row is one tuple; its length equals the table's column count.
+type Row []value.Value
+
+// Table is a named relation with a fixed schema.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+
+	colIndex map[string]int
+}
+
+// NewTable creates an empty table. Column names must be unique.
+func NewTable(name string, cols []Column) (*Table, error) {
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if _, dup := idx[c.Name]; dup {
+			return nil, fmt.Errorf("db: duplicate column %q in table %q", c.Name, name)
+		}
+		idx[c.Name] = i
+	}
+	return &Table{Name: name, Columns: cols, colIndex: idx}, nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a row after checking arity and types (NULL is allowed
+// in any column).
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("db: table %q expects %d values, got %d", t.Name, len(t.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		ok := false
+		switch t.Columns[i].Type {
+		case TypeInt:
+			ok = v.Kind() == value.KindInt
+		case TypeFloat:
+			ok = v.Kind() == value.KindFloat || v.Kind() == value.KindInt
+		case TypeString:
+			ok = v.Kind() == value.KindString
+		case TypeBytes:
+			ok = v.Kind() == value.KindBytes
+		}
+		if !ok {
+			return fmt.Errorf("db: table %q column %q (%s) cannot hold %s",
+				t.Name, t.Columns[i].Name, t.Columns[i].Type, v.Kind())
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert is Insert panicking on error, for generators with
+// known-valid rows.
+func (t *Table) MustInsert(row Row) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// Catalog is a named collection of tables. It is safe for concurrent
+// reads after setup; table creation is mutex-guarded.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create adds a new table and returns it.
+func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	t, err := NewTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// MustCreate is Create panicking on error.
+func (c *Catalog) MustCreate(name string, cols []Column) *Table {
+	t, err := c.Create(name, cols)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or an error.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted table names.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

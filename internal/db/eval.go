@@ -1,0 +1,444 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// tri is SQL three-valued logic.
+type tri int8
+
+const (
+	triFalse   tri = 0
+	triTrue    tri = 1
+	triUnknown tri = -1
+)
+
+func triOf(b bool) tri {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+func (t tri) not() tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func (t tri) and(o tri) tri {
+	if t == triFalse || o == triFalse {
+		return triFalse
+	}
+	if t == triUnknown || o == triUnknown {
+		return triUnknown
+	}
+	return triTrue
+}
+
+func (t tri) or(o tri) tri {
+	if t == triTrue || o == triTrue {
+		return triTrue
+	}
+	if t == triUnknown || o == triUnknown {
+		return triUnknown
+	}
+	return triFalse
+}
+
+// env is the name-resolution context for one (possibly joined) row.
+type env struct {
+	// cols[i] corresponds to row[i].
+	cols []envCol
+	row  []value.Value
+}
+
+type envCol struct {
+	table string // effective table name (alias if given)
+	name  string
+}
+
+// lookup resolves a column reference. Unqualified names must be
+// unambiguous across the joined tables.
+func (e *env) lookup(c *sqlparse.ColumnRef) (value.Value, error) {
+	found := -1
+	for i, col := range e.cols {
+		if col.name != c.Name {
+			continue
+		}
+		if c.Table != "" && col.table != c.Table {
+			continue
+		}
+		if found >= 0 {
+			return value.Value{}, fmt.Errorf("db: ambiguous column %q", c.Name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if c.Table != "" {
+			return value.Value{}, fmt.Errorf("db: unknown column %s.%s", c.Table, c.Name)
+		}
+		return value.Value{}, fmt.Errorf("db: unknown column %q", c.Name)
+	}
+	return e.row[found], nil
+}
+
+// evalScalar computes a non-boolean expression over one row.
+func evalScalar(e *env, x sqlparse.Expr) (value.Value, error) {
+	switch n := x.(type) {
+	case *sqlparse.Literal:
+		return n.Value, nil
+	case *sqlparse.ColumnRef:
+		return e.lookup(n)
+	case *sqlparse.UnaryExpr:
+		if n.Op == "-" {
+			v, err := evalScalar(e, n.Expr)
+			if err != nil {
+				return value.Value{}, err
+			}
+			switch v.Kind() {
+			case value.KindNull:
+				return value.Null(), nil
+			case value.KindInt:
+				return value.Int(-v.AsInt()), nil
+			case value.KindFloat:
+				return value.Float(-v.AsFloat()), nil
+			default:
+				return value.Value{}, fmt.Errorf("db: unary minus on %s", v.Kind())
+			}
+		}
+		// Boolean NOT used as a scalar: evaluate as predicate.
+		t, err := evalPredicate(e, x)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return triValue(t), nil
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "+", "-", "*", "/", "%":
+			return evalArith(e, n)
+		default:
+			t, err := evalPredicate(e, x)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return triValue(t), nil
+		}
+	case *sqlparse.FuncCall:
+		return value.Value{}, fmt.Errorf("db: aggregate %s outside aggregation context", n.Name)
+	default:
+		// Predicates used in scalar position.
+		t, err := evalPredicate(e, x)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return triValue(t), nil
+	}
+}
+
+func triValue(t tri) value.Value {
+	switch t {
+	case triTrue:
+		return value.Int(1)
+	case triFalse:
+		return value.Int(0)
+	default:
+		return value.Null()
+	}
+}
+
+func evalArith(e *env, n *sqlparse.BinaryExpr) (value.Value, error) {
+	l, err := evalScalar(e, n.Left)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := evalScalar(e, n.Right)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null(), nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return value.Value{}, fmt.Errorf("db: arithmetic %q on %s and %s", n.Op, l.Kind(), r.Kind())
+	}
+	bothInt := l.Kind() == value.KindInt && r.Kind() == value.KindInt
+	if n.Op == "%" {
+		if !bothInt {
+			return value.Value{}, fmt.Errorf("db: %% requires integers")
+		}
+		if r.AsInt() == 0 {
+			return value.Value{}, fmt.Errorf("db: division by zero")
+		}
+		return value.Int(l.AsInt() % r.AsInt()), nil
+	}
+	if bothInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch n.Op {
+		case "+":
+			return value.Int(a + b), nil
+		case "-":
+			return value.Int(a - b), nil
+		case "*":
+			return value.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return value.Value{}, fmt.Errorf("db: division by zero")
+			}
+			return value.Int(a / b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch n.Op {
+	case "+":
+		return value.Float(a + b), nil
+	case "-":
+		return value.Float(a - b), nil
+	case "*":
+		return value.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return value.Value{}, fmt.Errorf("db: division by zero")
+		}
+		return value.Float(a / b), nil
+	}
+	return value.Value{}, fmt.Errorf("db: unknown arithmetic operator %q", n.Op)
+}
+
+// evalPredicate computes a boolean expression over one row in
+// three-valued logic.
+func evalPredicate(e *env, x sqlparse.Expr) (tri, error) {
+	switch n := x.(type) {
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND":
+			l, err := evalPredicate(e, n.Left)
+			if err != nil {
+				return triUnknown, err
+			}
+			if l == triFalse {
+				return triFalse, nil
+			}
+			r, err := evalPredicate(e, n.Right)
+			if err != nil {
+				return triUnknown, err
+			}
+			return l.and(r), nil
+		case "OR":
+			l, err := evalPredicate(e, n.Left)
+			if err != nil {
+				return triUnknown, err
+			}
+			if l == triTrue {
+				return triTrue, nil
+			}
+			r, err := evalPredicate(e, n.Right)
+			if err != nil {
+				return triUnknown, err
+			}
+			return l.or(r), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			return evalComparison(e, n)
+		default:
+			// Arithmetic in boolean position: nonzero is true.
+			v, err := evalScalar(e, n)
+			if err != nil {
+				return triUnknown, err
+			}
+			if v.IsNull() {
+				return triUnknown, nil
+			}
+			return triOf(v.IsNumeric() && v.AsFloat() != 0), nil
+		}
+
+	case *sqlparse.UnaryExpr:
+		if n.Op == "NOT" {
+			inner, err := evalPredicate(e, n.Expr)
+			if err != nil {
+				return triUnknown, err
+			}
+			return inner.not(), nil
+		}
+		v, err := evalScalar(e, n)
+		if err != nil {
+			return triUnknown, err
+		}
+		if v.IsNull() {
+			return triUnknown, nil
+		}
+		return triOf(v.IsNumeric() && v.AsFloat() != 0), nil
+
+	case *sqlparse.InExpr:
+		needle, err := evalScalar(e, n.Expr)
+		if err != nil {
+			return triUnknown, err
+		}
+		if needle.IsNull() {
+			return triUnknown, nil
+		}
+		sawNull := false
+		for _, item := range n.List {
+			v, err := evalScalar(e, item)
+			if err != nil {
+				return triUnknown, err
+			}
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			eq, ok := needle.Equal(v)
+			if !ok {
+				return triUnknown, fmt.Errorf("db: IN comparison between %s and %s", needle.Kind(), v.Kind())
+			}
+			if eq {
+				return triOf(!n.Not), nil
+			}
+		}
+		if sawNull {
+			return triUnknown, nil
+		}
+		return triOf(n.Not), nil
+
+	case *sqlparse.BetweenExpr:
+		v, err := evalScalar(e, n.Expr)
+		if err != nil {
+			return triUnknown, err
+		}
+		lo, err := evalScalar(e, n.Lo)
+		if err != nil {
+			return triUnknown, err
+		}
+		hi, err := evalScalar(e, n.Hi)
+		if err != nil {
+			return triUnknown, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return triUnknown, nil
+		}
+		cLo, ok1 := v.Compare(lo)
+		cHi, ok2 := v.Compare(hi)
+		if !ok1 || !ok2 {
+			return triUnknown, fmt.Errorf("db: BETWEEN over incomparable kinds %s/%s/%s", v.Kind(), lo.Kind(), hi.Kind())
+		}
+		in := cLo >= 0 && cHi <= 0
+		return triOf(in != n.Not), nil
+
+	case *sqlparse.LikeExpr:
+		v, err := evalScalar(e, n.Expr)
+		if err != nil {
+			return triUnknown, err
+		}
+		p, err := evalScalar(e, n.Pattern)
+		if err != nil {
+			return triUnknown, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return triUnknown, nil
+		}
+		if v.Kind() != value.KindString || p.Kind() != value.KindString {
+			return triUnknown, fmt.Errorf("db: LIKE requires strings, got %s LIKE %s", v.Kind(), p.Kind())
+		}
+		m := likeMatch(v.AsString(), p.AsString())
+		return triOf(m != n.Not), nil
+
+	case *sqlparse.IsNullExpr:
+		v, err := evalScalar(e, n.Expr)
+		if err != nil {
+			return triUnknown, err
+		}
+		return triOf(v.IsNull() != n.Not), nil
+
+	default:
+		v, err := evalScalar(e, x)
+		if err != nil {
+			return triUnknown, err
+		}
+		if v.IsNull() {
+			return triUnknown, nil
+		}
+		return triOf(v.IsNumeric() && v.AsFloat() != 0), nil
+	}
+}
+
+func evalComparison(e *env, n *sqlparse.BinaryExpr) (tri, error) {
+	l, err := evalScalar(e, n.Left)
+	if err != nil {
+		return triUnknown, err
+	}
+	r, err := evalScalar(e, n.Right)
+	if err != nil {
+		return triUnknown, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return triUnknown, nil
+	}
+	c, ok := l.Compare(r)
+	if !ok {
+		return triUnknown, fmt.Errorf("db: comparison %q between %s and %s", n.Op, l.Kind(), r.Kind())
+	}
+	switch n.Op {
+	case "=":
+		return triOf(c == 0), nil
+	case "<>":
+		return triOf(c != 0), nil
+	case "<":
+		return triOf(c < 0), nil
+	case "<=":
+		return triOf(c <= 0), nil
+	case ">":
+		return triOf(c > 0), nil
+	case ">=":
+		return triOf(c >= 0), nil
+	}
+	return triUnknown, fmt.Errorf("db: unknown comparison %q", n.Op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// character), case-sensitive, via iterative backtracking.
+func likeMatch(s, pattern string) bool {
+	// Convert to runes so _ matches one character, not one byte.
+	str := []rune(s)
+	pat := []rune(pattern)
+	si, pi := 0, 0
+	starSi, starPi := -1, -1
+	for si < len(str) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == str[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			starPi = pi
+			starSi = si
+			pi++
+		case starPi >= 0:
+			starSi++
+			si = starSi
+			pi = starPi + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// aggValueKey renders a deterministic key for grouping.
+func aggValueKey(vals []value.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(v.Key())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}

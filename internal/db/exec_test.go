@@ -1,0 +1,381 @@
+package db
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// fixture builds a small two-table catalog:
+//
+//	users(id INT, name STRING, age INT, city STRING)
+//	orders(id INT, user_id INT, amount FLOAT)
+func fixture(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	users := c.MustCreate("users", []Column{
+		{Name: "id", Type: TypeInt}, {Name: "name", Type: TypeString},
+		{Name: "age", Type: TypeInt}, {Name: "city", Type: TypeString},
+	})
+	for _, r := range []Row{
+		{value.Int(1), value.Str("ana"), value.Int(34), value.Str("berlin")},
+		{value.Int(2), value.Str("bob"), value.Int(28), value.Str("karlsruhe")},
+		{value.Int(3), value.Str("cid"), value.Int(45), value.Str("berlin")},
+		{value.Int(4), value.Str("dee"), value.Int(28), value.Str("munich")},
+		{value.Int(5), value.Str("eli"), value.Null(), value.Str("berlin")},
+	} {
+		users.MustInsert(r)
+	}
+	orders := c.MustCreate("orders", []Column{
+		{Name: "id", Type: TypeInt}, {Name: "user_id", Type: TypeInt}, {Name: "amount", Type: TypeFloat},
+	})
+	for _, r := range []Row{
+		{value.Int(10), value.Int(1), value.Float(25.0)},
+		{value.Int(11), value.Int(1), value.Float(75.0)},
+		{value.Int(12), value.Int(2), value.Float(10.5)},
+		{value.Int(13), value.Int(9), value.Float(99.0)}, // dangling user
+	} {
+		orders.MustInsert(r)
+	}
+	return c
+}
+
+func run(t *testing.T, c *Catalog, q string) *Result {
+	t.Helper()
+	res, err := Execute(c, sqlparse.MustParse(q))
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", q, err)
+	}
+	return res
+}
+
+func ints(res *Result, col int) []int64 {
+	var out []int64
+	for _, r := range res.Rows {
+		out = append(out, r[col].AsInt())
+	}
+	return out
+}
+
+func TestSelectAll(t *testing.T) {
+	res := run(t, fixture(t), "SELECT * FROM users")
+	if len(res.Rows) != 5 || len(res.Columns) != 4 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	res := run(t, fixture(t), "SELECT name, age FROM users WHERE id = 2")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsString() != "bob" || res.Rows[0][1].AsInt() != 28 {
+		t.Fatalf("row=%v", res.Rows[0])
+	}
+	if !reflect.DeepEqual(res.Columns, []string{"name", "age"}) {
+		t.Fatalf("cols=%v", res.Columns)
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	c := fixture(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"SELECT id FROM users WHERE age > 28", 2},
+		{"SELECT id FROM users WHERE age >= 28", 4},
+		{"SELECT id FROM users WHERE age = 28", 2},
+		{"SELECT id FROM users WHERE age <> 28", 2}, // NULL age excluded
+		{"SELECT id FROM users WHERE age < 30 AND city = 'karlsruhe'", 1},
+		{"SELECT id FROM users WHERE city = 'berlin' OR city = 'munich'", 4},
+		{"SELECT id FROM users WHERE NOT city = 'berlin'", 2},
+		{"SELECT id FROM users WHERE age BETWEEN 28 AND 40", 3},
+		{"SELECT id FROM users WHERE age NOT BETWEEN 28 AND 40", 1},
+		{"SELECT id FROM users WHERE city IN ('berlin', 'munich')", 4},
+		{"SELECT id FROM users WHERE city NOT IN ('berlin')", 2},
+		{"SELECT id FROM users WHERE name LIKE '%a%'", 1},
+		{"SELECT id FROM users WHERE name LIKE '_o_'", 1},
+		{"SELECT id FROM users WHERE age IS NULL", 1},
+		{"SELECT id FROM users WHERE age IS NOT NULL", 4},
+	}
+	for _, tc := range cases {
+		res := run(t, c, tc.q)
+		if len(res.Rows) != tc.want {
+			t.Errorf("%s: got %d rows, want %d", tc.q, len(res.Rows), tc.want)
+		}
+	}
+}
+
+func TestNullComparisonsAreUnknown(t *testing.T) {
+	// eli has NULL age: neither = 28 nor <> 28 may include her.
+	c := fixture(t)
+	for _, q := range []string{
+		"SELECT id FROM users WHERE age = 28",
+		"SELECT id FROM users WHERE age <> 28",
+		"SELECT id FROM users WHERE NOT age = 28",
+	} {
+		for _, id := range ints(run(t, c, q), 0) {
+			if id == 5 {
+				t.Errorf("%s: NULL-age row leaked into result", q)
+			}
+		}
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	res := run(t, fixture(t), "SELECT id FROM users WHERE age IS NOT NULL ORDER BY age DESC, id LIMIT 3")
+	if got := ints(res, 0); !reflect.DeepEqual(got, []int64{3, 1, 2}) {
+		t.Fatalf("ids=%v", got)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	res := run(t, fixture(t), "SELECT id AS k FROM users ORDER BY k DESC LIMIT 2")
+	if got := ints(res, 0); !reflect.DeepEqual(got, []int64{5, 4}) {
+		t.Fatalf("ids=%v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	res := run(t, fixture(t), "SELECT DISTINCT city FROM users")
+	if len(res.Rows) != 3 {
+		t.Fatalf("distinct cities=%d, want 3", len(res.Rows))
+	}
+}
+
+func TestAggregatesWholeTable(t *testing.T) {
+	c := fixture(t)
+	res := run(t, c, "SELECT COUNT(*), COUNT(age), SUM(age), MIN(age), MAX(age), AVG(age) FROM users")
+	r := res.Rows[0]
+	if r[0].AsInt() != 5 || r[1].AsInt() != 4 {
+		t.Fatalf("counts=%v,%v", r[0], r[1])
+	}
+	if r[2].AsInt() != 34+28+45+28 {
+		t.Fatalf("sum=%v", r[2])
+	}
+	if r[3].AsInt() != 28 || r[4].AsInt() != 45 {
+		t.Fatalf("min/max=%v/%v", r[3], r[4])
+	}
+	if r[5].AsFloat() != 135.0/4 {
+		t.Fatalf("avg=%v", r[5])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	c := fixture(t)
+	res := run(t, c, "SELECT COUNT(*), SUM(age) FROM users WHERE id > 100")
+	r := res.Rows[0]
+	if r[0].AsInt() != 0 {
+		t.Fatalf("count over empty = %v", r[0])
+	}
+	if !r[1].IsNull() {
+		t.Fatalf("sum over empty = %v, want NULL", r[1])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	res := run(t, fixture(t), "SELECT city, COUNT(*) FROM users GROUP BY city ORDER BY city")
+	want := [][2]interface{}{{"berlin", int64(3)}, {"karlsruhe", int64(1)}, {"munich", int64(1)}}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups=%d", len(res.Rows))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].AsString() != w[0] || res.Rows[i][1].AsInt() != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestHaving(t *testing.T) {
+	res := run(t, fixture(t), "SELECT city, COUNT(*) FROM users GROUP BY city HAVING COUNT(*) > 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "berlin" {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	res := run(t, fixture(t), "SELECT users.name, orders.amount FROM users JOIN orders ON users.id = orders.user_id ORDER BY orders.amount")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsString() != "bob" || res.Rows[0][1].AsFloat() != 10.5 {
+		t.Fatalf("first=%v", res.Rows[0])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	res := run(t, fixture(t), "SELECT users.name, orders.id FROM users LEFT JOIN orders ON users.id = orders.user_id WHERE orders.id IS NULL ORDER BY users.name")
+	// cid, dee, eli have no orders.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	if res.Rows[0][0].AsString() != "cid" {
+		t.Fatalf("first=%v", res.Rows[0])
+	}
+}
+
+func TestCommaJoinWithPredicate(t *testing.T) {
+	res := run(t, fixture(t), "SELECT users.name FROM users, orders WHERE users.id = orders.user_id AND orders.amount > 20")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+}
+
+func TestTableAlias(t *testing.T) {
+	res := run(t, fixture(t), "SELECT u.name FROM users AS u WHERE u.id = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "ana" {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	// Pairs of users in the same city.
+	res := run(t, fixture(t), "SELECT a.id, b.id FROM users AS a, users AS b WHERE a.city = b.city AND a.id < b.id")
+	if len(res.Rows) != 3 { // (1,3),(1,5),(3,5) in berlin
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestArithmeticInSelectAndWhere(t *testing.T) {
+	res := run(t, fixture(t), "SELECT age * 2 FROM users WHERE age + 2 = 30")
+	if len(res.Rows) != 2 || res.Rows[0][0].AsInt() != 56 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	_, err := Execute(fixture(t), sqlparse.MustParse("SELECT id FROM users, orders"))
+	if err == nil {
+		t.Fatal("ambiguous column must error")
+	}
+}
+
+func TestUnknownTableAndColumn(t *testing.T) {
+	if _, err := Execute(fixture(t), sqlparse.MustParse("SELECT a FROM nosuch")); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	if _, err := Execute(fixture(t), sqlparse.MustParse("SELECT nosuch FROM users")); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	c := fixture(t)
+	for _, q := range []string{
+		"SELECT id FROM users WHERE name > 5",
+		"SELECT SUM(name) FROM users",
+		"SELECT id FROM users WHERE age LIKE 'x%'",
+	} {
+		if _, err := Execute(c, sqlparse.MustParse(q)); err == nil {
+			t.Errorf("%s: expected type error", q)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := Execute(fixture(t), sqlparse.MustParse("SELECT id / 0 FROM users")); err == nil {
+		t.Fatal("division by zero must error")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	c := NewCatalog()
+	tbl := c.MustCreate("t", []Column{{Name: "a", Type: TypeInt}})
+	if err := tbl.Insert(Row{value.Str("x")}); err == nil {
+		t.Fatal("type mismatch must be rejected")
+	}
+	if err := tbl.Insert(Row{value.Int(1), value.Int(2)}); err == nil {
+		t.Fatal("arity mismatch must be rejected")
+	}
+	if err := tbl.Insert(Row{value.Null()}); err != nil {
+		t.Fatalf("NULL must be allowed: %v", err)
+	}
+	// Int into float column widens.
+	ft := c.MustCreate("f", []Column{{Name: "x", Type: TypeFloat}})
+	if err := ft.Insert(Row{value.Int(3)}); err != nil {
+		t.Fatalf("int into float column: %v", err)
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	if _, err := NewTable("t", []Column{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate column must be rejected")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := NewCatalog()
+	c.MustCreate("t", []Column{{Name: "a", Type: TypeInt}})
+	if _, err := c.Create("t", []Column{{Name: "b", Type: TypeInt}}); err == nil {
+		t.Fatal("duplicate table must be rejected")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	got := fixture(t).TableNames()
+	if !reflect.DeepEqual(got, []string{"orders", "users"}) {
+		t.Fatalf("names=%v", got)
+	}
+}
+
+func TestCustomAggregator(t *testing.T) {
+	// A custom aggregator that makes SUM always return 42 — verifying the
+	// hook the encrypted executor relies on.
+	c := fixture(t)
+	opts := Options{Aggregate: func(name string, star bool, args []value.Value, rowCount int) (value.Value, error) {
+		if name == "SUM" {
+			return value.Int(42), nil
+		}
+		return DefaultAggregate(name, star, args, rowCount)
+	}}
+	res, err := ExecuteOpts(c, sqlparse.MustParse("SELECT SUM(age), COUNT(*) FROM users"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 42 || res.Rows[0][1].AsInt() != 5 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "x%", false},
+		{"hello", "hello_", false},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+		{"abc", "%%", true},
+		{"ab", "a%b", true},
+		{"aXb", "a%b", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q)=%v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestAggregationWithGroupByOnJoin(t *testing.T) {
+	res := run(t, fixture(t), "SELECT users.city, SUM(orders.amount) FROM users JOIN orders ON users.id = orders.user_id GROUP BY users.city ORDER BY users.city")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	if res.Rows[0][0].AsString() != "berlin" || res.Rows[0][1].AsFloat() != 100.0 {
+		t.Fatalf("berlin sum=%v", res.Rows[0])
+	}
+	if res.Rows[1][0].AsString() != "karlsruhe" || res.Rows[1][1].AsFloat() != 10.5 {
+		t.Fatalf("karlsruhe sum=%v", res.Rows[1])
+	}
+}

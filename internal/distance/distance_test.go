@@ -1,0 +1,235 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/accessarea"
+	"repro/internal/db"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+func set(items ...string) map[string]bool {
+	m := make(map[string]bool)
+	for _, s := range items {
+		m[s] = true
+	}
+	return m
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b map[string]bool
+		want float64
+	}{
+		{set("a", "b"), set("a", "b"), 0},
+		{set("a"), set("b"), 1},
+		{set("a", "b", "c"), set("b", "c", "d"), 0.5},
+		{set(), set(), 0},
+		{set("a"), set(), 1},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardMetricProperties(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa, sb := make(map[uint8]bool), make(map[uint8]bool)
+		for _, x := range a {
+			sa[x%16] = true
+		}
+		for _, x := range b {
+			sb[x%16] = true
+		}
+		d1 := Jaccard(sa, sb)
+		d2 := Jaccard(sb, sa)
+		// Symmetry, range, identity.
+		if d1 != d2 || d1 < 0 || d1 > 1 {
+			return false
+		}
+		return Jaccard(sa, sa) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenDistance(t *testing.T) {
+	// Identical queries: distance 0.
+	d, err := Token("SELECT a FROM r", "SELECT a FROM r")
+	if err != nil || d != 0 {
+		t.Fatalf("identical: %v, %v", d, err)
+	}
+	// Paper-style example: one token differs.
+	d1, _ := Token("SELECT a FROM r WHERE b > 5", "SELECT a FROM r WHERE b > 7")
+	if d1 <= 0 || d1 >= 1 {
+		t.Fatalf("near-identical distance = %v", d1)
+	}
+	d2, _ := Token("SELECT a FROM r WHERE b > 5", "SELECT zz FROM qq WHERE yy < 3")
+	if d2 <= d1 {
+		t.Fatalf("more different queries must be farther: %v <= %v", d2, d1)
+	}
+	if _, err := Token("bad @", "SELECT a FROM r"); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}
+
+func TestStructureDistance(t *testing.T) {
+	s1 := sqlparse.MustParse("SELECT a FROM r WHERE b > 5")
+	s2 := sqlparse.MustParse("SELECT a FROM r WHERE b > 999999")
+	if d := Structure(s1, s2); d != 0 {
+		t.Fatalf("constants must not affect structure distance: %v", d)
+	}
+	s3 := sqlparse.MustParse("SELECT a FROM r WHERE c < 5")
+	if d := Structure(s1, s3); d <= 0 {
+		t.Fatalf("different predicates must differ: %v", d)
+	}
+}
+
+func resultFixture(t *testing.T) *db.Catalog {
+	t.Helper()
+	cat := db.NewCatalog()
+	tbl := cat.MustCreate("r", []db.Column{{Name: "a", Type: db.TypeInt}, {Name: "b", Type: db.TypeInt}})
+	for i := int64(0); i < 10; i++ {
+		tbl.MustInsert(db.Row{value.Int(i), value.Int(i * 10)})
+	}
+	return cat
+}
+
+func TestResultDistance(t *testing.T) {
+	rc := &ResultComputer{Catalog: resultFixture(t)}
+	q := func(s string) *sqlparse.SelectStmt { return sqlparse.MustParse(s) }
+
+	// Same result set: distance 0 even for different query text.
+	d, err := rc.Distance(q("SELECT a FROM r WHERE a < 5"), q("SELECT a FROM r WHERE a <= 4"))
+	if err != nil || d != 0 {
+		t.Fatalf("equal results: %v, %v", d, err)
+	}
+	// Disjoint results: distance 1.
+	d, _ = rc.Distance(q("SELECT a FROM r WHERE a < 3"), q("SELECT a FROM r WHERE a > 7"))
+	if d != 1 {
+		t.Fatalf("disjoint results: %v", d)
+	}
+	// Overlap: 0..5 vs 3..9 → |∩|=3 (3,4,5), |∪|=10.
+	d, _ = rc.Distance(q("SELECT a FROM r WHERE a <= 5"), q("SELECT a FROM r WHERE a >= 3"))
+	if math.Abs(d-0.7) > 1e-12 {
+		t.Fatalf("overlap distance = %v, want 0.7", d)
+	}
+}
+
+func TestResultDistanceCaches(t *testing.T) {
+	rc := &ResultComputer{Catalog: resultFixture(t)}
+	s := sqlparse.MustParse("SELECT a FROM r")
+	if _, err := rc.TupleSet(s); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the catalog after caching must not change the cached set.
+	tbl, _ := rc.Catalog.Table("r")
+	tbl.MustInsert(db.Row{value.Int(99), value.Int(990)})
+	set2, _ := rc.TupleSet(s)
+	if len(set2) != 10 {
+		t.Fatalf("cache miss: %d", len(set2))
+	}
+}
+
+func TestResultDistanceError(t *testing.T) {
+	rc := &ResultComputer{Catalog: resultFixture(t)}
+	_, err := rc.Distance(sqlparse.MustParse("SELECT nosuch FROM r"), sqlparse.MustParse("SELECT a FROM r"))
+	if err == nil {
+		t.Fatal("bad query must error")
+	}
+}
+
+var testDomains = map[string]accessarea.Domain{
+	"x": {Min: value.Int(0), Max: value.Int(100)},
+	"y": {Min: value.Int(0), Max: value.Int(100)},
+}
+
+func aaDist(t *testing.T, q1, q2 string) float64 {
+	t.Helper()
+	d, err := AccessArea(sqlparse.MustParse(q1), sqlparse.MustParse(q2), AccessAreaParams{Domains: testDomains})
+	if err != nil {
+		t.Fatalf("AccessArea(%q,%q): %v", q1, q2, err)
+	}
+	return d
+}
+
+func TestAccessAreaDistanceDefinition5(t *testing.T) {
+	// Equal areas → 0.
+	if d := aaDist(t, "SELECT a FROM r WHERE x BETWEEN 1 AND 5", "SELECT b FROM r WHERE x >= 1 AND x <= 5"); d != 0 {
+		t.Fatalf("equal areas: %v", d)
+	}
+	// Overlapping areas → x (0.5 default).
+	if d := aaDist(t, "SELECT a FROM r WHERE x < 50", "SELECT a FROM r WHERE x > 20"); d != 0.5 {
+		t.Fatalf("overlap: %v", d)
+	}
+	// Disjoint areas → 1.
+	if d := aaDist(t, "SELECT a FROM r WHERE x < 20", "SELECT a FROM r WHERE x > 50"); d != 1 {
+		t.Fatalf("disjoint: %v", d)
+	}
+	// Two attributes: x equal (0), y disjoint (1) → mean 0.5.
+	if d := aaDist(t, "SELECT a FROM r WHERE x = 5 AND y < 10", "SELECT a FROM r WHERE x = 5 AND y > 90"); d != 0.5 {
+		t.Fatalf("two attrs: %v", d)
+	}
+	// Attribute accessed by one query only → its δ = 1.
+	if d := aaDist(t, "SELECT a FROM r WHERE x = 5", "SELECT a FROM r WHERE x = 5 AND y = 2"); d != 0.5 {
+		t.Fatalf("one-sided attr: %v", d)
+	}
+	// No accessed attributes at all → 0.
+	if d := aaDist(t, "SELECT a FROM r", "SELECT b FROM r"); d != 0 {
+		t.Fatalf("no predicates: %v", d)
+	}
+}
+
+func TestAccessAreaCustomX(t *testing.T) {
+	d, err := AccessArea(
+		sqlparse.MustParse("SELECT a FROM r WHERE x < 50"),
+		sqlparse.MustParse("SELECT a FROM r WHERE x > 20"),
+		AccessAreaParams{Domains: testDomains, X: 0.25})
+	if err != nil || d != 0.25 {
+		t.Fatalf("custom x: %v, %v", d, err)
+	}
+	if _, err := AccessArea(sqlparse.MustParse("SELECT a FROM r WHERE x = 1"), sqlparse.MustParse("SELECT a FROM r WHERE x = 1"),
+		AccessAreaParams{Domains: testDomains, X: 1.5}); err == nil {
+		t.Fatal("x outside (0,1) must error")
+	}
+}
+
+func TestAccessAreaMissingDomain(t *testing.T) {
+	_, err := AccessArea(
+		sqlparse.MustParse("SELECT a FROM r WHERE unknown_attr = 1"),
+		sqlparse.MustParse("SELECT a FROM r"),
+		AccessAreaParams{Domains: testDomains})
+	if err == nil {
+		t.Fatal("missing domain must error")
+	}
+}
+
+func TestBuildMatrix(t *testing.T) {
+	m, err := BuildMatrix(4, func(i, j int) (float64, error) {
+		return float64(j - i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][3] != 3 || m[3][0] != 3 || m[1][1] != 0 {
+		t.Fatalf("matrix = %v", m)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := Matrix{{0, 1}, {1, 0}}
+	b := Matrix{{0, 1.25}, {1.25, 0}}
+	d, err := MaxAbsDiff(a, b)
+	if err != nil || math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("diff = %v, %v", d, err)
+	}
+	if _, err := MaxAbsDiff(a, Matrix{{0}}); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}

@@ -1,0 +1,437 @@
+package encdb
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// testConfig keeps Paillier small so tests stay fast.
+var testConfig = Config{PaillierBits: 512}
+
+func deployment(t *testing.T) *Deployment {
+	t.Helper()
+	return MustNewDeployment([]byte("test-master"), testConfig)
+}
+
+// fixture returns a plaintext catalog + schema:
+//
+//	users(id INT, name STRING, age INT, score FLOAT)
+//	orders(id INT, user_id INT, amount INT)
+func fixture(t *testing.T) (*db.Catalog, *Schema) {
+	t.Helper()
+	cat := db.NewCatalog()
+	users := cat.MustCreate("users", []db.Column{
+		{Name: "id", Type: db.TypeInt}, {Name: "name", Type: db.TypeString},
+		{Name: "age", Type: db.TypeInt}, {Name: "score", Type: db.TypeFloat},
+	})
+	for _, r := range []db.Row{
+		{value.Int(1), value.Str("ana"), value.Int(34), value.Float(7.5)},
+		{value.Int(2), value.Str("bob"), value.Int(28), value.Float(3.25)},
+		{value.Int(3), value.Str("cid"), value.Int(45), value.Float(9.0)},
+		{value.Int(4), value.Str("dee"), value.Int(28), value.Float(4.0)},
+		{value.Int(5), value.Str("eli"), value.Null(), value.Float(6.5)},
+	} {
+		users.MustInsert(r)
+	}
+	orders := cat.MustCreate("orders", []db.Column{
+		{Name: "id", Type: db.TypeInt}, {Name: "user_id", Type: db.TypeInt}, {Name: "amount", Type: db.TypeInt},
+	})
+	for _, r := range []db.Row{
+		{value.Int(10), value.Int(1), value.Int(25)},
+		{value.Int(11), value.Int(1), value.Int(75)},
+		{value.Int(12), value.Int(2), value.Int(10)},
+		{value.Int(13), value.Int(9), value.Int(99)},
+	} {
+		orders.MustInsert(r)
+	}
+	schema, err := SchemaFromCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, schema
+}
+
+func TestNameEncryptionRoundTrip(t *testing.T) {
+	d := deployment(t)
+	for _, n := range []string{"users", "photoobj", "a"} {
+		enc := d.EncryptRelName(n)
+		if enc == n || !strings.HasPrefix(enc, namePrefix) {
+			t.Fatalf("EncryptRelName(%q) = %q", n, enc)
+		}
+		got, err := d.DecryptRelName(enc)
+		if err != nil || got != n {
+			t.Fatalf("DecryptRelName: %q, %v", got, err)
+		}
+	}
+	enc := d.EncryptAttrName("age")
+	got, err := d.DecryptAttrName(enc)
+	if err != nil || got != "age" {
+		t.Fatalf("attr round trip: %q, %v", got, err)
+	}
+	// Deterministic (DET class).
+	if d.EncryptRelName("users") != d.EncryptRelName("users") {
+		t.Fatal("EncRel must be deterministic")
+	}
+	// Rel and Attr keys differ.
+	if d.EncryptRelName("x") == d.EncryptAttrName("x") {
+		t.Fatal("EncRel and EncAttr must use different keys")
+	}
+}
+
+func TestDecryptNameRejectsGarbage(t *testing.T) {
+	d := deployment(t)
+	for _, bad := range []string{"", "zzz", namePrefix + "nothex", namePrefix + "abcd"} {
+		if _, err := d.DecryptRelName(bad); err == nil {
+			t.Errorf("DecryptRelName(%q) must fail", bad)
+		}
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []value.Value{value.Int(-5), value.Int(1 << 40), value.Float(2.5), value.Str(""), value.Str("it's")}
+	for _, v := range vals {
+		b, err := encodeValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeValue(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, ok := got.Equal(v); !ok || !eq {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := encodeValue(value.Bytes([]byte{1})); err == nil {
+		t.Fatal("bytes must not be encodable (already ciphertext)")
+	}
+	if _, err := decodeValue(nil); err == nil {
+		t.Fatal("empty decode must fail")
+	}
+	if _, err := decodeValue([]byte{'q', 1}); err == nil {
+		t.Fatal("unknown tag must fail")
+	}
+}
+
+func TestEncryptQueryTokenModeDeterministic(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	q := "SELECT name FROM users WHERE age > 28 AND city = 'berlin'"
+	// city is not in schema; use a valid query instead.
+	q = "SELECT name FROM users WHERE age > 28 AND name = 'ana'"
+	e1, err := d.EncryptQueryString(q, schema, ModeToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := d.EncryptQueryString(q, schema, ModeToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("token mode must be fully deterministic")
+	}
+	// The encrypted query string must re-parse, and every literal in it
+	// must be ciphertext (bytes), never a plaintext constant.
+	encStmt, err := sqlparse.Parse(e1)
+	if err != nil {
+		t.Fatalf("encrypted query does not re-parse: %v\n%s", err, e1)
+	}
+	sqlparse.WalkStmt(encStmt, func(e sqlparse.Expr) bool {
+		if lit, ok := e.(*sqlparse.Literal); ok && !lit.Value.IsNull() {
+			if lit.Value.Kind() != value.KindBytes {
+				t.Errorf("plaintext literal %v leaked into encrypted query", lit.Value)
+			}
+		}
+		return true
+	})
+	// No plaintext identifiers either.
+	for _, ident := range []string{"users", "name", "age"} {
+		if strings.Contains(e1, ident) {
+			t.Errorf("plaintext identifier %q leaked: %s", ident, e1)
+		}
+	}
+}
+
+func TestEncryptQueryStructureModeProbabilisticConstants(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	q := "SELECT name FROM users WHERE age > 28"
+	e1, _ := d.EncryptQueryString(q, schema, ModeStructure)
+	e2, _ := d.EncryptQueryString(q, schema, ModeStructure)
+	if e1 == e2 {
+		t.Fatal("structure mode constants must be probabilistic")
+	}
+	// Names stay deterministic.
+	s1 := sqlparse.MustParse(e1)
+	s2 := sqlparse.MustParse(e2)
+	if s1.From[0].Name != s2.From[0].Name {
+		t.Fatal("structure mode table names must be deterministic")
+	}
+}
+
+func TestEncryptedCatalogShape(t *testing.T) {
+	d := deployment(t)
+	cat, schema := fixture(t)
+	enc, err := d.EncryptCatalog(cat, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := enc.TableNames()
+	if len(names) != 2 {
+		t.Fatalf("tables = %v", names)
+	}
+	et, err := enc.Table(d.EncryptRelName("users"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// users: id(det,ope,hom,prob) name(det,prob) age(det,ope,hom,prob)
+	// score(det,ope,prob) = 13 physical columns.
+	if len(et.Columns) != 13 {
+		t.Fatalf("physical columns = %d, want 13", len(et.Columns))
+	}
+	if len(et.Rows) != 5 {
+		t.Fatalf("rows = %d", len(et.Rows))
+	}
+	// NULL stays NULL.
+	ageDet := et.ColumnIndex(d.EncryptAttrName("age") + suffixDET)
+	if ageDet < 0 {
+		t.Fatal("age_det column missing")
+	}
+	if !et.Rows[4][ageDet].IsNull() {
+		t.Fatal("NULL cell must stay NULL")
+	}
+	// Non-NULL cells are bytes.
+	if et.Rows[0][ageDet].Kind() != value.KindBytes {
+		t.Fatal("encrypted cell must be bytes")
+	}
+}
+
+// plainVsEncrypted runs q both ways and compares results field by field.
+func plainVsEncrypted(t *testing.T, q string) {
+	t.Helper()
+	d := deployment(t)
+	cat, schema := fixture(t)
+	if err := d.DeclareJoins(schema, []*sqlparse.SelectStmt{sqlparse.MustParse(q)}); err != nil {
+		t.Fatal(err)
+	}
+	encCat, err := d.EncryptCatalog(cat, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := db.Execute(cat, sqlparse.MustParse(q))
+	if err != nil {
+		t.Fatalf("plaintext exec: %v", err)
+	}
+	encRes, err := d.RunEncrypted(q, schema, encCat)
+	if err != nil {
+		t.Fatalf("encrypted pipeline: %v", err)
+	}
+	if len(plainRes.Rows) != len(encRes.Rows) {
+		t.Fatalf("%s:\nplain %d rows, encrypted %d rows", q, len(plainRes.Rows), len(encRes.Rows))
+	}
+	// Compare as multisets: a string ORDER BY (no LIMIT) legitimately
+	// falls back to DET order over ciphertext, permuting equal result
+	// sets. Result equivalence (Definition 4) is about tuple sets.
+	if !reflect.DeepEqual(rowKeys(plainRes), rowKeys(encRes)) {
+		t.Fatalf("%s:\nplain: %v\nencrypted: %v", q, plainRes.Rows, encRes.Rows)
+	}
+}
+
+// rowKeys renders each row to a canonical key and sorts, for multiset
+// comparison.
+func rowKeys(res *db.Result) []string {
+	var out []string
+	for _, r := range res.Rows {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.Key())
+			sb.WriteByte(0)
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestResultEquivalenceSimple(t *testing.T) {
+	plainVsEncrypted(t, "SELECT name FROM users WHERE age > 28")
+}
+
+func TestResultEquivalenceEquality(t *testing.T) {
+	plainVsEncrypted(t, "SELECT id, name FROM users WHERE name = 'bob'")
+}
+
+func TestResultEquivalenceRangeAndOrder(t *testing.T) {
+	plainVsEncrypted(t, "SELECT id FROM users WHERE age BETWEEN 28 AND 40 ORDER BY age DESC, id LIMIT 2")
+}
+
+func TestResultEquivalenceFloats(t *testing.T) {
+	plainVsEncrypted(t, "SELECT name FROM users WHERE score >= 4 AND score < 8 ORDER BY score")
+}
+
+func TestResultEquivalenceIn(t *testing.T) {
+	plainVsEncrypted(t, "SELECT id FROM users WHERE name IN ('ana', 'cid', 'zzz')")
+}
+
+func TestResultEquivalenceIsNull(t *testing.T) {
+	plainVsEncrypted(t, "SELECT name FROM users WHERE age IS NULL")
+	plainVsEncrypted(t, "SELECT name FROM users WHERE age IS NOT NULL")
+}
+
+func TestResultEquivalenceStar(t *testing.T) {
+	plainVsEncrypted(t, "SELECT * FROM users WHERE id = 3")
+}
+
+func TestResultEquivalenceAggregates(t *testing.T) {
+	plainVsEncrypted(t, "SELECT COUNT(*), COUNT(age), SUM(age), MIN(age), MAX(age), AVG(age) FROM users")
+}
+
+func TestResultEquivalenceAggregateEmpty(t *testing.T) {
+	plainVsEncrypted(t, "SELECT COUNT(*), SUM(age) FROM users WHERE id > 100")
+}
+
+func TestResultEquivalenceGroupByHaving(t *testing.T) {
+	plainVsEncrypted(t, "SELECT age, COUNT(*) FROM users GROUP BY age HAVING COUNT(*) > 1")
+}
+
+func TestResultEquivalenceJoin(t *testing.T) {
+	plainVsEncrypted(t, "SELECT users.name, orders.amount FROM users JOIN orders ON users.id = orders.user_id WHERE orders.amount > 20 ORDER BY orders.amount")
+}
+
+func TestResultEquivalenceLeftJoin(t *testing.T) {
+	plainVsEncrypted(t, "SELECT users.name, orders.id FROM users LEFT JOIN orders ON users.id = orders.user_id WHERE orders.id IS NULL")
+}
+
+func TestResultEquivalenceGroupedJoinSum(t *testing.T) {
+	plainVsEncrypted(t, "SELECT users.name, SUM(orders.amount) FROM users JOIN orders ON users.id = orders.user_id GROUP BY users.name ORDER BY users.name")
+}
+
+func TestResultEquivalenceDistinct(t *testing.T) {
+	plainVsEncrypted(t, "SELECT DISTINCT age FROM users WHERE age IS NOT NULL ORDER BY age")
+}
+
+func TestResultModeUnsupportedConstructs(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	for _, q := range []string{
+		"SELECT name FROM users WHERE name LIKE 'a%'",
+		"SELECT age + 1 FROM users",
+		"SELECT name FROM users WHERE age + 1 > 5",
+		"SELECT SUM(score) FROM users",                              // float HOM
+		"SELECT MIN(name) FROM users",                               // string OPE
+		"SELECT name FROM users GROUP BY name HAVING SUM(age) > 10", // HOM comparison
+		"SELECT name FROM users ORDER BY name LIMIT 2",              // string order + limit
+	} {
+		if _, err := d.EncryptQueryString(q, schema, ModeResult); err == nil {
+			t.Errorf("%s: must be rejected in result mode", q)
+		}
+	}
+}
+
+func TestJoinRequiresDeclaration(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	q := "SELECT users.name FROM users JOIN orders ON users.id = orders.user_id"
+	if _, err := d.EncryptQueryString(q, schema, ModeResult); err == nil {
+		t.Fatal("undeclared join must be rejected in result mode")
+	}
+	if err := d.DeclareJoins(schema, []*sqlparse.SelectStmt{sqlparse.MustParse(q)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EncryptQueryString(q, schema, ModeResult); err != nil {
+		t.Fatalf("declared join rejected: %v", err)
+	}
+}
+
+func TestUnknownTableOrColumnRejected(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	for _, q := range []string{
+		"SELECT a FROM nosuch",
+		"SELECT nosuch FROM users",
+		"SELECT x.name FROM users",
+	} {
+		if _, err := d.EncryptQueryString(q, schema, ModeToken); err == nil {
+			t.Errorf("%s: must be rejected", q)
+		}
+	}
+}
+
+func TestAccessAreaModeOPEConstants(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	q := "SELECT name FROM users WHERE age > 28 AND age < 40"
+	enc, err := d.EncryptQueryString(q, schema, ModeAccessArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic across encryptions (OPE + DET names only).
+	enc2, _ := d.EncryptQueryString(q, schema, ModeAccessArea)
+	if enc != enc2 {
+		t.Fatal("numeric predicate encryption in access-area mode must be deterministic (OPE)")
+	}
+	// Order of the two constants must be preserved in the ciphertexts.
+	stmt := sqlparse.MustParse(enc)
+	and := stmt.Where.(*sqlparse.BinaryExpr)
+	c1 := and.Left.(*sqlparse.BinaryExpr).Right.(*sqlparse.Literal).Value.AsBytes()
+	c2 := and.Right.(*sqlparse.BinaryExpr).Right.(*sqlparse.Literal).Value.AsBytes()
+	if string(c1) >= string(c2) {
+		t.Fatal("OPE ciphertexts must preserve 28 < 40")
+	}
+}
+
+func TestDifferentMastersDiverge(t *testing.T) {
+	d1 := MustNewDeployment([]byte("m1"), testConfig)
+	d2 := MustNewDeployment([]byte("m2"), testConfig)
+	if d1.EncryptRelName("users") == d2.EncryptRelName("users") {
+		t.Fatal("different masters must produce different name encryptions")
+	}
+}
+
+func TestSameMasterReproducible(t *testing.T) {
+	d1 := MustNewDeployment([]byte("m"), testConfig)
+	d2 := MustNewDeployment([]byte("m"), testConfig)
+	if d1.EncryptRelName("users") != d2.EncryptRelName("users") {
+		t.Fatal("same master must reproduce name encryptions")
+	}
+	_, schema := fixture(t)
+	q := "SELECT name FROM users WHERE age = 28"
+	e1, _ := d1.EncryptQueryString(q, schema, ModeToken)
+	e2, _ := d2.EncryptQueryString(q, schema, ModeToken)
+	if e1 != e2 {
+		t.Fatal("same master must reproduce token-mode encryption")
+	}
+}
+
+func TestJoinGroupSharedDETKeys(t *testing.T) {
+	d := deployment(t)
+	_, schema := fixture(t)
+	d.Keys().JoinGroups().Union("users", "id", "orders", "user_id")
+	v1, err := d.encryptDET("users", "id", value.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.encryptDET("orders", "user_id", value.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1.AsBytes(), v2.AsBytes()) {
+		t.Fatal("joined columns must encrypt equal values identically")
+	}
+	_ = schema
+}
+
+func TestAliasHandling(t *testing.T) {
+	plainVsEncrypted(t, "SELECT u.name FROM users AS u WHERE u.age > 30")
+}
+
+func TestSelfJoinEncrypted(t *testing.T) {
+	// Self-join needs no join-group declaration: same column both sides.
+	plainVsEncrypted(t, "SELECT a.id, b.id FROM users AS a, users AS b WHERE a.age = b.age AND a.id < b.id")
+}

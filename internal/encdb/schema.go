@@ -1,0 +1,237 @@
+package encdb
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/value"
+)
+
+// ColumnKind is the logical type of a plaintext column, as relevant to
+// encryption-class selection (OPE and HOM need numerics).
+type ColumnKind uint8
+
+// Column kinds.
+const (
+	KindInt ColumnKind = iota
+	KindFloat
+	KindString
+)
+
+func (k ColumnKind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("ColumnKind(%d)", uint8(k))
+	}
+}
+
+// ColumnInfo describes one plaintext column.
+type ColumnInfo struct {
+	Table string
+	Name  string
+	Kind  ColumnKind
+}
+
+// Schema is the plaintext schema shared between data owner and rewriter.
+type Schema struct {
+	tables map[string][]ColumnInfo
+	byName map[string][]ColumnInfo
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{tables: make(map[string][]ColumnInfo), byName: make(map[string][]ColumnInfo)}
+}
+
+// AddTable registers a table with its columns (in storage order).
+func (s *Schema) AddTable(table string, cols []ColumnInfo) error {
+	if _, dup := s.tables[table]; dup {
+		return fmt.Errorf("encdb: table %q already in schema", table)
+	}
+	for i := range cols {
+		cols[i].Table = table
+	}
+	s.tables[table] = cols
+	for _, c := range cols {
+		s.byName[c.Name] = append(s.byName[c.Name], c)
+	}
+	return nil
+}
+
+// MustAddTable panics on error.
+func (s *Schema) MustAddTable(table string, cols []ColumnInfo) {
+	if err := s.AddTable(table, cols); err != nil {
+		panic(err)
+	}
+}
+
+// Columns returns the columns of a table in declaration order.
+func (s *Schema) Columns(table string) ([]ColumnInfo, error) {
+	cols, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("encdb: unknown table %q", table)
+	}
+	return cols, nil
+}
+
+// Resolve finds the column a reference denotes. qualifier is the
+// reference's table qualifier ("" when unqualified); aliases maps
+// effective FROM names to real table names; inScope lists the real
+// tables of the current query.
+func (s *Schema) Resolve(qualifier, name string, aliases map[string]string, inScope []string) (ColumnInfo, error) {
+	if qualifier != "" {
+		table, ok := aliases[qualifier]
+		if !ok {
+			return ColumnInfo{}, fmt.Errorf("encdb: unknown table qualifier %q", qualifier)
+		}
+		for _, c := range s.tables[table] {
+			if c.Name == name {
+				return c, nil
+			}
+		}
+		return ColumnInfo{}, fmt.Errorf("encdb: no column %q in table %q", name, table)
+	}
+	var found []ColumnInfo
+	for _, c := range s.byName[name] {
+		for _, t := range inScope {
+			if c.Table == t {
+				found = append(found, c)
+			}
+		}
+	}
+	switch len(found) {
+	case 0:
+		return ColumnInfo{}, fmt.Errorf("encdb: unknown column %q", name)
+	case 1:
+		return found[0], nil
+	default:
+		return ColumnInfo{}, fmt.Errorf("encdb: ambiguous column %q", name)
+	}
+}
+
+// SchemaFromCatalog derives the Schema of an existing plaintext catalog.
+func SchemaFromCatalog(cat *db.Catalog) (*Schema, error) {
+	s := NewSchema()
+	for _, name := range cat.TableNames() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		var cols []ColumnInfo
+		for _, c := range t.Columns {
+			var k ColumnKind
+			switch c.Type {
+			case db.TypeInt:
+				k = KindInt
+			case db.TypeFloat:
+				k = KindFloat
+			case db.TypeString:
+				k = KindString
+			default:
+				return nil, fmt.Errorf("encdb: table %q column %q has unsupported type %s", name, c.Name, c.Type)
+			}
+			cols = append(cols, ColumnInfo{Table: name, Name: c.Name, Kind: k})
+		}
+		if err := s.AddTable(name, cols); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Onion suffixes appended to encrypted column names. They are public
+// metadata (CryptDB exposes the same structure).
+const (
+	suffixDET  = "_det"
+	suffixOPE  = "_ope"
+	suffixHOM  = "_hom"
+	suffixPROB = "_prob"
+)
+
+// EncryptCatalog produces the encrypted counterpart of a plaintext
+// catalog: each logical column becomes its applicable onion columns, and
+// every cell is encrypted under the deployment's per-column keys. This
+// is the "DB-Content" that result distance requires sharing (Table I).
+func (d *Deployment) EncryptCatalog(plain *db.Catalog, schema *Schema) (*db.Catalog, error) {
+	enc := db.NewCatalog()
+	for _, tname := range plain.TableNames() {
+		pt, err := plain.Table(tname)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := schema.Columns(tname)
+		if err != nil {
+			return nil, err
+		}
+		if len(cols) != len(pt.Columns) {
+			return nil, fmt.Errorf("encdb: schema/catalog mismatch for table %q", tname)
+		}
+		var encCols []db.Column
+		for _, c := range cols {
+			base := d.EncryptAttrName(c.Name)
+			encCols = append(encCols, db.Column{Name: base + suffixDET, Type: db.TypeBytes})
+			if c.Kind == KindInt || c.Kind == KindFloat {
+				encCols = append(encCols, db.Column{Name: base + suffixOPE, Type: db.TypeBytes})
+			}
+			if c.Kind == KindInt {
+				encCols = append(encCols, db.Column{Name: base + suffixHOM, Type: db.TypeBytes})
+			}
+			encCols = append(encCols, db.Column{Name: base + suffixPROB, Type: db.TypeBytes})
+		}
+		et, err := enc.Create(d.EncryptRelName(tname), encCols)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range pt.Rows {
+			var encRow db.Row
+			for i, c := range cols {
+				// Widen so a FLOAT column's INT cells encrypt identically
+				// to their FLOAT equivalents (SQL equality semantics).
+				v := widen(row[i], c.Kind)
+				dv, err := d.encryptDET(c.Table, c.Name, v)
+				if err != nil {
+					return nil, fmt.Errorf("encdb: %s.%s DET: %w", c.Table, c.Name, err)
+				}
+				encRow = append(encRow, dv)
+				if c.Kind == KindInt || c.Kind == KindFloat {
+					ov, err := d.encryptOPE(c.Table, c.Name, c.Kind, v)
+					if err != nil {
+						return nil, fmt.Errorf("encdb: %s.%s OPE: %w", c.Table, c.Name, err)
+					}
+					encRow = append(encRow, ov)
+				}
+				if c.Kind == KindInt {
+					hv, err := d.encryptHOM(v)
+					if err != nil {
+						return nil, fmt.Errorf("encdb: %s.%s HOM: %w", c.Table, c.Name, err)
+					}
+					encRow = append(encRow, hv)
+				}
+				pv, err := d.encryptPROB(c.Table, c.Name, v)
+				if err != nil {
+					return nil, fmt.Errorf("encdb: %s.%s PROB: %w", c.Table, c.Name, err)
+				}
+				encRow = append(encRow, pv)
+			}
+			if err := et.Insert(encRow); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return enc, nil
+}
+
+// widen coerces an INT value into FLOAT when the column is FLOAT, so the
+// per-column OPE encoding is uniform.
+func widen(v value.Value, k ColumnKind) value.Value {
+	if k == KindFloat && v.Kind() == value.KindInt {
+		return value.Float(float64(v.AsInt()))
+	}
+	return v
+}

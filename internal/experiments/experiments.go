@@ -1,0 +1,502 @@
+// Package experiments wires the whole system into the paper's evaluation
+// artifacts. Each experiment of DESIGN.md §4 has one entry point that
+// returns structured results plus a renderer that prints the paper-style
+// table:
+//
+//	E1 Table1             — regenerate Table I by empirical class selection
+//	E2 Fig1               — regenerate Fig. 1's ordering as attack advantages
+//	E3 MiningEquality     — Definition 1's consequence on five mining algorithms
+//	E4 AccessAreaSecurity — the Section IV-C refinement vs CryptDB-as-is
+//	E5 SharedInfo         — the Shared Information columns of Table I
+package experiments
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/crypto/prf"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/distance"
+	"repro/internal/encdb"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// Params scales the experiments.
+type Params struct {
+	Seed string
+	// Queries in the log for log-only measures; result distance uses
+	// Queries/2 (execution is the expensive part).
+	Queries int
+	Rows    int
+	// PaillierBits for the HOM onion; experiments default to 512 so a
+	// full run stays interactive. DESIGN.md documents the substitution.
+	PaillierBits int
+}
+
+// DefaultParams are the parameters recorded in DESIGN.md §4.
+func DefaultParams() Params {
+	return Params{Seed: "seed-42", Queries: 60, Rows: 120, PaillierBits: 512}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Seed == "" {
+		p.Seed = d.Seed
+	}
+	if p.Queries == 0 {
+		p.Queries = d.Queries
+	}
+	if p.Rows == 0 {
+		p.Rows = d.Rows
+	}
+	if p.PaillierBits == 0 {
+		p.PaillierBits = d.PaillierBits
+	}
+	return p
+}
+
+// env is the shared experimental setup: one workload, one deployment.
+type env struct {
+	p   Params
+	w   *workload.Workload
+	d   *encdb.Deployment
+	cfg encdb.Config
+}
+
+func newEnv(p Params, wcfg workload.Config) (*env, error) {
+	p = p.withDefaults()
+	wcfg.Seed = p.Seed
+	wcfg.Queries = p.Queries
+	wcfg.Rows = p.Rows
+	w, err := workload.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := encdb.Config{PaillierBits: p.PaillierBits}
+	d, err := encdb.NewDeployment([]byte("master:"+p.Seed), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.DeclareJoins(w.Schema, w.Stmts); err != nil {
+		return nil, err
+	}
+	return &env{p: p, w: w, d: d, cfg: cfg}, nil
+}
+
+// encryptLog rewrites the whole log under a mode, returning printed
+// strings and parsed statements.
+func (e *env) encryptLog(mode encdb.Mode) ([]string, []*sqlparse.SelectStmt, error) {
+	var qs []string
+	var stmts []*sqlparse.SelectStmt
+	for _, stmt := range e.w.Stmts {
+		enc, err := e.d.EncryptQuery(stmt, e.w.Schema, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := enc.SQL()
+		// Round-trip through the printed form: the shared artifact is a
+		// string log.
+		reparsed, err := sqlparse.Parse(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: encrypted query does not re-parse: %w", err)
+		}
+		qs = append(qs, s)
+		stmts = append(stmts, reparsed)
+	}
+	return qs, stmts, nil
+}
+
+// guarded wraps a preservation verifier so scheme-construction failures
+// (e.g. "not executable under this candidate") count as non-preservation
+// instead of aborting the selection — an inappropriate candidate *is*
+// the finding.
+func guarded(f func() (*core.PreservationReport, error)) func() (*core.PreservationReport, error) {
+	return func() (*core.PreservationReport, error) {
+		rep, err := f()
+		if err != nil {
+			return &core.PreservationReport{Preserved: false, Error: err.Error()}, nil
+		}
+		return rep, nil
+	}
+}
+
+// --- E1: Table I ---
+
+// Table1Row is one reproduced row of Table I.
+type Table1Row struct {
+	Spec      core.MeasureSpec
+	Procedure *core.Procedure
+}
+
+// Table1 reproduces Table I: for each of the four measures, run KIT-DPE
+// steps 2–4 with the candidate constant classes and select the
+// appropriate one (Definition 6) empirically over the workload.
+func Table1(p Params) ([]Table1Row, error) {
+	p = p.withDefaults()
+	measures := core.SQLMeasures()
+	var rows []Table1Row
+
+	// Log-only measures use the full template mix.
+	logEnv, err := newEnv(p, workload.Config{IncludeAggregates: true, IncludeJoins: true, IncludeLike: true})
+	if err != nil {
+		return nil, err
+	}
+	// Executable measures use the CryptDB-supported subset.
+	execP := p
+	execP.Queries = p.Queries / 2
+	execEnv, err := newEnv(execP, workload.Config{IncludeAggregates: true, IncludeJoins: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Row 1: token distance.
+	tokenCands := []core.Candidate{
+		{Label: "PROB constants", Class: core.PROB, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyToken(encdb.ModeStructure)
+		})},
+		{Label: "DET", Class: core.DET, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyToken(encdb.ModeToken)
+		})},
+	}
+	proc, err := core.Run(measures[0], tokenCands)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{Spec: measures[0], Procedure: proc})
+
+	// Row 2: structure distance.
+	structCands := []core.Candidate{
+		{Label: "PROB", Class: core.PROB, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyStructure(encdb.ModeStructure)
+		})},
+		{Label: "DET constants", Class: core.DET, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyStructure(encdb.ModeToken)
+		})},
+	}
+	proc, err = core.Run(measures[1], structCands)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{Spec: measures[1], Procedure: proc})
+
+	// Row 3: result distance.
+	resultCands := []core.Candidate{
+		{Label: "PROB constants", Class: core.PROB, Verify: guarded(func() (*core.PreservationReport, error) {
+			return execEnv.verifyResultOpaque(encdb.ModeStructure)
+		})},
+		{Label: "DET only (no onions)", Class: core.DET, Verify: guarded(func() (*core.PreservationReport, error) {
+			return execEnv.verifyResult(encdb.ModeResultDETOnly)
+		})},
+		{Label: "via CryptDB [8]", Class: core.DET, Verify: guarded(func() (*core.PreservationReport, error) {
+			return execEnv.verifyResult(encdb.ModeResult)
+		})},
+	}
+	proc, err = core.Run(measures[2], resultCands)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{Spec: measures[2], Procedure: proc})
+
+	// Row 4: access-area distance.
+	aaCands := []core.Candidate{
+		{Label: "PROB constants", Class: core.PROB, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyAccessArea(encdb.ModeStructure)
+		})},
+		{Label: "DET constants", Class: core.DET, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyAccessArea(encdb.ModeToken)
+		})},
+		{Label: "via CryptDB, except HOM", Class: core.DET, Verify: guarded(func() (*core.PreservationReport, error) {
+			return logEnv.verifyAccessArea(encdb.ModeAccessArea)
+		})},
+	}
+	proc, err = core.Run(measures[3], aaCands)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{Spec: measures[3], Procedure: proc})
+	return rows, nil
+}
+
+func (e *env) verifyToken(mode encdb.Mode) (*core.PreservationReport, error) {
+	encQs, _, err := e.encryptLog(mode)
+	if err != nil {
+		return nil, err
+	}
+	n := len(e.w.Queries)
+	return core.VerifyDPE(n,
+		func(i, j int) (float64, error) { return distance.Token(e.w.Queries[i], e.w.Queries[j]) },
+		func(i, j int) (float64, error) { return distance.Token(encQs[i], encQs[j]) },
+		0)
+}
+
+func (e *env) verifyStructure(mode encdb.Mode) (*core.PreservationReport, error) {
+	_, encStmts, err := e.encryptLog(mode)
+	if err != nil {
+		return nil, err
+	}
+	n := len(e.w.Stmts)
+	return core.VerifyDPE(n,
+		func(i, j int) (float64, error) { return distance.Structure(e.w.Stmts[i], e.w.Stmts[j]), nil },
+		func(i, j int) (float64, error) { return distance.Structure(encStmts[i], encStmts[j]), nil },
+		0)
+}
+
+// verifyResult runs the executable modes: encrypted catalog + rewritten
+// queries, Jaccard over ciphertext tuples.
+func (e *env) verifyResult(mode encdb.Mode) (*core.PreservationReport, error) {
+	_, encStmts, err := e.encryptLog(mode)
+	if err != nil {
+		return nil, err
+	}
+	encCat, err := e.d.EncryptCatalog(e.w.Catalog, e.w.Schema)
+	if err != nil {
+		return nil, err
+	}
+	plainRC := &distance.ResultComputer{Catalog: e.w.Catalog}
+	encRC := &distance.ResultComputer{Catalog: encCat, Options: db.Options{Aggregate: e.d.Aggregator()}}
+	n := len(e.w.Stmts)
+	return core.VerifyDPE(n,
+		func(i, j int) (float64, error) { return plainRC.Distance(e.w.Stmts[i], e.w.Stmts[j]) },
+		func(i, j int) (float64, error) { return encRC.Distance(encStmts[i], encStmts[j]) },
+		0)
+}
+
+// verifyResultOpaque covers candidates whose rewritten queries are not
+// even executable (no onion columns): execution errors count as
+// violations via guarded().
+func (e *env) verifyResultOpaque(mode encdb.Mode) (*core.PreservationReport, error) {
+	_, encStmts, err := e.encryptLog(mode)
+	if err != nil {
+		return nil, err
+	}
+	encCat, err := e.d.EncryptCatalog(e.w.Catalog, e.w.Schema)
+	if err != nil {
+		return nil, err
+	}
+	plainRC := &distance.ResultComputer{Catalog: e.w.Catalog}
+	encRC := &distance.ResultComputer{Catalog: encCat, Options: db.Options{Aggregate: e.d.Aggregator()}}
+	n := len(e.w.Stmts)
+	return core.VerifyDPE(n,
+		func(i, j int) (float64, error) { return plainRC.Distance(e.w.Stmts[i], e.w.Stmts[j]) },
+		func(i, j int) (float64, error) { return encRC.Distance(encStmts[i], encStmts[j]) },
+		0)
+}
+
+func (e *env) verifyAccessArea(mode encdb.Mode) (*core.PreservationReport, error) {
+	_, encStmts, err := e.encryptLog(mode)
+	if err != nil {
+		return nil, err
+	}
+	encDomains, err := e.d.EncryptDomains(e.w.Schema, e.w.Domains)
+	if err != nil {
+		return nil, err
+	}
+	plainParams := distance.AccessAreaParams{Domains: e.w.Domains}
+	encParams := distance.AccessAreaParams{Domains: encDomains}
+	n := len(e.w.Stmts)
+	return core.VerifyDPE(n,
+		func(i, j int) (float64, error) { return distance.AccessArea(e.w.Stmts[i], e.w.Stmts[j], plainParams) },
+		func(i, j int) (float64, error) { return distance.AccessArea(encStmts[i], encStmts[j], encParams) },
+		0)
+}
+
+// RenderTable1 prints the reproduced Table I with per-candidate
+// verification evidence.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I — OVERVIEW OF QUERY-DISTANCE MEASURES (reproduced; classes selected empirically per Definition 6)\n\n")
+	fmt.Fprintf(&sb, "%-36s | %-22s | %-24s | %-13s | %-6s | %-7s | %s\n",
+		"Distance Measure", "Shared Information", "Equivalence Notion", "c", "EncRel", "EncAttr", "EncA.Const (chosen)")
+	sb.WriteString(strings.Repeat("-", 150) + "\n")
+	for _, r := range rows {
+		chosen := "— none preserves —"
+		if r.Procedure.Selection.Chosen != nil {
+			chosen = r.Procedure.Selection.Chosen.Label
+		}
+		fmt.Fprintf(&sb, "%-36s | %-22s | %-24s | %-13s | %-6s | %-7s | %s\n",
+			r.Spec.Name, r.Spec.Shared, r.Spec.Equivalence, r.Spec.C, "DET", "DET", chosen)
+	}
+	sb.WriteString("\nEvidence (per candidate):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%s\n", r.Procedure.Summary())
+	}
+	return sb.String()
+}
+
+// --- E2: Fig. 1 ---
+
+// Fig1Row is one class's measured attack resistance.
+type Fig1Row struct {
+	Class      core.Class
+	Level      int
+	Leakage    string
+	BestAttack string
+	Advantage  float64
+}
+
+// Fig1 reproduces the taxonomy ordering as measured attacker advantage
+// over the workload's most frequent predicate column.
+func Fig1(p Params) ([]Fig1Row, error) {
+	p = p.withDefaults()
+	e, err := newEnv(p, workload.Config{IncludeAggregates: true})
+	if err != nil {
+		return nil, err
+	}
+	// Attacker observes an encrypted constant column. A synthetic stream
+	// (DESIGN.md E2: 3000 constants over a 32-value domain, mild skew)
+	// gives statistically stable advantages: skewed enough that
+	// frequency analysis beats guessing, flat enough that order
+	// information adds real power.
+	const (
+		streamLen  = 3000
+		domainSize = 32
+		zipfS      = 0.4
+	)
+	drbg := prf.NewDRBG([]byte("fig1:"+p.Seed), []byte("constants"))
+	weights := make([]float64, domainSize)
+	var norm float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), zipfS)
+		norm += weights[i]
+	}
+	var order []string
+	var aux []attack.ValueFreq
+	for i := 0; i < domainSize; i++ {
+		v := fmt.Sprintf("v%03d", i)
+		order = append(order, v)
+		aux = append(aux, attack.ValueFreq{Value: v, Freq: weights[i] / norm})
+	}
+	stream := make([]string, streamLen)
+	for i := range stream {
+		u := drbg.Float64() * norm
+		acc, pick := 0.0, domainSize-1
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				pick = j
+				break
+			}
+		}
+		stream[i] = order[pick]
+	}
+
+	mkSamples := func(enc func(string) (string, error)) ([]attack.Sample, error) {
+		out := make([]attack.Sample, len(stream))
+		for i, v := range stream {
+			c, err := enc(v)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = attack.Sample{Cipher: c, Truth: v}
+		}
+		return out, nil
+	}
+	strOf := func(v string) value.Value { return value.Str(strings.Trim(v, "'")) }
+
+	detSamples, err := mkSamples(func(v string) (string, error) {
+		c, err := e.d.EncryptConstantDET("photoobj", "class", strOf(v))
+		if err != nil {
+			return "", err
+		}
+		return hex.EncodeToString(c.AsBytes()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	probSamples, err := mkSamples(func(v string) (string, error) {
+		c, err := e.d.EncryptConstantPROB("photoobj", "class", strOf(v))
+		if err != nil {
+			return "", err
+		}
+		return hex.EncodeToString(c.AsBytes()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// OPE needs a numeric embedding: rank the class values.
+	rank := make(map[string]int64)
+	for i, v := range order {
+		rank[v] = int64(i)
+	}
+	opeSamples, err := mkSamples(func(v string) (string, error) {
+		c, err := e.d.EncryptConstantOPE("photoobj", "nvote", encdb.KindInt, value.Int(rank[v]))
+		if err != nil {
+			return "", err
+		}
+		return hex.EncodeToString(c.AsBytes()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// HOM: Paillier encryptions of the ranks — probabilistic.
+	homSamples, err := mkSamples(func(v string) (string, error) {
+		c, err := e.d.Paillier().EncryptInt64(nil, rank[v])
+		if err != nil {
+			return "", err
+		}
+		return c.Text(16), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sorting attack needs aux in plaintext order; for the rank embedding
+	// that is the order slice itself.
+	base := attack.Baseline(detSamples, aux)
+	best := func(samples []attack.Sample, tryOrder bool) (string, float64) {
+		name, adv := "frequency", attack.Advantage(attack.Frequency(samples, aux), base)
+		if tryOrder {
+			if a := attack.Advantage(attack.Sorting(samples, aux), base); a > adv {
+				name, adv = "sorting", a
+			}
+		}
+		return name, adv
+	}
+
+	var rows []Fig1Row
+	addRow := func(class core.Class, samples []attack.Sample, tryOrder bool) {
+		name, adv := best(samples, tryOrder)
+		rows = append(rows, Fig1Row{
+			Class: class, Level: core.SecurityLevel(class),
+			Leakage: core.Leakage(class), BestAttack: name, Advantage: adv,
+		})
+	}
+	addRow(core.PROB, probSamples, false)
+	addRow(core.HOM, homSamples, false)
+	addRow(core.DET, detSamples, false)
+	addRow(core.OPE, opeSamples, true)
+	return rows, nil
+}
+
+// RenderFig1 prints the measured taxonomy.
+func RenderFig1(rows []Fig1Row) string {
+	var sb strings.Builder
+	sb.WriteString("FIG. 1 — TAXONOMY OF PROPERTY-PRESERVING ENCRYPTION CLASSES (reproduced as measured attacker advantage)\n\n")
+	fmt.Fprintf(&sb, "%-8s | %-5s | %-55s | %-10s | %s\n", "Class", "Level", "Leakage", "BestAttack", "Advantage")
+	sb.WriteString(strings.Repeat("-", 105) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s | %-5d | %-55s | %-10s | %.4f\n", r.Class, r.Level, r.Leakage, r.BestAttack, r.Advantage)
+	}
+	sb.WriteString("\nExpected ordering (paper): advantage(PROB) = advantage(HOM) <= advantage(DET) <= advantage(OPE)\n")
+	return sb.String()
+}
+
+// OrderingHolds checks the Fig. 1 claim on measured rows: within the
+// rows, higher taxonomy level never has higher advantage, and the
+// DET→OPE step strictly increases attacker power.
+func OrderingHolds(rows []Fig1Row) bool {
+	adv := make(map[core.Class]float64)
+	for _, r := range rows {
+		adv[r.Class] = r.Advantage
+	}
+	return adv[core.PROB] <= adv[core.DET]+1e-9 &&
+		adv[core.HOM] <= adv[core.DET]+1e-9 &&
+		adv[core.DET] < adv[core.OPE] &&
+		adv[core.PROB] < adv[core.OPE]
+}

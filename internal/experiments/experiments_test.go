@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// smallParams keep experiment tests fast; the full-size run happens in
+// cmd/dpebench and the benchmarks.
+func smallParams() Params {
+	return Params{Seed: "exp-test", Queries: 24, Rows: 60, PaillierBits: 512}
+}
+
+func TestTable1ReproducesPaperRows(t *testing.T) {
+	rows, err := Table1(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Row 1 (token): DET chosen; PROB must violate.
+	if got := rows[0].Procedure.Selection.Chosen; got == nil || got.Label != "DET" {
+		t.Fatalf("token row chose %+v, want DET", got)
+	}
+	if rows[0].Procedure.Selection.Reports["PROB constants"].Preserved {
+		t.Fatal("PROB constants must violate token equivalence")
+	}
+	// Row 2 (structure): PROB chosen (both preserve, PROB more secure).
+	if got := rows[1].Procedure.Selection.Chosen; got == nil || got.Label != "PROB" {
+		t.Fatalf("structure row chose %+v, want PROB", got)
+	}
+	if !rows[1].Procedure.Selection.Reports["DET constants"].Preserved {
+		t.Fatal("DET constants must also preserve structural equivalence")
+	}
+	// Row 3 (result): via CryptDB chosen; DET-only and PROB must fail.
+	if got := rows[2].Procedure.Selection.Chosen; got == nil || got.Label != "via CryptDB [8]" {
+		t.Fatalf("result row chose %+v, want via CryptDB", got)
+	}
+	if rows[2].Procedure.Selection.Reports["DET only (no onions)"].Preserved {
+		t.Fatal("DET-only must violate result equivalence (ranges and aggregates break)")
+	}
+	if rows[2].Procedure.Selection.Reports["PROB constants"].Preserved {
+		t.Fatal("PROB constants must violate result equivalence")
+	}
+	// Row 4 (access-area): the refined composite chosen; others fail.
+	if got := rows[3].Procedure.Selection.Chosen; got == nil || got.Label != "via CryptDB, except HOM" {
+		t.Fatalf("access-area row chose %+v", got)
+	}
+	if rows[3].Procedure.Selection.Reports["PROB constants"].Preserved {
+		t.Fatal("PROB must violate access-area equivalence")
+	}
+	if rows[3].Procedure.Selection.Reports["DET constants"].Preserved {
+		t.Fatal("DET must violate access-area equivalence (no order on ranges)")
+	}
+
+	out := RenderTable1(rows)
+	for _, want := range []string{"Token-Based", "Query-Structure", "Query-Result", "Query-Access-Area", "via CryptDB", "step 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig1OrderingReproduced(t *testing.T) {
+	rows, err := Fig1(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !OrderingHolds(rows) {
+		t.Fatalf("Fig. 1 ordering violated: %+v", rows)
+	}
+	// PROB and HOM give (near) zero advantage.
+	for _, r := range rows {
+		if (r.Class == core.PROB || r.Class == core.HOM) && r.Advantage > 0.05 {
+			t.Fatalf("%s advantage should be ~0: %v", r.Class, r.Advantage)
+		}
+	}
+	out := RenderFig1(rows)
+	if !strings.Contains(out, "PROB") || !strings.Contains(out, "Advantage") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestMiningEqualityAllAlgorithmsAllMeasures(t *testing.T) {
+	rows, ctrl, err := MiningEquality(smallParams(), DefaultMiningParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 { // 4 measures × 5 algorithms
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equal {
+			t.Errorf("%s/%s: mining over ciphertext differs from plaintext (matrix err %v)", r.Measure, r.Algorithm, r.MatrixMaxErr)
+		}
+		if r.MatrixMaxErr > 1e-9 {
+			t.Errorf("%s: matrix not preserved: %v", r.Measure, r.MatrixMaxErr)
+		}
+	}
+	if !ctrl.MatrixDiffers {
+		t.Fatal("negative control must break the distance matrix")
+	}
+	out := RenderMining(rows, ctrl)
+	if !strings.Contains(out, "k-medoids") || !strings.Contains(out, "Negative control") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestAccessAreaSecurityRefinement(t *testing.T) {
+	rep, err := AccessAreaSecurity(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Preserved.Preserved {
+		t.Fatalf("refined scheme must preserve d_AE: %+v", rep.Preserved)
+	}
+	if rep.Improved == 0 {
+		t.Fatal("expected at least one aggregate-only attribute with a strict security gain")
+	}
+	foundAggOnly := false
+	for _, a := range rep.Assignments {
+		if a.AggregateOnly {
+			foundAggOnly = true
+			if a.CryptDB != core.HOM || a.Refined != core.PROB {
+				t.Fatalf("aggregate-only attr %s: got %s->%s, want HOM->PROB", a.Attribute, a.CryptDB, a.Refined)
+			}
+		}
+	}
+	if !foundAggOnly {
+		t.Fatal("workload should contain an aggregate-only attribute")
+	}
+	out := RenderAccessAreaSecurity(rep)
+	if !strings.Contains(out, "SecurityGain") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestSharedInfoDemonstratesFailures(t *testing.T) {
+	rows, err := SharedInfo(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Result and access-area rows must have demonstrated failures.
+	if rows[2].FailureErr == "" {
+		t.Fatal("result distance must fail without DB content")
+	}
+	if rows[3].FailureErr == "" {
+		t.Fatal("access-area distance must fail without domains")
+	}
+	out := RenderSharedInfo(rows)
+	if !strings.Contains(out, "Fails without") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Seed == "" || p.Queries == 0 || p.Rows == 0 || p.PaillierBits == 0 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestGuardedConvertsErrors(t *testing.T) {
+	rep, err := guarded(func() (*core.PreservationReport, error) {
+		return nil, strings.NewReader("").UnreadByte() // any non-nil error
+	})()
+	if err != nil {
+		t.Fatal("guarded must not propagate errors")
+	}
+	if rep.Preserved || rep.Error == "" {
+		t.Fatalf("guarded report wrong: %+v", rep)
+	}
+}
+
+func TestAssociationRulesOverEncryptedLog(t *testing.T) {
+	rep, err := AssociationRules(smallParams(), 4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FrequentPlain == 0 || rep.RulesPlain == 0 {
+		t.Fatalf("expected non-trivial mining output: %+v", rep)
+	}
+	if rep.FrequentPlain != rep.FrequentEnc || rep.RulesPlain != rep.RulesEnc {
+		t.Fatalf("counts differ plain vs enc: %+v", rep)
+	}
+	if !rep.ShapesEqual {
+		t.Fatal("rule shapes must be identical under DET feature renaming")
+	}
+	out := RenderRules(rep)
+	if !strings.Contains(out, "ASSOCIATION-RULE") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

@@ -1,0 +1,218 @@
+package mining
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func tx(items ...string) Transaction {
+	t := make(Transaction)
+	for _, i := range items {
+		t[i] = true
+	}
+	return t
+}
+
+// groceries is the classic didactic dataset.
+func groceries() []Transaction {
+	return []Transaction{
+		tx("bread", "milk"),
+		tx("bread", "diapers", "beer", "eggs"),
+		tx("milk", "diapers", "beer", "cola"),
+		tx("bread", "milk", "diapers", "beer"),
+		tx("bread", "milk", "diapers", "cola"),
+	}
+}
+
+func TestAprioriFrequentItemsets(t *testing.T) {
+	freq, err := Apriori(groceries(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := make(map[string]int)
+	for _, f := range freq {
+		sup[f.Items.Key()] = f.Support
+	}
+	want := map[string]int{
+		"bread": 4, "milk": 4, "diapers": 4, "beer": 3,
+		"bread\x00milk": 3, "bread\x00diapers": 3, "diapers\x00milk": 3, "beer\x00diapers": 3,
+	}
+	for k, v := range want {
+		if sup[k] != v {
+			t.Errorf("support(%q) = %d, want %d", k, sup[k], v)
+		}
+	}
+	// Nothing below minSupport leaks in.
+	for k, v := range sup {
+		if v < 3 {
+			t.Errorf("itemset %q has support %d < minSupport", k, v)
+		}
+	}
+	// cola (support 2) must be absent.
+	if _, ok := sup["cola"]; ok {
+		t.Error("cola must be infrequent")
+	}
+}
+
+func TestAprioriAntimonotonicity(t *testing.T) {
+	// Support of any itemset never exceeds that of its subsets.
+	freq, err := Apriori(groceries(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := make(map[string]int)
+	for _, f := range freq {
+		sup[f.Items.Key()] = f.Support
+	}
+	for _, f := range freq {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for drop := range f.Items {
+			sub := make(Itemset, 0, len(f.Items)-1)
+			sub = append(sub, f.Items[:drop]...)
+			sub = append(sub, f.Items[drop+1:]...)
+			if f.Support > sup[sub.Key()] {
+				t.Fatalf("anti-monotonicity violated: %v (%d) > %v (%d)", f.Items, f.Support, sub, sup[sub.Key()])
+			}
+		}
+	}
+}
+
+func TestAprioriMaxLen(t *testing.T) {
+	freq, _ := Apriori(groceries(), 1, 1)
+	for _, f := range freq {
+		if len(f.Items) != 1 {
+			t.Fatalf("maxLen=1 produced %v", f.Items)
+		}
+	}
+}
+
+func TestAprioriDeterministic(t *testing.T) {
+	a, _ := Apriori(groceries(), 2, 3)
+	b, _ := Apriori(groceries(), 2, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Apriori must be deterministic")
+	}
+}
+
+func TestAprioriValidation(t *testing.T) {
+	if _, err := Apriori(nil, 0, 2); err == nil {
+		t.Error("minSupport=0 must error")
+	}
+	if _, err := Apriori(nil, 1, 0); err == nil {
+		t.Error("maxLen=0 must error")
+	}
+	freq, err := Apriori(nil, 1, 2)
+	if err != nil || len(freq) != 0 {
+		t.Error("empty input must yield no itemsets")
+	}
+}
+
+func TestRulesConfidenceAndLift(t *testing.T) {
+	txs := groceries()
+	freq, _ := Apriori(txs, 3, 2)
+	rules, err := Rules(freq, len(txs), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == "beer" && r.Consequent[0] == "diapers" {
+			found = true
+			if r.Support != 3 {
+				t.Errorf("support = %d, want 3", r.Support)
+			}
+			if r.Confidence != 1.0 {
+				t.Errorf("confidence = %v, want 1.0 (every beer basket has diapers)", r.Confidence)
+			}
+			if r.Lift != 1.0/(4.0/5.0) {
+				t.Errorf("lift = %v, want 1.25", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("beer => diapers missing from %v", rules)
+	}
+	// All rules meet the threshold.
+	for _, r := range rules {
+		if r.Confidence < 0.7 {
+			t.Errorf("rule %v below confidence threshold", r)
+		}
+	}
+}
+
+func TestRulesValidation(t *testing.T) {
+	if _, err := Rules(nil, 5, 0); err == nil {
+		t.Error("minConfidence=0 must error")
+	}
+	if _, err := Rules(nil, 5, 1.5); err == nil {
+		t.Error("minConfidence>1 must error")
+	}
+	if _, err := Rules(nil, 0, 0.5); err == nil {
+		t.Error("nTransactions=0 must error")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Antecedent: Itemset{"a"}, Consequent: Itemset{"b"}, Support: 3, Confidence: 0.75, Lift: 1.5}
+	if got := r.String(); got != "{a} => {b} (sup=3 conf=0.75 lift=1.50)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestRenamingInvariance is the property experiment E6 relies on: a
+// bijective renaming of items (what DET encryption does to features)
+// leaves the rule shapes — sizes, supports, confidences, lifts —
+// exactly unchanged.
+func TestRenamingInvariance(t *testing.T) {
+	rename := func(s string) string { return "ENC(" + s + ")" }
+	plain := groceries()
+	var enc []Transaction
+	for _, txn := range plain {
+		e := make(Transaction)
+		for item := range txn {
+			e[rename(item)] = true
+		}
+		enc = append(enc, e)
+	}
+	pf, _ := Apriori(plain, 2, 3)
+	ef, _ := Apriori(enc, 2, 3)
+	pr, _ := Rules(pf, len(plain), 0.6)
+	er, _ := Rules(ef, len(enc), 0.6)
+	if !reflect.DeepEqual(Shapes(pr), Shapes(er)) {
+		t.Fatalf("rule shapes changed under renaming:\n%v\n%v", Shapes(pr), Shapes(er))
+	}
+	if len(pf) != len(ef) {
+		t.Fatalf("frequent itemset counts differ: %d vs %d", len(pf), len(ef))
+	}
+}
+
+func TestQuickSupportBounds(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		var txs []Transaction
+		for _, r := range raw {
+			txs = append(txs, tx(
+				string(rune('a'+r[0]%6)),
+				string(rune('a'+r[1]%6)),
+				string(rune('a'+r[2]%6))))
+		}
+		if len(txs) == 0 {
+			return true
+		}
+		freq, err := Apriori(txs, 1, 3)
+		if err != nil {
+			return false
+		}
+		for _, fi := range freq {
+			if fi.Support < 1 || fi.Support > len(txs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package mining implements the distance-based data-mining algorithms
+// the paper motivates DPE with (Section I): k-medoids clustering
+// (Park–Jun [5]), DBSCAN [4], complete-link agglomerative clustering
+// (Defays [3]), Knorr–Ng distance-based outlier detection [6], and kNN.
+//
+// Every algorithm consumes only a pairwise distance matrix and breaks
+// ties deterministically (lowest index first), so two runs over equal
+// matrices produce bit-identical results. That is the property the
+// mining-equality experiment (E3) checks: a distance-preserving
+// encryption yields equal matrices and therefore equal mining output.
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a symmetric pairwise distance matrix with a zero diagonal.
+type Matrix = [][]float64
+
+func validate(m Matrix) error {
+	n := len(m)
+	for i, row := range m {
+		if len(row) != n {
+			return fmt.Errorf("mining: matrix row %d has length %d, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// --- k-medoids (Park–Jun) ---
+
+// KMedoidsResult holds a clustering.
+type KMedoidsResult struct {
+	// Medoids are the cluster representatives' indices, sorted.
+	Medoids []int
+	// Assign maps each item to its position in Medoids.
+	Assign []int
+	// Cost is the total distance of items to their medoids.
+	Cost float64
+	// Iterations until convergence.
+	Iterations int
+}
+
+// KMedoids runs the "simple and fast" k-medoids of Park & Jun [5]:
+// initial medoids are the k items with the smallest normalized distance
+// sums; then alternate assignment and within-cluster medoid update until
+// stable. Fully deterministic.
+func KMedoids(m Matrix, k int) (*KMedoidsResult, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	n := len(m)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("mining: k=%d outside [1,%d]", k, n)
+	}
+
+	// Park–Jun initialization: v_j = Σ_i d(i,j) / Σ_l d(i,l).
+	rowSums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rowSums[i] += m[i][j]
+		}
+	}
+	v := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if rowSums[i] > 0 {
+				v[j] += m[i][j] / rowSums[i]
+			}
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if v[idx[a]] != v[idx[b]] {
+			return v[idx[a]] < v[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	medoids := append([]int(nil), idx[:k]...)
+	sort.Ints(medoids)
+
+	assign := make([]int, n)
+	res := &KMedoidsResult{}
+	for iter := 0; iter < 1000; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		cost := 0.0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, med := range medoids {
+				if d := m[i][med]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			cost += bestD
+		}
+		// Update step: new medoid minimizes within-cluster distance sum.
+		newMedoids := append([]int(nil), medoids...)
+		for c := range medoids {
+			bestM, bestSum := medoids[c], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				sum := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						sum += m[i][j]
+					}
+				}
+				if sum < bestSum {
+					bestM, bestSum = i, sum
+				}
+			}
+			newMedoids[c] = bestM
+		}
+		sort.Ints(newMedoids)
+		if equalInts(newMedoids, medoids) {
+			res.Medoids = medoids
+			res.Assign = append([]int(nil), assign...)
+			res.Cost = cost
+			return res, nil
+		}
+		medoids = newMedoids
+	}
+	res.Medoids = medoids
+	res.Assign = append([]int(nil), assign...)
+	return res, fmt.Errorf("mining: k-medoids did not converge")
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- DBSCAN ---
+
+// Noise is the DBSCAN label of noise points.
+const Noise = -1
+
+// DBSCAN runs density-based clustering [4] on the distance matrix with
+// radius eps (inclusive) and density threshold minPts (neighborhood
+// includes the point itself). Cluster ids are assigned in order of
+// discovery, so equal matrices yield identical labelings.
+func DBSCAN(m Matrix, eps float64, minPts int) ([]int, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	if eps < 0 || minPts < 1 {
+		return nil, fmt.Errorf("mining: invalid DBSCAN parameters eps=%v minPts=%d", eps, minPts)
+	}
+	n := len(m)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	neighbors := func(p int) []int {
+		var out []int
+		for q := 0; q < n; q++ {
+			if m[p][q] <= eps {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for p := 0; p < n; p++ {
+		if labels[p] != -2 {
+			continue
+		}
+		nb := neighbors(p)
+		if len(nb) < minPts {
+			labels[p] = Noise
+			continue
+		}
+		labels[p] = cluster
+		// Expand: breadth-first over the seed set.
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			q := queue[qi]
+			if labels[q] == Noise {
+				labels[q] = cluster // border point
+			}
+			if labels[q] != -2 {
+				continue
+			}
+			labels[q] = cluster
+			qnb := neighbors(q)
+			if len(qnb) >= minPts {
+				queue = append(queue, qnb...)
+			}
+		}
+		cluster++
+	}
+	return labels, nil
+}
+
+// --- complete-link agglomerative clustering ---
+
+// CompleteLink performs agglomerative clustering with the complete-link
+// criterion [3], merging until k clusters remain, and returns cluster
+// labels canonicalized by first occurrence. Ties break toward the
+// lexicographically smallest cluster pair.
+func CompleteLink(m Matrix, k int) ([]int, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	n := len(m)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("mining: k=%d outside [1,%d]", k, n)
+	}
+	// clusters holds member lists; nil entries are merged away.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	active := n
+	linkage := func(a, b []int) float64 {
+		worst := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				if m[i][j] > worst {
+					worst = m[i][j]
+				}
+			}
+		}
+		return worst
+	}
+	for active > k {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if clusters[i] == nil {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if clusters[j] == nil {
+					continue
+				}
+				if d := linkage(clusters[i], clusters[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		sort.Ints(clusters[bi])
+		clusters[bj] = nil
+		active--
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != -1 {
+			continue
+		}
+		// Find i's cluster.
+		for _, members := range clusters {
+			if members == nil || !contains(members, i) {
+				continue
+			}
+			for _, mi := range members {
+				labels[mi] = next
+			}
+			next++
+			break
+		}
+	}
+	return labels, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// --- distance-based outliers (Knorr–Ng) ---
+
+// Outliers implements DB(p, D) outlier detection [6]: an object is an
+// outlier when at least fraction p of the other objects lie at distance
+// greater than D from it.
+func Outliers(m Matrix, p, d float64) ([]bool, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	if p <= 0 || p > 1 || d < 0 {
+		return nil, fmt.Errorf("mining: invalid outlier parameters p=%v D=%v", p, d)
+	}
+	n := len(m)
+	out := make([]bool, n)
+	if n <= 1 {
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		far := 0
+		for j := 0; j < n; j++ {
+			if j != i && m[i][j] > d {
+				far++
+			}
+		}
+		out[i] = float64(far) >= p*float64(n-1)
+	}
+	return out, nil
+}
+
+// --- k nearest neighbors ---
+
+// KNN returns the indices of q's k nearest neighbors (excluding q),
+// ordered by distance with index tie-breaking.
+func KNN(m Matrix, q, k int) ([]int, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	n := len(m)
+	if q < 0 || q >= n {
+		return nil, fmt.Errorf("mining: query index %d outside [0,%d)", q, n)
+	}
+	if k < 0 || k > n-1 {
+		return nil, fmt.Errorf("mining: k=%d outside [0,%d]", k, n-1)
+	}
+	idx := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != q {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if m[q][idx[a]] != m[q][idx[b]] {
+			return m[q][idx[a]] < m[q][idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k], nil
+}
+
+// EqualLabels reports whether two labelings are identical partitions
+// with identical label values — the strict equality the mining-equality
+// experiment asserts.
+func EqualLabels(a, b []int) bool {
+	return equalInts(a, b)
+}

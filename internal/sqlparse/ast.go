@@ -1,0 +1,293 @@
+// Package sqlparse implements lexing, parsing, and printing for the SQL
+// query subset that the paper's case study (Section IV) exercises:
+//
+//	SELECT [DISTINCT] select-list
+//	FROM table [AS alias] { , table | [INNER|LEFT] JOIN table ON a = b }
+//	[WHERE boolean-expression]
+//	[GROUP BY columns] [HAVING boolean-expression]
+//	[ORDER BY columns [ASC|DESC]] [LIMIT n]
+//
+// with comparison operators (=, <>, <, <=, >, >=), AND/OR/NOT, IN,
+// BETWEEN, LIKE, IS [NOT] NULL, the aggregates COUNT/SUM/AVG/MIN/MAX,
+// and integer, decimal, and string literals. The printer emits a
+// canonical form that re-parses to an equal AST, which is what the
+// encrypted query log stores.
+package sqlparse
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	// writeSQL appends the node's canonical SQL rendering.
+	writeSQL(sb *strings.Builder)
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// SelectStmt is the root of a parsed query.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent
+	GroupBy  []*ColumnRef
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    *int64 // nil when absent
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Star  bool   // SELECT *
+	Expr  Expr   // nil when Star
+	Alias string // optional AS alias
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// EffectiveName returns the alias if present, else the table name.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinKind distinguishes join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+func (k JoinKind) String() string {
+	if k == JoinLeft {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// JoinClause is an explicit JOIN ... ON ... attached after the first
+// FROM table.
+type JoinClause struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Column *ColumnRef
+	Desc   bool
+}
+
+// --- expressions ---
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// Literal wraps a constant value.
+type Literal struct {
+	Value value.Value
+}
+
+// BinaryExpr applies a binary operator. Op is one of
+// = <> < <= > >= + - * / % AND OR.
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+// FuncCall is an aggregate invocation. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased: COUNT, SUM, AVG, MIN, MAX
+	Star bool
+	Arg  Expr // nil when Star
+}
+
+// InExpr is `expr [NOT] IN (v1, v2, ...)`.
+type InExpr struct {
+	Expr Expr
+	Not  bool
+	List []Expr
+}
+
+// BetweenExpr is `expr [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Expr Expr
+	Not  bool
+	Lo   Expr
+	Hi   Expr
+}
+
+// LikeExpr is `expr [NOT] LIKE pattern`.
+type LikeExpr struct {
+	Expr    Expr
+	Not     bool
+	Pattern Expr
+}
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+func (*ColumnRef) exprNode()   {}
+func (*Literal) exprNode()     {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*FuncCall) exprNode()    {}
+func (*InExpr) exprNode()      {}
+func (*BetweenExpr) exprNode() {}
+func (*LikeExpr) exprNode()    {}
+func (*IsNullExpr) exprNode()  {}
+
+// Walk performs a depth-first pre-order traversal of the expression tree,
+// invoking fn on every expression node. fn returning false prunes the
+// subtree.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		Walk(n.Left, fn)
+		Walk(n.Right, fn)
+	case *UnaryExpr:
+		Walk(n.Expr, fn)
+	case *FuncCall:
+		Walk(n.Arg, fn)
+	case *InExpr:
+		Walk(n.Expr, fn)
+		for _, item := range n.List {
+			Walk(item, fn)
+		}
+	case *BetweenExpr:
+		Walk(n.Expr, fn)
+		Walk(n.Lo, fn)
+		Walk(n.Hi, fn)
+	case *LikeExpr:
+		Walk(n.Expr, fn)
+		Walk(n.Pattern, fn)
+	case *IsNullExpr:
+		Walk(n.Expr, fn)
+	}
+}
+
+// WalkStmt traverses every expression in the statement: select list,
+// join conditions, WHERE, GROUP BY, HAVING, ORDER BY.
+func WalkStmt(s *SelectStmt, fn func(Expr) bool) {
+	for _, item := range s.Select {
+		Walk(item.Expr, fn)
+	}
+	for _, j := range s.Joins {
+		Walk(j.On, fn)
+	}
+	Walk(s.Where, fn)
+	for _, g := range s.GroupBy {
+		Walk(g, fn)
+	}
+	Walk(s.Having, fn)
+	for _, o := range s.OrderBy {
+		Walk(o.Column, fn)
+	}
+}
+
+// Tables returns all table references (FROM plus JOINs) in order.
+func (s *SelectStmt) Tables() []TableRef {
+	out := append([]TableRef(nil), s.From...)
+	for _, j := range s.Joins {
+		out = append(out, j.Table)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the statement; rewriters mutate the copy.
+func (s *SelectStmt) Clone() *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := &SelectStmt{
+		Distinct: s.Distinct,
+		From:     append([]TableRef(nil), s.From...),
+	}
+	for _, item := range s.Select {
+		out.Select = append(out.Select, SelectItem{Star: item.Star, Expr: CloneExpr(item.Expr), Alias: item.Alias})
+	}
+	for _, j := range s.Joins {
+		out.Joins = append(out.Joins, JoinClause{Kind: j.Kind, Table: j.Table, On: CloneExpr(j.On)})
+	}
+	out.Where = CloneExpr(s.Where)
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, CloneExpr(g).(*ColumnRef))
+	}
+	out.Having = CloneExpr(s.Having)
+	for _, o := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Column: CloneExpr(o.Column).(*ColumnRef), Desc: o.Desc})
+	}
+	if s.Limit != nil {
+		l := *s.Limit
+		out.Limit = &l
+	}
+	return out
+}
+
+// CloneExpr returns a deep copy of an expression tree (nil-safe).
+func CloneExpr(e Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		c := *n
+		return &c
+	case *Literal:
+		c := *n
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: n.Op, Left: CloneExpr(n.Left), Right: CloneExpr(n.Right)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: n.Op, Expr: CloneExpr(n.Expr)}
+	case *FuncCall:
+		return &FuncCall{Name: n.Name, Star: n.Star, Arg: CloneExpr(n.Arg)}
+	case *InExpr:
+		out := &InExpr{Expr: CloneExpr(n.Expr), Not: n.Not}
+		for _, item := range n.List {
+			out.List = append(out.List, CloneExpr(item))
+		}
+		return out
+	case *BetweenExpr:
+		return &BetweenExpr{Expr: CloneExpr(n.Expr), Not: n.Not, Lo: CloneExpr(n.Lo), Hi: CloneExpr(n.Hi)}
+	case *LikeExpr:
+		return &LikeExpr{Expr: CloneExpr(n.Expr), Not: n.Not, Pattern: CloneExpr(n.Pattern)}
+	case *IsNullExpr:
+		return &IsNullExpr{Expr: CloneExpr(n.Expr), Not: n.Not}
+	default:
+		panic("sqlparse: CloneExpr: unknown node type")
+	}
+}

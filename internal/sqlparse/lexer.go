@@ -1,0 +1,183 @@
+package sqlparse
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Lexer turns a query string into tokens. It supports the SQL subset
+// documented in the package comment: case-insensitive keywords,
+// identifiers ([A-Za-z_][A-Za-z0-9_]*), integer and decimal literals,
+// single-quoted strings with ” escaping, and the operator set used by
+// the parser.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Tokenize lexes the whole input, excluding the trailing EOF token.
+// It returns an error on the first invalid token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		tok := lx.Next()
+		switch tok.Kind {
+		case TokEOF:
+			return out, nil
+		case TokInvalid:
+			return nil, fmt.Errorf("sqlparse: invalid token %q at offset %d", tok.Text, tok.Pos)
+		}
+		out = append(out, tok)
+	}
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// Next returns the next token, or an EOF/invalid token.
+func (l *Lexer) Next() Token {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case (c == 'X' || c == 'x') && l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'':
+		return l.lexBlob(start)
+
+	case isLetter(c):
+		for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if IsKeyword(upper) {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}
+
+	case isDigit(c):
+		return l.lexNumber(start)
+
+	case c == '\'':
+		return l.lexString(start)
+
+	case c == '.':
+		// Either a lone dot (qualified name) or the start of a decimal
+		// like ".5".
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber(start)
+		}
+		l.pos++
+		return Token{Kind: TokOp, Text: ".", Pos: start}
+
+	default:
+		return l.lexOperator(start)
+	}
+}
+
+func (l *Lexer) lexNumber(start int) Token {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !isFloat:
+			isFloat = true
+			l.pos++
+		case (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(isDigit(l.src[l.pos+1]) || ((l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2]))):
+			isFloat = true
+			l.pos++ // consume e/E
+			if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+				l.pos++
+			}
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			return Token{Kind: TokFloat, Text: l.src[start:l.pos], Pos: start}
+		default:
+			goto done
+		}
+	}
+done:
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	return Token{Kind: kind, Text: l.src[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) lexString(start int) Token {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{Kind: TokInvalid, Text: l.src[start:], Pos: start}
+}
+
+// lexBlob scans X'<hex>' and stores the decoded bytes in Text.
+func (l *Lexer) lexBlob(start int) Token {
+	l.pos += 2 // X'
+	hexStart := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokInvalid, Text: l.src[start:], Pos: start}
+	}
+	hexStr := l.src[hexStart:l.pos]
+	l.pos++ // closing quote
+	raw, err := hex.DecodeString(hexStr)
+	if err != nil {
+		return Token{Kind: TokInvalid, Text: l.src[start:l.pos], Pos: start}
+	}
+	return Token{Kind: TokBlob, Text: string(raw), Pos: start}
+}
+
+func (l *Lexer) lexOperator(start int) Token {
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			two = "<>" // normalize
+		}
+		return Token{Kind: TokOp, Text: two, Pos: start}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', ';', '%':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}
+	}
+	l.pos++
+	return Token{Kind: TokInvalid, Text: string(c), Pos: start}
+}

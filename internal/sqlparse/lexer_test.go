@@ -1,0 +1,136 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func kindsAndTexts(toks []Token) (kinds []TokenKind, texts []string) {
+	for _, t := range toks {
+		kinds = append(kinds, t.Kind)
+		texts = append(texts, t.Text)
+	}
+	return
+}
+
+func TestTokenizeBasicQuery(t *testing.T) {
+	toks, err := Tokenize("SELECT a1 FROM r WHERE a2 > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, texts := kindsAndTexts(toks)
+	want := []string{"SELECT", "a1", "FROM", "r", "WHERE", "a2", ">", "5"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts = %v, want %v", texts, want)
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("select A from B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "SELECT" {
+		t.Fatalf("lower-case keyword not normalized: %v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "A" {
+		t.Fatalf("identifier case must be preserved: %v", toks[1])
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind TokenKind
+	}{
+		{"42", TokInt},
+		{"0", TokInt},
+		{"3.14", TokFloat},
+		{".5", TokFloat},
+		{"1e10", TokFloat},
+		{"2.5e-3", TokFloat},
+		{"7E+2", TokFloat},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize(c.in)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", c.in, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != c.kind || toks[0].Text != c.in {
+			t.Fatalf("Tokenize(%q) = %v, want single %v", c.in, toks, c.kind)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks, err := Tokenize("'hello'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hello" {
+		t.Fatalf("got %v", toks[0])
+	}
+	// Quote doubling.
+	toks, err = Tokenize("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Fatalf("escaped quote: got %q", toks[0].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize("'oops"); err == nil {
+		t.Fatal("unterminated string must error")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := Tokenize("= <> != < <= > >= + - * / ( ) , . ; %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, texts := kindsAndTexts(toks)
+	// != normalizes to <>.
+	want := []string{"=", "<>", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "(", ")", ",", ".", ";", "%"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts = %v, want %v", texts, want)
+	}
+	for _, tok := range toks {
+		if tok.Kind != TokOp {
+			t.Fatalf("%v should be TokOp", tok)
+		}
+	}
+}
+
+func TestQualifiedName(t *testing.T) {
+	toks, err := Tokenize("t.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, texts := kindsAndTexts(toks)
+	if !reflect.DeepEqual(texts, []string{"t", ".", "col"}) {
+		t.Fatalf("texts = %v", texts)
+	}
+}
+
+func TestInvalidCharacter(t *testing.T) {
+	if _, err := Tokenize("SELECT @ FROM r"); err == nil {
+		t.Fatal("invalid character must error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := Tokenize("a  bb")
+	if toks[0].Pos != 0 || toks[1].Pos != 3 {
+		t.Fatalf("positions = %d,%d want 0,3", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	toks, err := Tokenize("   ")
+	if err != nil || len(toks) != 0 {
+		t.Fatalf("blank input: toks=%v err=%v", toks, err)
+	}
+}

@@ -1,0 +1,582 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/value"
+)
+
+// Parse parses one SELECT statement, optionally terminated by ';'.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";") // optional trailing semicolon
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlparse: trailing input at %v", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse panicking on error, for tests and generators whose
+// inputs are known-valid.
+func MustParse(src string) *SelectStmt {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return Token{Kind: TokEOF}
+}
+
+func (p *parser) next() Token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %v", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("sqlparse: expected %q, got %v", op, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, tr)
+	for {
+		switch {
+		case p.acceptOp(","):
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, tr)
+			continue
+		case p.peekJoin():
+			j, err := p.parseJoin()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Joins = append(stmt.Joins, j)
+			continue
+		}
+		break
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Column: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.Kind != TokInt {
+			return nil, fmt.Errorf("sqlparse: LIMIT expects an integer, got %v", t)
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = &n
+	}
+	return stmt, nil
+}
+
+func (p *parser) peekJoin() bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && (t.Text == "JOIN" || t.Text == "INNER" || t.Text == "LEFT")
+}
+
+func (p *parser) parseJoin() (JoinClause, error) {
+	kind := JoinInner
+	if p.acceptKeyword("LEFT") {
+		kind = JoinLeft
+	} else {
+		p.acceptKeyword("INNER")
+	}
+	if err := p.expectKeyword("JOIN"); err != nil {
+		return JoinClause{}, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return JoinClause{}, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return JoinClause{}, err
+	}
+	on, err := p.parseExpr()
+	if err != nil {
+		return JoinClause{}, err
+	}
+	return JoinClause{Kind: kind, Table: tr, On: on}, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return SelectItem{}, fmt.Errorf("sqlparse: AS expects an identifier, got %v", t)
+		}
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return TableRef{}, fmt.Errorf("sqlparse: expected table name, got %v", t)
+	}
+	tr := TableRef{Name: t.Text}
+	if p.acceptKeyword("AS") {
+		a := p.next()
+		if a.Kind != TokIdent {
+			return TableRef{}, fmt.Errorf("sqlparse: AS expects an identifier, got %v", a)
+		}
+		tr.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColumnRef() (*ColumnRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return nil, fmt.Errorf("sqlparse: expected column name, got %v", t)
+	}
+	col := &ColumnRef{Name: t.Text}
+	if p.acceptOp(".") {
+		n := p.next()
+		if n.Kind != TokIdent {
+			return nil, fmt.Errorf("sqlparse: expected column after %q., got %v", t.Text, n)
+		}
+		col.Table = t.Text
+		col.Name = n.Text
+	}
+	return col, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr { OR andExpr }
+//	andExpr := notExpr { AND notExpr }
+//	notExpr := NOT notExpr | predicate
+//	predicate := addExpr [ compOp addExpr
+//	           | [NOT] IN (expr, ...)
+//	           | [NOT] BETWEEN addExpr AND addExpr
+//	           | [NOT] LIKE addExpr
+//	           | IS [NOT] NULL ]
+//	addExpr := mulExpr { (+|-) mulExpr }
+//	mulExpr := unary { (*|/|%) unary }
+//	unary   := - unary | primary
+//	primary := literal | funcCall | columnRef | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Optional negation of IN/BETWEEN/LIKE.
+	not := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
+		// Look ahead for IN/BETWEEN/LIKE; otherwise NOT belongs elsewhere.
+		if p.pos+1 < len(p.toks) {
+			n := p.toks[p.pos+1]
+			if n.Kind == TokKeyword && (n.Text == "IN" || n.Text == "BETWEEN" || n.Text == "LIKE") {
+				p.pos++
+				not = true
+			}
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Expr: left, Not: not}
+		for {
+			item, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Expr: left, Not: not, Lo: lo, Hi: hi}, nil
+
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{Expr: left, Not: not, Pattern: pat}, nil
+
+	case p.acceptKeyword("IS"):
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Expr: left, Not: isNot}, nil
+	}
+	if not {
+		return nil, fmt.Errorf("sqlparse: dangling NOT before %v", p.peek())
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.acceptOp(op) {
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "+", Left: left, Right: right}
+		case p.acceptOp("-"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "-", Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation into numeric literals for canonical output.
+		if lit, ok := inner.(*Literal); ok {
+			switch lit.Value.Kind() {
+			case value.KindInt:
+				return &Literal{Value: value.Int(-lit.Value.AsInt())}, nil
+			case value.KindFloat:
+				return &Literal{Value: value.Float(-lit.Value.AsFloat())}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Expr: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggregates = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad integer %q: %v", t.Text, err)
+		}
+		return &Literal{Value: value.Int(n)}, nil
+
+	case TokFloat:
+		p.pos++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad float %q: %v", t.Text, err)
+		}
+		return &Literal{Value: value.Float(f)}, nil
+
+	case TokString:
+		p.pos++
+		return &Literal{Value: value.Str(t.Text)}, nil
+
+	case TokBlob:
+		p.pos++
+		return &Literal{Value: value.Bytes([]byte(t.Text))}, nil
+
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: value.Null()}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: value.Int(1)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: value.Int(0)}, nil
+		}
+		if aggregates[t.Text] {
+			p.pos++
+			return p.parseFuncCall(t.Text)
+		}
+		return nil, fmt.Errorf("sqlparse: unexpected keyword %v in expression", t)
+
+	case TokIdent:
+		return p.parseColumnRef()
+
+	case TokOp:
+		if t.Text == "(" {
+			p.pos++
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlparse: unexpected token %v", t)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.acceptOp("*") {
+		if name != "COUNT" {
+			return nil, fmt.Errorf("sqlparse: %s(*) is not valid", name)
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &FuncCall{Name: name, Star: true}, nil
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &FuncCall{Name: name, Arg: arg}, nil
+}

@@ -1,0 +1,311 @@
+package sqlparse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The query from Example 4 of the paper.
+	s, err := Parse("SELECT A1 FROM R WHERE A2 > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Select) != 1 || s.Select[0].Star {
+		t.Fatalf("select list: %+v", s.Select)
+	}
+	col, ok := s.Select[0].Expr.(*ColumnRef)
+	if !ok || col.Name != "A1" {
+		t.Fatalf("select expr: %#v", s.Select[0].Expr)
+	}
+	if len(s.From) != 1 || s.From[0].Name != "R" {
+		t.Fatalf("from: %+v", s.From)
+	}
+	cmp, ok := s.Where.(*BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		t.Fatalf("where: %#v", s.Where)
+	}
+	lit, ok := cmp.Right.(*Literal)
+	if !ok || lit.Value.AsInt() != 5 {
+		t.Fatalf("where rhs: %#v", cmp.Right)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := MustParse("SELECT * FROM r")
+	if !s.Select[0].Star {
+		t.Fatal("star not recognized")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	if !MustParse("SELECT DISTINCT a FROM r").Distinct {
+		t.Fatal("DISTINCT not recognized")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := MustParse("SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(w) FROM r")
+	if len(s.Select) != 5 {
+		t.Fatalf("select count = %d", len(s.Select))
+	}
+	c := s.Select[0].Expr.(*FuncCall)
+	if c.Name != "COUNT" || !c.Star {
+		t.Fatalf("COUNT(*): %#v", c)
+	}
+	sum := s.Select[1].Expr.(*FuncCall)
+	if sum.Name != "SUM" || sum.Star || sum.Arg.(*ColumnRef).Name != "x" {
+		t.Fatalf("SUM(x): %#v", sum)
+	}
+}
+
+func TestStarOnlyForCount(t *testing.T) {
+	if _, err := Parse("SELECT SUM(*) FROM r"); err == nil {
+		t.Fatal("SUM(*) must be rejected")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x = 1 OR y = 2 AND z = 3")
+	or, ok := s.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op should be OR: %#v", s.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("AND must bind tighter: %#v", or.Right)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE (x = 1 OR y = 2) AND z = 3")
+	and := s.Where.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top op should be AND: %#v", s.Where)
+	}
+	if or := and.Left.(*BinaryExpr); or.Op != "OR" {
+		t.Fatalf("parenthesized OR lost: %#v", and.Left)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x + 2 * 3 = 7")
+	eq := s.Where.(*BinaryExpr)
+	add := eq.Left.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("left of = should be +: %#v", eq.Left)
+	}
+	if mul := add.Right.(*BinaryExpr); mul.Op != "*" {
+		t.Fatalf("* must bind tighter than +: %#v", add.Right)
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x IN (1, 2, 3)")
+	in := s.Where.(*InExpr)
+	if in.Not || len(in.List) != 3 {
+		t.Fatalf("in: %#v", in)
+	}
+	s = MustParse("SELECT a FROM r WHERE x NOT IN ('u', 'v')")
+	in = s.Where.(*InExpr)
+	if !in.Not || len(in.List) != 2 {
+		t.Fatalf("not in: %#v", in)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x BETWEEN 1 AND 10 AND y = 2")
+	and := s.Where.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top: %#v", s.Where)
+	}
+	bt := and.Left.(*BetweenExpr)
+	if bt.Lo.(*Literal).Value.AsInt() != 1 || bt.Hi.(*Literal).Value.AsInt() != 10 {
+		t.Fatalf("between bounds: %#v", bt)
+	}
+}
+
+func TestParseLikeIsNull(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE name LIKE 'ab%' AND x IS NOT NULL")
+	and := s.Where.(*BinaryExpr)
+	like := and.Left.(*LikeExpr)
+	if like.Pattern.(*Literal).Value.AsString() != "ab%" {
+		t.Fatalf("like: %#v", like)
+	}
+	isn := and.Right.(*IsNullExpr)
+	if !isn.Not {
+		t.Fatalf("is not null: %#v", isn)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := MustParse("SELECT a FROM r JOIN s ON r.id = s.rid LEFT JOIN q ON s.id = q.sid WHERE a > 0")
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins: %d", len(s.Joins))
+	}
+	if s.Joins[0].Kind != JoinInner || s.Joins[1].Kind != JoinLeft {
+		t.Fatalf("join kinds: %v %v", s.Joins[0].Kind, s.Joins[1].Kind)
+	}
+	on := s.Joins[0].On.(*BinaryExpr)
+	l := on.Left.(*ColumnRef)
+	if l.Table != "r" || l.Name != "id" {
+		t.Fatalf("qualified ref: %#v", l)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	s := MustParse("SELECT a FROM r, s WHERE r.id = s.rid")
+	if len(s.From) != 2 {
+		t.Fatalf("from: %+v", s.From)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	s := MustParse("SELECT t.a AS col FROM r AS t")
+	if s.From[0].Alias != "t" || s.From[0].EffectiveName() != "t" {
+		t.Fatalf("table alias: %+v", s.From[0])
+	}
+	if s.Select[0].Alias != "col" {
+		t.Fatalf("select alias: %+v", s.Select[0])
+	}
+	// Implicit alias without AS.
+	s = MustParse("SELECT x FROM r t")
+	if s.From[0].Alias != "t" {
+		t.Fatalf("implicit alias: %+v", s.From[0])
+	}
+}
+
+func TestParseGroupHavingOrderLimit(t *testing.T) {
+	s := MustParse("SELECT a, COUNT(*) FROM r GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC, b LIMIT 10")
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Name != "a" {
+		t.Fatalf("group by: %+v", s.GroupBy)
+	}
+	if s.Having == nil {
+		t.Fatal("having missing")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("order by: %+v", s.OrderBy)
+	}
+	if s.Limit == nil || *s.Limit != 10 {
+		t.Fatalf("limit: %v", s.Limit)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x > -5 AND y < -2.5")
+	and := s.Where.(*BinaryExpr)
+	gt := and.Left.(*BinaryExpr)
+	if gt.Right.(*Literal).Value.AsInt() != -5 {
+		t.Fatalf("negative int folding: %#v", gt.Right)
+	}
+	lt := and.Right.(*BinaryExpr)
+	if lt.Right.(*Literal).Value.AsFloat() != -2.5 {
+		t.Fatalf("negative float folding: %#v", lt.Right)
+	}
+}
+
+func TestParseNullLiteral(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x = NULL")
+	eq := s.Where.(*BinaryExpr)
+	if !eq.Right.(*Literal).Value.IsNull() {
+		t.Fatal("NULL literal not parsed")
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE NOT x = 1")
+	not := s.Where.(*UnaryExpr)
+	if not.Op != "NOT" {
+		t.Fatalf("not: %#v", s.Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE r SET a = 1",
+		"SELECT FROM r",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM r WHERE",
+		"SELECT a FROM r WHERE x >",
+		"SELECT a FROM r GROUP a",
+		"SELECT a FROM r LIMIT x",
+		"SELECT a FROM r LIMIT -1",
+		"SELECT a FROM r extra garbage",
+		"SELECT a FROM r WHERE x IN ()",
+		"SELECT a FROM r WHERE x BETWEEN 1",
+		"SELECT a FROM r WHERE x NOT 5",
+		"SELECT a FROM r JOIN s",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT a FROM r;"); err != nil {
+		t.Fatalf("trailing semicolon: %v", err)
+	}
+}
+
+func TestTablesHelper(t *testing.T) {
+	s := MustParse("SELECT a FROM r, s JOIN q ON s.x = q.y")
+	var names []string
+	for _, tr := range s.Tables() {
+		names = append(names, tr.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"r", "s", "q"}) {
+		t.Fatalf("tables = %v", names)
+	}
+}
+
+func TestWalkStmtVisitsEverything(t *testing.T) {
+	s := MustParse("SELECT SUM(a) FROM r JOIN s ON r.i = s.j WHERE b IN (1,2) AND c BETWEEN 3 AND 4 GROUP BY d HAVING COUNT(*) > 1 ORDER BY e")
+	var lits, cols int
+	WalkStmt(s, func(e Expr) bool {
+		switch e.(type) {
+		case *Literal:
+			lits++
+		case *ColumnRef:
+			cols++
+		}
+		return true
+	})
+	if lits != 5 { // 1,2,3,4 and HAVING's 1
+		t.Fatalf("literals visited = %d, want 5", lits)
+	}
+	// a, r.i, s.j, b, c, d, e
+	if cols != 7 {
+		t.Fatalf("columns visited = %d, want 7", cols)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := MustParse("SELECT a FROM r WHERE x = 1 AND y IN (2, 3) ORDER BY a LIMIT 5")
+	c := s.Clone()
+	if s.SQL() != c.SQL() {
+		t.Fatal("clone must render identically")
+	}
+	// Mutate the clone; the original must not change.
+	c.Where.(*BinaryExpr).Left.(*BinaryExpr).Right = &Literal{Value: value.Int(99)}
+	*c.Limit = 7
+	c.Select[0].Alias = "zz"
+	if strings.Contains(s.SQL(), "99") || *s.Limit != 5 || s.Select[0].Alias != "" {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("not sql")
+}

@@ -1,0 +1,170 @@
+package sqlparse
+
+// Property test: randomly generated ASTs survive print → parse → print
+// as a fixed point. This is the invariant the encrypted log depends on —
+// the shared artifact is the printed string, and the provider re-parses
+// it.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/crypto/prf"
+	"repro/internal/value"
+)
+
+// astGen builds random statements from a deterministic stream.
+type astGen struct {
+	d *prf.DRBG
+}
+
+func (g *astGen) ident() string {
+	names := []string{"a", "b", "c", "ra", "mag_r", "objid", "t1"}
+	return names[g.d.Uint64n(uint64(len(names)))]
+}
+
+func (g *astGen) literal() Expr {
+	switch g.d.Uint64n(4) {
+	case 0:
+		return &Literal{Value: value.Int(g.d.Int64Range(-1000, 1000))}
+	case 1:
+		return &Literal{Value: value.Float(float64(g.d.Int64Range(-100, 100)) + 0.5)}
+	case 2:
+		return &Literal{Value: value.Str("s" + g.ident())}
+	default:
+		return &Literal{Value: value.Bytes([]byte{byte(g.d.Uint64()), byte(g.d.Uint64())})}
+	}
+}
+
+func (g *astGen) column() *ColumnRef {
+	c := &ColumnRef{Name: g.ident()}
+	if g.d.Uint64n(4) == 0 {
+		c.Table = "q" + g.ident()
+	}
+	return c
+}
+
+// predicate generates a boolean expression of bounded depth.
+func (g *astGen) predicate(depth int) Expr {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.d.Uint64n(5) {
+	case 0:
+		return &BinaryExpr{Op: "AND", Left: g.predicate(depth - 1), Right: g.predicate(depth - 1)}
+	case 1:
+		return &BinaryExpr{Op: "OR", Left: g.predicate(depth - 1), Right: g.predicate(depth - 1)}
+	case 2:
+		return &UnaryExpr{Op: "NOT", Expr: g.predicate(depth - 1)}
+	default:
+		return g.atom()
+	}
+}
+
+func (g *astGen) atom() Expr {
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	switch g.d.Uint64n(6) {
+	case 0:
+		in := &InExpr{Expr: g.column(), Not: g.d.Uint64n(2) == 0}
+		for i := uint64(0); i <= g.d.Uint64n(3); i++ {
+			in.List = append(in.List, g.literal())
+		}
+		return in
+	case 1:
+		return &BetweenExpr{Expr: g.column(), Not: g.d.Uint64n(2) == 0, Lo: g.literal(), Hi: g.literal()}
+	case 2:
+		return &LikeExpr{Expr: g.column(), Not: g.d.Uint64n(2) == 0, Pattern: &Literal{Value: value.Str("p%_x")}}
+	case 3:
+		return &IsNullExpr{Expr: g.column(), Not: g.d.Uint64n(2) == 0}
+	default:
+		return &BinaryExpr{Op: ops[g.d.Uint64n(uint64(len(ops)))], Left: g.column(), Right: g.literal()}
+	}
+}
+
+func (g *astGen) stmt() *SelectStmt {
+	s := &SelectStmt{Distinct: g.d.Uint64n(4) == 0}
+	if g.d.Uint64n(6) == 0 {
+		s.Select = append(s.Select, SelectItem{Star: true})
+	} else {
+		for i := uint64(0); i <= g.d.Uint64n(3); i++ {
+			item := SelectItem{Expr: g.column()}
+			if g.d.Uint64n(3) == 0 {
+				aggs := []string{"COUNT", "SUM", "AVG", "MIN", "MAX"}
+				item.Expr = &FuncCall{Name: aggs[g.d.Uint64n(5)], Arg: g.column()}
+			}
+			if g.d.Uint64n(4) == 0 {
+				item.Alias = "al" + g.ident()
+			}
+			s.Select = append(s.Select, item)
+		}
+	}
+	s.From = append(s.From, TableRef{Name: "tbl" + g.ident()})
+	if g.d.Uint64n(3) == 0 {
+		s.From[0].Alias = "x" + g.ident()
+	}
+	if g.d.Uint64n(3) == 0 {
+		kind := JoinInner
+		if g.d.Uint64n(2) == 0 {
+			kind = JoinLeft
+		}
+		s.Joins = append(s.Joins, JoinClause{
+			Kind:  kind,
+			Table: TableRef{Name: "jt" + g.ident()},
+			On:    &BinaryExpr{Op: "=", Left: g.column(), Right: g.column()},
+		})
+	}
+	if g.d.Uint64n(2) == 0 {
+		s.Where = g.predicate(2)
+	}
+	if g.d.Uint64n(3) == 0 {
+		s.GroupBy = append(s.GroupBy, g.column())
+		if g.d.Uint64n(2) == 0 {
+			s.Having = &BinaryExpr{Op: ">", Left: &FuncCall{Name: "COUNT", Star: true}, Right: &Literal{Value: value.Int(2)}}
+		}
+	}
+	if g.d.Uint64n(3) == 0 {
+		s.OrderBy = append(s.OrderBy, OrderItem{Column: g.column(), Desc: g.d.Uint64n(2) == 0})
+	}
+	if g.d.Uint64n(4) == 0 {
+		n := g.d.Int64Range(0, 100)
+		s.Limit = &n
+	}
+	return s
+}
+
+func TestRandomASTPrintParseFixedPoint(t *testing.T) {
+	g := &astGen{d: prf.NewDRBG([]byte("ast-roundtrip"), []byte("gen"))}
+	for i := 0; i < 500; i++ {
+		s1 := g.stmt()
+		sql1 := s1.SQL()
+		s2, err := Parse(sql1)
+		if err != nil {
+			t.Fatalf("iteration %d: generated SQL does not parse: %v\n%s", i, err, sql1)
+		}
+		sql2 := s2.SQL()
+		if sql1 != sql2 {
+			t.Fatalf("iteration %d: print not a fixed point:\n%s\n%s", i, sql1, sql2)
+		}
+		s3, err := Parse(sql2)
+		if err != nil {
+			t.Fatalf("iteration %d: second parse failed: %v", i, err)
+		}
+		if !reflect.DeepEqual(s2, s3) {
+			t.Fatalf("iteration %d: ASTs differ between parses of the same string", i)
+		}
+	}
+}
+
+func TestRandomASTCloneEquality(t *testing.T) {
+	g := &astGen{d: prf.NewDRBG([]byte("ast-clone"), []byte("gen"))}
+	for i := 0; i < 300; i++ {
+		s := g.stmt()
+		c := s.Clone()
+		if !reflect.DeepEqual(s, c) {
+			t.Fatalf("iteration %d: clone differs from original", i)
+		}
+		if s.SQL() != c.SQL() {
+			t.Fatalf("iteration %d: clone renders differently", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package sqlparse
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokKeyword
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokBlob // X'<hex>' byte-string literal (carries decoded bytes as Text)
+	TokOp   // operators and punctuation: = <> < <= > >= + - * / ( ) , . ;
+	TokInvalid
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokKeyword:
+		return "KEYWORD"
+	case TokIdent:
+		return "IDENT"
+	case TokInt:
+		return "INT"
+	case TokFloat:
+		return "FLOAT"
+	case TokString:
+		return "STRING"
+	case TokBlob:
+		return "BLOB"
+	case TokOp:
+		return "OP"
+	case TokInvalid:
+		return "INVALID"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical unit of a query string. Keywords are normalized
+// to upper case in Text; identifiers keep their original spelling;
+// string tokens carry the unquoted, unescaped payload.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d", t.Kind, t.Text, t.Pos)
+}
+
+// keywords is the set of reserved words of the supported SQL subset.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true, "AS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"TRUE": true, "FALSE": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[word] }

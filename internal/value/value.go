@@ -1,0 +1,219 @@
+// Package value defines the dynamically-typed SQL value used across the
+// query AST, the relational engine, and the encrypted execution layer.
+//
+// A Value is one of: NULL, a 64-bit integer, a 64-bit float, a string, or
+// a byte string. Byte strings carry ciphertexts (DET/OPE/HOM outputs) in
+// encrypted tables; they compare lexicographically, which is exactly the
+// right semantics for OPE ciphertexts.
+package value
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of a Value.
+type Kind uint8
+
+// The value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBytes:
+		return "BYTES"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    []byte
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bytes returns a byte-string value. The slice is not copied; callers
+// must not mutate it afterwards.
+func Bytes(v []byte) Value { return Value{kind: KindBytes, b: v} }
+
+// BigInt encodes a big integer (e.g. a Paillier ciphertext) as a byte
+// value.
+func BigInt(v *big.Int) Value { return Bytes(v.Bytes()) }
+
+// Kind returns the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it panics on other kinds.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, widening integers; it panics on
+// non-numeric kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("value: AsFloat on " + v.kind.String())
+	}
+}
+
+// AsString returns the string payload; it panics on other kinds.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBytes returns the byte payload; it panics on other kinds.
+func (v Value) AsBytes() []byte {
+	if v.kind != KindBytes {
+		panic("value: AsBytes on " + v.kind.String())
+	}
+	return v.b
+}
+
+// AsBigInt decodes a byte value into a big integer.
+func (v Value) AsBigInt() *big.Int {
+	return new(big.Int).SetBytes(v.AsBytes())
+}
+
+// IsNumeric reports whether v is an INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports SQL equality with NULL never equal to anything (not even
+// NULL), and cross-numeric comparison (1 == 1.0).
+func (v Value) Equal(w Value) (bool, bool) {
+	if v.IsNull() || w.IsNull() {
+		return false, false // unknown
+	}
+	c, ok := v.Compare(w)
+	return ok && c == 0, ok
+}
+
+// Compare orders two non-NULL values. The second result is false when the
+// kinds are incomparable (e.g. INT vs STRING) or either side is NULL.
+func (v Value) Compare(w Value) (int, bool) {
+	if v.IsNull() || w.IsNull() {
+		return 0, false
+	}
+	if v.IsNumeric() && w.IsNumeric() {
+		if v.kind == KindInt && w.kind == KindInt {
+			switch {
+			case v.i < w.i:
+				return -1, true
+			case v.i > w.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind == KindString && w.kind == KindString {
+		return strings.Compare(v.s, w.s), true
+	}
+	if v.kind == KindBytes && w.kind == KindBytes {
+		return bytes.Compare(v.b, w.b), true
+	}
+	return 0, false
+}
+
+// Key returns a canonical string usable as a map key; distinct values get
+// distinct keys within a kind, and kinds are tagged so 1 != "1" != 1.0
+// (except that INT and FLOAT representing the same number share a key,
+// matching SQL equality).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n:"
+	case KindInt:
+		return "#:" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			return "#:" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "#:" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "s:" + v.s
+	case KindBytes:
+		return "b:" + string(v.b)
+	default:
+		panic("value: unknown kind")
+	}
+}
+
+// String renders the value as a SQL literal: NULL, 42, 4.2, 'text' (with
+// quote doubling), or X'<hex>' for bytes.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBytes:
+		return "X'" + fmt.Sprintf("%x", v.b) + "'"
+	default:
+		panic("value: unknown kind")
+	}
+}

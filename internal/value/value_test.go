@@ -1,0 +1,179 @@
+package value
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(5), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("x"), KindString},
+		{Bytes([]byte{1}), KindBytes},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 {
+		t.Error("AsInt")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("AsFloat must widen ints")
+	}
+	if Str("abc").AsString() != "abc" {
+		t.Error("AsString")
+	}
+	if string(Bytes([]byte("zz")).AsBytes()) != "zz" {
+		t.Error("AsBytes")
+	}
+	n := big.NewInt(123456789)
+	if BigInt(n).AsBigInt().Cmp(n) != 0 {
+		t.Error("BigInt round trip")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"AsInt on string":   func() { Str("x").AsInt() },
+		"AsString on int":   func() { Int(1).AsString() },
+		"AsFloat on string": func() { Str("x").AsFloat() },
+		"AsBytes on int":    func() { Int(1).AsBytes() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompareNumeric(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(1.0), Int(1), 0},
+		{Float(2.5), Float(2.5), 0},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Compare(c.b)
+		if !ok || got != c.want {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,true", c.a, c.b, got, ok, c.want)
+		}
+	}
+}
+
+func TestCompareStringsAndBytes(t *testing.T) {
+	if c, ok := Str("a").Compare(Str("b")); !ok || c != -1 {
+		t.Error("string compare")
+	}
+	if c, ok := Bytes([]byte{1}).Compare(Bytes([]byte{2})); !ok || c != -1 {
+		t.Error("bytes compare")
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	if _, ok := Int(1).Compare(Str("1")); ok {
+		t.Error("INT vs STRING must be incomparable")
+	}
+	if _, ok := Null().Compare(Int(1)); ok {
+		t.Error("NULL must be incomparable")
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if eq, ok := Null().Equal(Null()); eq || ok {
+		t.Error("NULL = NULL must be unknown")
+	}
+	if eq, ok := Int(1).Equal(Int(1)); !eq || !ok {
+		t.Error("1 = 1 must be true")
+	}
+	if eq, ok := Int(1).Equal(Float(1.0)); !eq || !ok {
+		t.Error("1 = 1.0 must be true")
+	}
+}
+
+func TestKeyDistinguishesKinds(t *testing.T) {
+	keys := []string{Int(1).Key(), Str("1").Key(), Bytes([]byte("1")).Key(), Null().Key()}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[i] == keys[j] {
+				t.Errorf("keys %d and %d collide: %q", i, j, keys[i])
+			}
+		}
+	}
+	// SQL equality: 1 and 1.0 share a key.
+	if Int(1).Key() != Float(1.0).Key() {
+		t.Error("Int(1) and Float(1.0) must share a key (SQL equality)")
+	}
+	if Float(1.5).Key() == Int(1).Key() {
+		t.Error("1.5 must not collide with 1")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Float(3), "3.0"},
+		{Str("it's"), "'it''s'"},
+		{Bytes([]byte{0xAB}), "X'ab'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Int(a).Compare(Int(b))
+		c2, ok2 := Int(b).Compare(Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyInjectiveOnInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		return (a == b) == (Int(a).Key() == Int(b).Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
