@@ -12,6 +12,7 @@ package dpe
 //	BenchmarkOPE_DomainBits      — P2: OPE cost vs domain width
 //	BenchmarkPaillier_*          — P3: HOM operation costs
 //	BenchmarkDistance_*          — P4: distance-matrix construction
+//	BenchmarkBuildMatrix/*       — P4b: sequential vs parallel engine
 //	BenchmarkEndToEnd_*          — P5: encrypt-log + mine pipelines
 //
 // Run: go test -bench . -benchmem
@@ -19,8 +20,10 @@ package dpe
 // (b.N iterations recompute the result to time it).
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -368,6 +371,41 @@ func BenchmarkDistance_AccessAreaMatrix(b *testing.B) {
 		if _, err := AccessAreaDistanceMatrix(w.Queries, w.Domains, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- P4b: the parallel distance engine, sequential vs worker pool ---
+
+// BenchmarkBuildMatrix measures a full Provider.DistanceMatrix over a
+// 64-query result-distance workload — the heaviest pair function, since
+// preparation executes every query over the catalog. "seq" is the
+// sequential engine; "par-N" fans both the per-query execution and the
+// upper-triangle fan-out over N workers. All variants produce entry-wise
+// identical matrices (TestProviderDistanceMatrixAllMeasures pins that).
+func BenchmarkBuildMatrix(b *testing.B) {
+	w, _ := benchWorkload(b, 64)
+	run := func(b *testing.B, parallelism int) {
+		b.Helper()
+		p, err := NewProvider(MeasureResult, WithCatalog(w.Catalog, nil), WithParallelism(parallelism))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.DistanceMatrix(ctx, w.Queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 1) }) // parallelism 1
+	seen := map[int]bool{1: true}                  // par-1 would duplicate seq
+	for _, par := range []int{4, runtime.NumCPU()} {
+		if seen[par] {
+			continue
+		}
+		seen[par] = true
+		b.Run(fmt.Sprintf("par-%d", par), func(b *testing.B) { run(b, par) })
 	}
 }
 

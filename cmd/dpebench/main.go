@@ -9,35 +9,45 @@
 //	dpebench -exp accessarea  # E4: Section IV-C refinement
 //	dpebench -exp shared      # E5: shared-information columns
 //	dpebench -exp rules       # E6: association rules over encrypted logs
-//	dpebench -exp all         # everything (default)
+//	dpebench -exp all         # everything above (default)
 //
-// Scaling flags: -queries, -rows, -seed, -paillier.
+//	dpebench -exp engine -measure result -queries 64
+//	                          # P: sequential vs parallel matrix build
+//
+// Scaling flags: -queries, -rows, -seed, -paillier; -measure and -par
+// scope the engine experiment.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	dpe "repro"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|all")
 	queries := flag.Int("queries", 60, "queries in the generated log")
 	rows := flag.Int("rows", 120, "rows per generated table")
 	seed := flag.String("seed", "seed-42", "workload seed")
 	paillier := flag.Int("paillier", 512, "Paillier modulus bits")
+	measureName := flag.String("measure", "result", "measure for -exp engine: token|structure|result|access-area")
+	par := flag.Int("par", 0, "parallelism for -exp engine (0 = all cores)")
 	flag.Parse()
 
 	p := experiments.Params{Seed: *seed, Queries: *queries, Rows: *rows, PaillierBits: *paillier}
-	if err := run(*exp, p); err != nil {
+	if err := run(*exp, p, *measureName, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "dpebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, p experiments.Params) error {
+func run(exp string, p experiments.Params, measureName string, par int) error {
 	all := exp == "all"
 	ran := false
 
@@ -97,8 +107,105 @@ func run(exp string, p experiments.Params) error {
 		}
 		fmt.Println(experiments.RenderSharedInfo(rows))
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|all)", exp)
+	if exp == "engine" {
+		ran = true
+		if err := engine(p, measureName, par); err != nil {
+			return err
+		}
 	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|all)", exp)
+	}
+	return nil
+}
+
+// engine measures the parallel distance engine: one encrypted log, one
+// Provider session per parallelism level, wall-clock per full matrix
+// build. The matrices are checked entry-wise identical across levels.
+func engine(p experiments.Params, measureName string, par int) error {
+	ctx := context.Background()
+	m, err := dpe.ParseMeasure(measureName)
+	if err != nil {
+		return err
+	}
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
+		Seed: p.Seed, Queries: p.Queries, Rows: p.Rows,
+		IncludeAggregates: true, IncludeJoins: true,
+	})
+	if err != nil {
+		return err
+	}
+	owner, err := dpe.NewOwner([]byte("engine:"+p.Seed), w.Schema, dpe.Config{PaillierBits: p.PaillierBits})
+	if err != nil {
+		return err
+	}
+	if err := owner.DeclareJoins(w.Queries); err != nil {
+		return err
+	}
+	encLog, err := owner.EncryptLog(w.Queries, m)
+	if err != nil {
+		return err
+	}
+	// The encrypted artifacts do not depend on parallelism: encrypt once,
+	// vary only the worker-pool size per level.
+	var shared []dpe.ProviderOption
+	switch m {
+	case dpe.MeasureResult:
+		encCat, err := owner.EncryptCatalog(w.Catalog)
+		if err != nil {
+			return err
+		}
+		shared = append(shared, dpe.WithCatalog(encCat, owner.ResultAggregator()))
+	case dpe.MeasureAccessArea:
+		encDomains, err := owner.EncryptDomains(w.Domains)
+		if err != nil {
+			return err
+		}
+		shared = append(shared, dpe.WithDomains(encDomains))
+	}
+
+	fmt.Printf("P — PARALLEL DISTANCE ENGINE (measure %s, %d encrypted queries, %d pairs)\n\n",
+		m, len(encLog), len(encLog)*(len(encLog)-1)/2)
+	fmt.Printf("%-12s | %-12s | %s\n", "parallelism", "build time", "speedup vs seq")
+	fmt.Println("--------------------------------------------")
+	levels := []int{1}
+	if par > 1 {
+		levels = append(levels, par)
+	}
+	var seq time.Duration
+	var baseline dpe.Matrix
+	for _, level := range levels {
+		provider, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(level)}, shared...)...)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		matrix, err := provider.DistanceMatrix(ctx, encLog)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if level == 1 {
+			seq, baseline = elapsed, matrix
+			fmt.Printf("%-12d | %-12s | 1.00x\n", level, elapsed.Round(time.Microsecond))
+			continue
+		}
+		rep, err := provider.VerifyPreservation(baseline, matrix)
+		if err != nil {
+			return err
+		}
+		if !rep.Preserved {
+			return fmt.Errorf("engine: parallel matrix differs from sequential (max |Δd| %.2e)", rep.MaxAbsError)
+		}
+		fmt.Printf("%-12d | %-12s | %.2fx\n", level, elapsed.Round(time.Microsecond), float64(seq)/float64(elapsed))
+	}
+	if len(levels) == 1 {
+		fmt.Println("\nonly one CPU available: sequential build only, nothing to compare (use -par N to force a pool)")
+		return nil
+	}
+	fmt.Println("\nparallel matrix verified entry-wise identical to the sequential build")
 	return nil
 }

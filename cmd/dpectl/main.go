@@ -7,13 +7,16 @@
 //	dpectl verify   -measure token              # check Definition 1
 //
 // Everything is deterministic in -seed; the master key comes from
-// -master (do not reuse the default outside demos).
+// -master (do not reuse the default outside demos). -par sizes the
+// provider's worker pool (0 means all cores).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	dpe "repro"
 )
@@ -29,11 +32,15 @@ func main() {
 	master := fs.String("master", "dpectl-demo-master", "master secret")
 	queries := fs.Int("queries", 20, "queries in the log")
 	rowsN := fs.Int("rows", 80, "rows per table")
-	measureName := fs.String("measure", "token", "measure: token|structure|result|accessarea")
+	measureName := fs.String("measure", "token", "measure: token|structure|result|access-area")
 	k := fs.Int("k", 4, "clusters for mine")
+	par := fs.Int("par", 0, "distance-engine parallelism (0 = all cores)")
 	fs.Parse(os.Args[2:])
 
-	if err := run(cmd, *seed, *master, *queries, *rowsN, *measureName, *k); err != nil {
+	if *par <= 0 {
+		*par = runtime.NumCPU()
+	}
+	if err := run(cmd, *seed, *master, *queries, *rowsN, *measureName, *k, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "dpectl:", err)
 		os.Exit(1)
 	}
@@ -41,21 +48,6 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: dpectl <gen|encrypt|distance|mine|verify> [flags]")
-}
-
-func measureOf(name string) (dpe.Measure, error) {
-	switch name {
-	case "token":
-		return dpe.MeasureToken, nil
-	case "structure":
-		return dpe.MeasureStructure, nil
-	case "result":
-		return dpe.MeasureResult, nil
-	case "accessarea", "access-area":
-		return dpe.MeasureAccessArea, nil
-	default:
-		return 0, fmt.Errorf("unknown measure %q", name)
-	}
 }
 
 func setup(seed, master string, queries, rows int) (*dpe.Workload, *dpe.Owner, error) {
@@ -76,52 +68,42 @@ func setup(seed, master string, queries, rows int) (*dpe.Workload, *dpe.Owner, e
 	return w, owner, nil
 }
 
-// matrices builds the plaintext and ciphertext distance matrices for a
-// measure, sharing exactly the inputs Table I prescribes.
-func matrices(w *dpe.Workload, owner *dpe.Owner, m dpe.Measure) (dpe.Matrix, dpe.Matrix, []string, error) {
-	encLog, err := owner.EncryptLog(w.Queries, m)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	var plain, enc dpe.Matrix
+// providers builds the owner-side (plaintext artifacts) and
+// provider-side (encrypted artifacts) sessions for a measure, sharing
+// exactly the inputs Table I prescribes.
+func providers(w *dpe.Workload, owner *dpe.Owner, m dpe.Measure, par int) (plain, enc *dpe.Provider, err error) {
+	plainOpts := []dpe.ProviderOption{dpe.WithParallelism(par)}
+	encOpts := []dpe.ProviderOption{dpe.WithParallelism(par)}
 	switch m {
-	case dpe.MeasureToken:
-		plain, err = dpe.TokenDistanceMatrix(w.Queries)
-		if err == nil {
-			enc, err = dpe.TokenDistanceMatrix(encLog)
-		}
-	case dpe.MeasureStructure:
-		plain, err = dpe.StructureDistanceMatrix(w.Queries)
-		if err == nil {
-			enc, err = dpe.StructureDistanceMatrix(encLog)
-		}
 	case dpe.MeasureResult:
-		plain, err = dpe.ResultDistanceMatrix(w.Queries, w.Catalog, nil)
-		if err == nil {
-			var encCat *dpe.Catalog
-			encCat, err = owner.EncryptCatalog(w.Catalog)
-			if err == nil {
-				enc, err = dpe.ResultDistanceMatrix(encLog, encCat, owner.ResultAggregator())
-			}
+		encCat, err := owner.EncryptCatalog(w.Catalog)
+		if err != nil {
+			return nil, nil, err
 		}
+		plainOpts = append(plainOpts, dpe.WithCatalog(w.Catalog, nil))
+		encOpts = append(encOpts, dpe.WithCatalog(encCat, owner.ResultAggregator()))
 	case dpe.MeasureAccessArea:
-		plain, err = dpe.AccessAreaDistanceMatrix(w.Queries, w.Domains, 0)
-		if err == nil {
-			var encDomains map[string]dpe.Domain
-			encDomains, err = owner.EncryptDomains(w.Domains)
-			if err == nil {
-				enc, err = dpe.AccessAreaDistanceMatrix(encLog, encDomains, 0)
-			}
+		encDomains, err := owner.EncryptDomains(w.Domains)
+		if err != nil {
+			return nil, nil, err
 		}
+		plainOpts = append(plainOpts, dpe.WithDomains(w.Domains))
+		encOpts = append(encOpts, dpe.WithDomains(encDomains))
 	}
+	plain, err = dpe.NewProvider(m, plainOpts...)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return plain, enc, encLog, nil
+	enc, err = dpe.NewProvider(m, encOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plain, enc, nil
 }
 
-func run(cmd, seed, master string, queries, rows int, measureName string, k int) error {
-	m, err := measureOf(measureName)
+func run(cmd, seed, master string, queries, rows int, measureName string, k, par int) error {
+	ctx := context.Background()
+	m, err := dpe.ParseMeasure(measureName)
 	if err != nil {
 		return err
 	}
@@ -148,7 +130,15 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k int)
 		return nil
 
 	case "distance":
-		_, enc, _, err := matrices(w, owner, m)
+		encLog, err := owner.EncryptLog(w.Queries, m)
+		if err != nil {
+			return err
+		}
+		_, provider, err := providers(w, owner, m, par)
+		if err != nil {
+			return err
+		}
+		enc, err := provider.DistanceMatrix(ctx, encLog)
 		if err != nil {
 			return err
 		}
@@ -162,18 +152,22 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k int)
 		return nil
 
 	case "mine":
-		_, enc, _, err := matrices(w, owner, m)
+		encLog, err := owner.EncryptLog(w.Queries, m)
 		if err != nil {
 			return err
 		}
-		res, err := dpe.KMedoids(enc, k)
+		_, provider, err := providers(w, owner, m, par)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k-medoids over the ENCRYPTED log (measure %s, k=%d, cost %.3f):\n", m, k, res.Cost)
-		for c := range res.Medoids {
-			fmt.Printf("cluster %d (medoid query %d):\n", c, res.Medoids[c])
-			for i, a := range res.Assign {
+		res, err := provider.Mine(ctx, encLog, dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: k})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("k-medoids over the ENCRYPTED log (measure %s, k=%d, cost %.3f):\n", m, k, res.Clusters.Cost)
+		for c := range res.Clusters.Medoids {
+			fmt.Printf("cluster %d (medoid query %d):\n", c, res.Clusters.Medoids[c])
+			for i, a := range res.Clusters.Assign {
 				if a == c {
 					fmt.Printf("   %3d  %s\n", i, w.Queries[i])
 				}
@@ -182,11 +176,23 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k int)
 		return nil
 
 	case "verify":
-		plain, enc, _, err := matrices(w, owner, m)
+		encLog, err := owner.EncryptLog(w.Queries, m)
 		if err != nil {
 			return err
 		}
-		rep, err := dpe.VerifyPreservation(plain, enc, 0)
+		plainP, encP, err := providers(w, owner, m, par)
+		if err != nil {
+			return err
+		}
+		plain, err := plainP.DistanceMatrix(ctx, w.Queries)
+		if err != nil {
+			return err
+		}
+		enc, err := encP.DistanceMatrix(ctx, encLog)
+		if err != nil {
+			return err
+		}
+		rep, err := encP.VerifyPreservation(plain, enc)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,14 @@
 // Package dpe is the public API of the reproduction of "Distance-Based
 // Data Mining Over Encrypted Data" (Tex, Schäler, Böhm — ICDE 2018).
 //
-// The library lets a data owner encrypt an SQL query log (and, when
+// The library models the paper's two roles explicitly. The data *owner*
+// holds the master secret: it encrypts an SQL query log (and, when
 // needed, database contents and attribute domains) such that one of four
-// query-distance measures is *preserved exactly* — so a service provider
-// can run distance-based mining (clustering, outlier detection, kNN) on
-// ciphertext and obtain bit-identical results (Definition 1 of the
-// paper).
+// query-distance measures is *preserved exactly*. The service *provider*
+// holds only the encrypted artifacts — the "shared information" column
+// of Table I — and runs distance-based mining (clustering, outlier
+// detection, kNN) on ciphertext, obtaining bit-identical results
+// (Definition 1 of the paper).
 //
 // The typical flow:
 //
@@ -15,9 +17,18 @@
 //	owner, _ := dpe.NewOwner([]byte("master secret"), schema, dpe.Config{})
 //	encLog, _ := owner.EncryptLog(queries, dpe.MeasureToken)
 //
-//	// provider side: only ciphertext
-//	m, _ := dpe.TokenDistanceMatrix(encLog)
+//	// provider side: a session over the shared ciphertext artifacts
+//	provider, _ := dpe.NewProvider(dpe.MeasureToken,
+//		dpe.WithParallelism(runtime.NumCPU()))
+//	m, _ := provider.DistanceMatrix(ctx, encLog)
 //	clusters, _ := dpe.KMedoids(m, 4)
+//
+// Measures that need shared artifacts take them as provider options:
+// MeasureResult needs the encrypted catalog (WithCatalog, plus the
+// owner's ResultAggregator), MeasureAccessArea the encrypted domains
+// (WithDomains). The distance engine underneath is a context-cancellable
+// worker pool, so n×n matrix builds scale with cores; the parallel
+// result is entry-wise identical to the sequential one.
 //
 // Package layering: this facade re-exports the pieces of internal/...
 // (crypto classes, SQL engine, CryptDB-style rewriter, distance
@@ -27,7 +38,9 @@
 package dpe
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/accessarea"
 	"repro/internal/core"
@@ -71,6 +84,23 @@ func (m Measure) String() string {
 		return "access-area"
 	default:
 		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// ParseMeasure is the inverse of Measure.String. It is case-insensitive
+// and also accepts the legacy spelling "accessarea".
+func ParseMeasure(name string) (Measure, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "token":
+		return MeasureToken, nil
+	case "structure":
+		return MeasureStructure, nil
+	case "result":
+		return MeasureResult, nil
+	case "access-area", "accessarea":
+		return MeasureAccessArea, nil
+	default:
+		return 0, fmt.Errorf("dpe: unknown measure %q (want token|structure|result|access-area)", name)
 	}
 }
 
@@ -236,54 +266,291 @@ func parseAll(queries []string) ([]*Statement, error) {
 	return out, nil
 }
 
-// --- provider-side distance computation (works on plaintext and on
-// ciphertext logs identically — that is the point of DPE) ---
+// --- provider side: a session over the shared encrypted artifacts
+// (works on plaintext and on ciphertext logs identically — that is the
+// point of DPE) ---
 
-// TokenDistanceMatrix computes the pairwise token distances of a log.
-func TokenDistanceMatrix(queries []string) (Matrix, error) {
-	return distance.BuildMatrix(len(queries), func(i, j int) (float64, error) {
-		return distance.Token(queries[i], queries[j])
-	})
+// Aggregator evaluates aggregates during query execution; the provider
+// receives the owner's ResultAggregator to run Paillier SUM/AVG over an
+// encrypted catalog. It contains only public-key material.
+type Aggregator = db.Aggregator
+
+// providerConfig collects the shared artifacts and tuning of a Provider.
+type providerConfig struct {
+	catalog     *Catalog
+	agg         Aggregator
+	domains     map[string]Domain
+	accessAreaX float64
+	parallelism int
+	tolerance   float64
 }
 
-// StructureDistanceMatrix computes pairwise query-structure distances.
-func StructureDistanceMatrix(queries []string) (Matrix, error) {
-	stmts, err := parseAll(queries)
+// ProviderOption configures a Provider at construction.
+type ProviderOption func(*providerConfig)
+
+// WithParallelism bounds the worker pool of the distance engine (matrix
+// fan-out and per-query preparation such as executing a result-distance
+// log). n <= 1 means sequential. The default is sequential; production
+// deployments pass runtime.NumCPU(). Parallel and sequential builds are
+// entry-wise identical.
+func WithParallelism(n int) ProviderOption {
+	return func(c *providerConfig) { c.parallelism = n }
+}
+
+// WithCatalog shares (encrypted) database contents with the provider —
+// the DB-Content shared information MeasureResult requires. For an
+// encrypted catalog pass the owner's ResultAggregator; for a plaintext
+// catalog pass nil.
+func WithCatalog(cat *Catalog, agg Aggregator) ProviderOption {
+	return func(c *providerConfig) { c.catalog, c.agg = cat, agg }
+}
+
+// WithDomains shares (encrypted) attribute domains with the provider —
+// the Domains shared information MeasureAccessArea requires.
+func WithDomains(domains map[string]Domain) ProviderOption {
+	return func(c *providerConfig) { c.domains = domains }
+}
+
+// WithAccessAreaX sets Definition 5's partial-overlap value x ∈ (0,1);
+// unset means the paper default 0.5.
+func WithAccessAreaX(x float64) ProviderOption {
+	return func(c *providerConfig) { c.accessAreaX = x }
+}
+
+// WithTolerance sets the tolerance the provider's VerifyPreservation
+// uses; unset means 1e-12.
+func WithTolerance(t float64) ProviderOption {
+	return func(c *providerConfig) { c.tolerance = t }
+}
+
+// Provider is the service-provider side of a deployment: a session
+// constructed once from a measure plus the shared encrypted artifacts of
+// Table I (encrypted catalog, encrypted domains, aggregate evaluator).
+// It never holds key material. A Provider is immutable after
+// construction and safe for concurrent use; the same session serves any
+// number of logs — by symmetry it works on plaintext logs with plaintext
+// artifacts too, which is how preservation is verified.
+type Provider struct {
+	measure     Measure
+	metric      distance.Metric
+	parallelism int
+	tolerance   float64
+}
+
+// NewProvider creates a provider session for a measure. Measures that
+// need shared information beyond the log itself require the matching
+// option: MeasureResult needs WithCatalog, MeasureAccessArea needs
+// WithDomains.
+func NewProvider(m Measure, opts ...ProviderOption) (*Provider, error) {
+	if _, err := m.mode(); err != nil {
+		return nil, err
+	}
+	cfg := providerConfig{tolerance: defaultTolerance}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	metric, err := distance.New(m.String(), distance.Artifacts{
+		Catalog:     cfg.catalog,
+		Exec:        db.Options{Aggregate: cfg.agg},
+		Domains:     cfg.domains,
+		AccessAreaX: cfg.accessAreaX,
+		Parallelism: cfg.parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return distance.BuildMatrix(len(stmts), func(i, j int) (float64, error) {
-		return distance.Structure(stmts[i], stmts[j]), nil
-	})
+	return &Provider{
+		measure:     m,
+		metric:      metric,
+		parallelism: cfg.parallelism,
+		tolerance:   cfg.tolerance,
+	}, nil
+}
+
+// defaultTolerance is the Definition 1 check's default: the measures are
+// preserved exactly, so only float round-trip noise is tolerated.
+const defaultTolerance = 1e-12
+
+// Measure returns the session's distance measure.
+func (p *Provider) Measure() Measure { return p.measure }
+
+// DistanceMatrix computes the pairwise distance matrix of a query log.
+// The per-query preparation (tokenizing, parsing, executing) runs once
+// per query, then the upper triangle fans out over the configured worker
+// pool. Cancelling ctx aborts the build promptly with the context's
+// error.
+func (p *Provider) DistanceMatrix(ctx context.Context, log []string) (Matrix, error) {
+	prep, err := p.metric.Prepare(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	return distance.BuildMatrix(ctx, prep.Len(), p.parallelism, prep.Distance)
+}
+
+// Distances computes the distances from query q to every query of the
+// log (the kNN access pattern without materializing the full matrix).
+// Entry q is 0.
+func (p *Provider) Distances(ctx context.Context, log []string, q int) ([]float64, error) {
+	if q < 0 || q >= len(log) {
+		return nil, fmt.Errorf("dpe: query index %d outside log of %d queries", q, len(log))
+	}
+	prep, err := p.metric.Prepare(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, prep.Len())
+	err = distance.BuildRow(ctx, prep.Len(), p.parallelism, q, prep.Distance, out)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyPreservation checks Definition 1 empirically with the session's
+// tolerance: the plaintext and ciphertext distance matrices must agree
+// entry-wise.
+func (p *Provider) VerifyPreservation(plain, enc Matrix) (*PreservationReport, error) {
+	return VerifyPreservation(plain, enc, p.tolerance)
+}
+
+// MiningAlgorithm selects what Provider.Mine runs over the distance
+// matrix.
+type MiningAlgorithm int
+
+// The mining algorithms of experiment E3.
+const (
+	// MineKMedoids clusters with Park–Jun k-medoids; spec.K clusters.
+	MineKMedoids MiningAlgorithm = iota
+	// MineDBSCAN clusters density-based; spec.Eps, spec.MinPts.
+	MineDBSCAN
+	// MineCompleteLink clusters agglomeratively; spec.K clusters.
+	MineCompleteLink
+	// MineOutliers finds Knorr–Ng DB(p, D) outliers; spec.P, spec.D.
+	MineOutliers
+	// MineKNN returns the spec.K nearest neighbors of spec.Query.
+	MineKNN
+)
+
+func (a MiningAlgorithm) String() string {
+	switch a {
+	case MineKMedoids:
+		return "k-medoids"
+	case MineDBSCAN:
+		return "dbscan"
+	case MineCompleteLink:
+		return "complete-link"
+	case MineOutliers:
+		return "outliers"
+	case MineKNN:
+		return "knn"
+	default:
+		return fmt.Sprintf("MiningAlgorithm(%d)", int(a))
+	}
+}
+
+// MineSpec selects a mining algorithm and its parameters.
+type MineSpec struct {
+	Algorithm MiningAlgorithm
+	// K is the cluster count (k-medoids, complete-link) or neighbor
+	// count (kNN).
+	K int
+	// Eps and MinPts parameterize DBSCAN.
+	Eps    float64
+	MinPts int
+	// P and D parameterize Knorr–Ng DB(p, D) outlier detection.
+	P, D float64
+	// Query is the query index kNN searches around.
+	Query int
+}
+
+// MineResult holds the output of Provider.Mine. Matrix is always set;
+// exactly one algorithm-specific field is non-zero, matching the spec.
+type MineResult struct {
+	Matrix Matrix
+	// Clusters is the k-medoids result (MineKMedoids).
+	Clusters *KMedoidsResult
+	// Labels are per-query cluster labels (MineDBSCAN — Noise marks
+	// noise — and MineCompleteLink).
+	Labels []int
+	// Outliers flags per-query outlier status (MineOutliers).
+	Outliers []bool
+	// Neighbors are the nearest-neighbor indices (MineKNN).
+	Neighbors []int
+}
+
+// Mine builds the distance matrix of the log and runs one mining
+// algorithm over it — the provider's whole job in one call, entirely on
+// ciphertext.
+func (p *Provider) Mine(ctx context.Context, log []string, spec MineSpec) (*MineResult, error) {
+	m, err := p.DistanceMatrix(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	res := &MineResult{Matrix: m}
+	switch spec.Algorithm {
+	case MineKMedoids:
+		res.Clusters, err = mining.KMedoids(m, spec.K)
+	case MineDBSCAN:
+		res.Labels, err = mining.DBSCAN(m, spec.Eps, spec.MinPts)
+	case MineCompleteLink:
+		res.Labels, err = mining.CompleteLink(m, spec.K)
+	case MineOutliers:
+		res.Outliers, err = mining.Outliers(m, spec.P, spec.D)
+	case MineKNN:
+		res.Neighbors, err = mining.KNN(m, spec.Query, spec.K)
+	default:
+		return nil, fmt.Errorf("dpe: unknown mining algorithm %d", int(spec.Algorithm))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// --- deprecated free-function API (thin wrappers over Provider) ---
+
+// TokenDistanceMatrix computes the pairwise token distances of a log.
+//
+// Deprecated: use NewProvider(MeasureToken) and Provider.DistanceMatrix.
+func TokenDistanceMatrix(queries []string) (Matrix, error) {
+	return legacyMatrix(MeasureToken, queries)
+}
+
+// StructureDistanceMatrix computes pairwise query-structure distances.
+//
+// Deprecated: use NewProvider(MeasureStructure) and
+// Provider.DistanceMatrix.
+func StructureDistanceMatrix(queries []string) (Matrix, error) {
+	return legacyMatrix(MeasureStructure, queries)
 }
 
 // ResultDistanceMatrix computes pairwise query-result distances by
 // executing the log over the catalog. For an encrypted log pass the
 // encrypted catalog and the Owner's ResultAggregator (nil for
 // plaintext).
-func ResultDistanceMatrix(queries []string, cat *Catalog, agg db.Aggregator) (Matrix, error) {
-	stmts, err := parseAll(queries)
-	if err != nil {
-		return nil, err
-	}
-	rc := &distance.ResultComputer{Catalog: cat, Options: db.Options{Aggregate: agg}}
-	return distance.BuildMatrix(len(stmts), func(i, j int) (float64, error) {
-		return rc.Distance(stmts[i], stmts[j])
-	})
+//
+// Deprecated: use NewProvider(MeasureResult, WithCatalog(cat, agg)) and
+// Provider.DistanceMatrix.
+func ResultDistanceMatrix(queries []string, cat *Catalog, agg Aggregator) (Matrix, error) {
+	return legacyMatrix(MeasureResult, queries, WithCatalog(cat, agg))
 }
 
 // AccessAreaDistanceMatrix computes pairwise access-area distances.
 // x is Definition 5's partial-overlap value; 0 means the paper default
 // 0.5.
+//
+// Deprecated: use NewProvider(MeasureAccessArea, WithDomains(domains),
+// WithAccessAreaX(x)) and Provider.DistanceMatrix.
 func AccessAreaDistanceMatrix(queries []string, domains map[string]Domain, x float64) (Matrix, error) {
-	stmts, err := parseAll(queries)
+	return legacyMatrix(MeasureAccessArea, queries, WithDomains(domains), WithAccessAreaX(x))
+}
+
+func legacyMatrix(m Measure, queries []string, opts ...ProviderOption) (Matrix, error) {
+	p, err := NewProvider(m, opts...)
 	if err != nil {
 		return nil, err
 	}
-	params := distance.AccessAreaParams{Domains: domains, X: x}
-	return distance.BuildMatrix(len(stmts), func(i, j int) (float64, error) {
-		return distance.AccessArea(stmts[i], stmts[j], params)
-	})
+	return p.DistanceMatrix(context.Background(), queries)
 }
 
 // VerifyPreservation checks Definition 1 empirically: the plaintext and

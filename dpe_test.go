@@ -1,8 +1,13 @@
 package dpe
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // workloadFixture builds a small deterministic workload through the
@@ -136,6 +141,233 @@ func TestEndToEndAccessAreaPreservation(t *testing.T) {
 	rep, _ := VerifyPreservation(plain, enc, 0)
 	if !rep.Preserved {
 		t.Fatalf("access-area distance not preserved: %+v", rep)
+	}
+}
+
+// measureProviders builds the owner-side (plaintext-artifact) and
+// provider-side (encrypted-artifact) sessions for a measure.
+func measureProviders(t *testing.T, w *Workload, owner *Owner, m Measure, extra ...ProviderOption) (plain, enc *Provider) {
+	t.Helper()
+	plainOpts := append([]ProviderOption(nil), extra...)
+	encOpts := append([]ProviderOption(nil), extra...)
+	switch m {
+	case MeasureResult:
+		encCat, err := owner.EncryptCatalog(w.Catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainOpts = append(plainOpts, WithCatalog(w.Catalog, nil))
+		encOpts = append(encOpts, WithCatalog(encCat, owner.ResultAggregator()))
+	case MeasureAccessArea:
+		encDomains, err := owner.EncryptDomains(w.Domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainOpts = append(plainOpts, WithDomains(w.Domains))
+		encOpts = append(encOpts, WithDomains(encDomains))
+	}
+	plain, err := NewProvider(m, plainOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err = NewProvider(m, encOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, enc
+}
+
+// TestProviderDistanceMatrixAllMeasures is the facade's core contract:
+// for every measure, the session API built from the shared encrypted
+// artifacts computes on ciphertext the same matrix it computes on
+// plaintext (Definition 1), and the parallel build equals the
+// sequential one entry-wise within 1e-12.
+func TestProviderDistanceMatrixAllMeasures(t *testing.T) {
+	w, owner := workloadFixture(t)
+	ctx := context.Background()
+	for _, m := range []Measure{MeasureToken, MeasureStructure, MeasureResult, MeasureAccessArea} {
+		t.Run(m.String(), func(t *testing.T) {
+			encLog, err := owner.EncryptLog(w.Queries, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainP, encP := measureProviders(t, w, owner, m, WithParallelism(runtime.NumCPU()))
+			plain, err := plainP.DistanceMatrix(ctx, w.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := encP.DistanceMatrix(ctx, encLog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := encP.VerifyPreservation(plain, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Preserved {
+				t.Fatalf("%v distance not preserved: %+v", m, rep)
+			}
+
+			// Parallel == sequential, per the acceptance bar.
+			plainSeq, encSeq := measureProviders(t, w, owner, m, WithParallelism(1))
+			seq, err := plainSeq.DistanceMatrix(ctx, w.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqRep, err := encSeq.VerifyPreservation(seq, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seqRep.Preserved || seqRep.MaxAbsError > 1e-12 {
+				t.Fatalf("parallel build differs from sequential: %+v", seqRep)
+			}
+		})
+	}
+}
+
+func TestProviderRequiresArtifacts(t *testing.T) {
+	if _, err := NewProvider(MeasureResult); err == nil {
+		t.Fatal("result provider without catalog must error")
+	}
+	if _, err := NewProvider(MeasureAccessArea); err == nil {
+		t.Fatal("access-area provider without domains must error")
+	}
+	if _, err := NewProvider(Measure(99)); err == nil {
+		t.Fatal("unknown measure must error")
+	}
+	if _, err := NewProvider(MeasureAccessArea, WithDomains(map[string]Domain{}), WithAccessAreaX(1.5)); err == nil {
+		t.Fatal("x outside (0,1) must error")
+	}
+}
+
+// cancelLog is a log big enough (~125k pairs) that a matrix build takes
+// many milliseconds, so a cancellation landing mid-build is observable.
+func cancelLog() []string {
+	queries := make([]string, 500)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(
+			"SELECT a, b, c FROM t WHERE a > %d AND b < %d AND c IN (%d, %d, %d, %d, %d, %d) OR a = %d",
+			i, i*2, i, i+1, i+2, i+3, i+4, i+5, i*3)
+	}
+	return queries
+}
+
+func TestProviderCancellationMidBuild(t *testing.T) {
+	p, err := NewProvider(MeasureToken, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = p.DistanceMatrix(ctx, cancelLog())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestProviderCancellationBeforeBuild(t *testing.T) {
+	p, err := NewProvider(MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.DistanceMatrix(ctx, []string{"SELECT a FROM t", "SELECT b FROM t"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProviderDistances(t *testing.T) {
+	w, owner := workloadFixture(t)
+	ctx := context.Background()
+	encLog, err := owner.EncryptLog(w.Queries, MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProvider(MeasureToken, WithParallelism(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 3
+	row, err := p.Distances(ctx, encLog, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.DistanceMatrix(ctx, encLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != len(encLog) || row[q] != 0 {
+		t.Fatalf("row = %v", row)
+	}
+	for j := range row {
+		if row[j] != m[q][j] {
+			t.Fatalf("Distances[%d] = %v, matrix says %v", j, row[j], m[q][j])
+		}
+	}
+	if _, err := p.Distances(ctx, encLog, len(encLog)); err == nil {
+		t.Fatal("out-of-range query index must error")
+	}
+}
+
+func TestProviderMine(t *testing.T) {
+	w, owner := workloadFixture(t)
+	ctx := context.Background()
+	encLog, err := owner.EncryptLog(w.Queries, MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProvider(MeasureToken, WithParallelism(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainP := p // token distance needs no artifacts; same session serves both sides
+	for _, spec := range []MineSpec{
+		{Algorithm: MineKMedoids, K: 3},
+		{Algorithm: MineDBSCAN, Eps: 0.4, MinPts: 3},
+		{Algorithm: MineCompleteLink, K: 3},
+		{Algorithm: MineOutliers, P: 0.9, D: 0.8},
+		{Algorithm: MineKNN, K: 4, Query: 1},
+	} {
+		t.Run(spec.Algorithm.String(), func(t *testing.T) {
+			encRes, err := p.Mine(ctx, encLog, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainRes, err := plainP.Mine(ctx, w.Queries, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := fmt.Sprint(encRes.Clusters, encRes.Labels, encRes.Outliers, encRes.Neighbors),
+				fmt.Sprint(plainRes.Clusters, plainRes.Labels, plainRes.Outliers, plainRes.Neighbors); got != want {
+				t.Fatalf("mining on ciphertext differs:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+	if _, err := p.Mine(ctx, encLog, MineSpec{Algorithm: MiningAlgorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestParseMeasure(t *testing.T) {
+	for _, m := range []Measure{MeasureToken, MeasureStructure, MeasureResult, MeasureAccessArea} {
+		got, err := ParseMeasure(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMeasure(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if got, err := ParseMeasure("AccessArea"); err != nil || got != MeasureAccessArea {
+		t.Errorf("legacy spelling: %v, %v", got, err)
+	}
+	if _, err := ParseMeasure("nosuch"); err == nil {
+		t.Error("unknown name must error")
 	}
 }
 

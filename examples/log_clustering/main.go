@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	dpe "repro"
 )
@@ -36,27 +38,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Provider: structure-distance matrix + two clusterings over
-	// ciphertext.
-	encM, err := dpe.StructureDistanceMatrix(encLog)
+	// Provider: one session, two clusterings over ciphertext. Structure
+	// distance is a log-only measure, so the session needs no shared
+	// artifacts beyond the encrypted log itself.
+	ctx := context.Background()
+	provider, err := dpe.NewProvider(dpe.MeasureStructure, dpe.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	kmed, err := dpe.KMedoids(encM, 5)
+	mined, err := provider.Mine(ctx, encLog, dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dbscan, err := dpe.DBSCAN(encM, 0.35, 3)
+	encM, kmed := mined.Matrix, mined.Clusters
+	dbscanMined, err := provider.Mine(ctx, encLog, dpe.MineSpec{Algorithm: dpe.MineDBSCAN, Eps: 0.35, MinPts: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
+	dbscan := dbscanMined.Labels
 
-	// Owner: validate against plaintext.
-	plainM, err := dpe.StructureDistanceMatrix(w.Queries)
+	// Owner: validate against plaintext with the same session.
+	plainM, err := provider.DistanceMatrix(ctx, w.Queries)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := dpe.VerifyPreservation(plainM, encM, 0)
+	rep, err := provider.VerifyPreservation(plainM, encM)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	dpe "repro"
 )
@@ -43,23 +45,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Provider: execute the ciphertext log over the ciphertext catalog
-	// and detect Knorr–Ng DB(p, D) outliers.
-	encM, err := dpe.ResultDistanceMatrix(encLog, encCat, owner.ResultAggregator())
+	// Provider: a session over the encrypted catalog + aggregate
+	// evaluator. It executes the ciphertext log over the ciphertext
+	// catalog (queries run concurrently across cores) and detects
+	// Knorr–Ng DB(p, D) outliers.
+	ctx := context.Background()
+	provider, err := dpe.NewProvider(dpe.MeasureResult,
+		dpe.WithCatalog(encCat, owner.ResultAggregator()),
+		dpe.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := dpe.Outliers(encM, 0.9, 0.95)
+	mined, err := provider.Mine(ctx, encLog, dpe.MineSpec{Algorithm: dpe.MineOutliers, P: 0.9, D: 0.95})
 	if err != nil {
 		log.Fatal(err)
 	}
+	encM, out := mined.Matrix, mined.Outliers
 
-	// Owner: plaintext ground truth.
-	plainM, err := dpe.ResultDistanceMatrix(queries, w.Catalog, nil)
+	// Owner: plaintext ground truth through an owner-side session over
+	// the plaintext catalog.
+	ownerSide, err := dpe.NewProvider(dpe.MeasureResult,
+		dpe.WithCatalog(w.Catalog, nil),
+		dpe.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := dpe.VerifyPreservation(plainM, encM, 0)
+	plainM, err := ownerSide.DistanceMatrix(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := provider.VerifyPreservation(plainM, encM)
 	if err != nil {
 		log.Fatal(err)
 	}

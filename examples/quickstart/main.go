@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	dpe "repro"
 )
@@ -44,25 +46,26 @@ func main() {
 		fmt.Println(" ", truncate(q, 100))
 	}
 
-	// 3. Provider side: compute distances and cluster — on ciphertext.
-	encMatrix, err := dpe.TokenDistanceMatrix(encLog)
+	// 3. Provider side: one session over the shared artifacts (token
+	//    distance needs only the log), then distances + clustering — on
+	//    ciphertext, fanned out over all cores.
+	ctx := context.Background()
+	provider, err := dpe.NewProvider(dpe.MeasureToken, dpe.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	encClusters, err := dpe.KMedoids(encMatrix, 2)
+	encMined, err := provider.Mine(ctx, encLog, dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
+	encMatrix, encClusters := encMined.Matrix, encMined.Clusters
 
-	// 4. Owner side: the same mining on plaintext, for comparison.
-	plainMatrix, err := dpe.TokenDistanceMatrix(queries)
+	// 4. Owner side: the same session API on plaintext, for comparison.
+	plainMined, err := provider.Mine(ctx, queries, dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	plainClusters, err := dpe.KMedoids(plainMatrix, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
+	plainMatrix, plainClusters := plainMined.Matrix, plainMined.Clusters
 
 	// 5. Definition 1: same distances, hence same mining result.
 	rep, err := dpe.VerifyPreservation(plainMatrix, encMatrix, 0)

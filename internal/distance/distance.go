@@ -13,8 +13,11 @@
 package distance
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/accessarea"
 	"repro/internal/db"
@@ -65,7 +68,8 @@ func Structure(s1, s2 *sqlparse.SelectStmt) float64 {
 
 // ResultComputer computes query-result distances over one database
 // state. It caches result tuple sets per query so an n×n matrix executes
-// each query once. It is not safe for concurrent use.
+// each query once. It is safe for concurrent use; for parallel matrix
+// builds call Precompute first so the fan-out only reads the cache.
 //
 // For encrypted logs, Catalog is the encrypted catalog and Options
 // carries the encrypted aggregate evaluator (Deployment.Aggregator); the
@@ -74,6 +78,7 @@ type ResultComputer struct {
 	Catalog *db.Catalog
 	Options db.Options
 
+	mu    sync.Mutex
 	cache map[*sqlparse.SelectStmt]map[string]bool
 }
 
@@ -81,12 +86,12 @@ type ResultComputer struct {
 // tuple rendered to a canonical key. Per Definition 4, the *set* of
 // result tuples is the characteristic (duplicates collapse).
 func (rc *ResultComputer) TupleSet(stmt *sqlparse.SelectStmt) (map[string]bool, error) {
-	if rc.cache == nil {
-		rc.cache = make(map[*sqlparse.SelectStmt]map[string]bool)
-	}
+	rc.mu.Lock()
 	if set, ok := rc.cache[stmt]; ok {
+		rc.mu.Unlock()
 		return set, nil
 	}
+	rc.mu.Unlock()
 	res, err := db.ExecuteOpts(rc.Catalog, stmt, rc.Options)
 	if err != nil {
 		return nil, err
@@ -100,8 +105,32 @@ func (rc *ResultComputer) TupleSet(stmt *sqlparse.SelectStmt) (map[string]bool, 
 		}
 		set[sb.String()] = true
 	}
-	rc.cache[stmt] = set
+	rc.mu.Lock()
+	if rc.cache == nil {
+		rc.cache = make(map[*sqlparse.SelectStmt]map[string]bool)
+	}
+	// Execution is deterministic, so a concurrent duplicate computes the
+	// same set; keep the first stored one for pointer stability.
+	if prev, ok := rc.cache[stmt]; ok {
+		set = prev
+	} else {
+		rc.cache[stmt] = set
+	}
+	rc.mu.Unlock()
 	return set, nil
+}
+
+// Precompute executes every statement once, filling the tuple-set cache
+// with up to parallelism concurrent executions. After it returns, any
+// number of goroutines may call Distance/TupleSet on the same statements
+// without executing queries again.
+func (rc *ResultComputer) Precompute(ctx context.Context, stmts []*sqlparse.SelectStmt, parallelism int) error {
+	return parallelFor(ctx, len(stmts), parallelism, func(ctx context.Context, i int) error {
+		if _, err := rc.TupleSet(stmts[i]); err != nil {
+			return fmt.Errorf("distance: result of query %d: %w", i, err)
+		}
+		return nil
+	})
 }
 
 // Distance returns the query-result distance: the Jaccard distance of
@@ -187,24 +216,137 @@ func AccessArea(s1, s2 *sqlparse.SelectStmt, p AccessAreaParams) (float64, error
 // Matrix is a symmetric pairwise distance matrix.
 type Matrix [][]float64
 
+// PairFunc returns the distance of items i and j. BuildMatrix only calls
+// it with i < j; with parallelism > 1 it must be safe for concurrent use.
+type PairFunc func(i, j int) (float64, error)
+
 // BuildMatrix fills an n×n matrix from a pairwise distance function,
-// computing each unordered pair once.
-func BuildMatrix(n int, f func(i, j int) (float64, error)) (Matrix, error) {
+// computing each unordered pair of the upper triangle once. With
+// parallelism > 1 the rows are distributed over a worker pool; the
+// result is entry-wise identical to the sequential build. The build is
+// cancellable: when ctx is done, BuildMatrix stops between pairs and
+// returns the context's error.
+func BuildMatrix(ctx context.Context, n, parallelism int, f PairFunc) (Matrix, error) {
 	m := make(Matrix, n)
 	for i := range m {
 		m[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	// One work unit per row: workers pull rows dynamically, so the
+	// shrinking upper-triangle rows still balance. Cells of distinct
+	// pairs never alias, so no locking is needed on writes.
+	row := func(ctx context.Context, i int) error {
 		for j := i + 1; j < n; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			d, err := f(i, j)
 			if err != nil {
-				return nil, fmt.Errorf("distance: pair (%d,%d): %w", i, j, err)
+				return fmt.Errorf("distance: pair (%d,%d): %w", i, j, err)
 			}
 			m[i][j] = d
 			m[j][i] = d
 		}
+		return nil
+	}
+	if err := parallelFor(ctx, n, parallelism, row); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// BuildRow fills out with the distances from item q to every item of
+// [0, n) — one matrix row without materializing the matrix. out[q] is 0;
+// len(out) must be n. Like BuildMatrix it distributes over a worker pool
+// and is cancellable via ctx.
+func BuildRow(ctx context.Context, n, parallelism, q int, f PairFunc, out []float64) error {
+	if len(out) != n {
+		return fmt.Errorf("distance: row buffer has %d entries, want %d", len(out), n)
+	}
+	if q < 0 || q >= n {
+		return fmt.Errorf("distance: row index %d outside [0,%d)", q, n)
+	}
+	return parallelFor(ctx, n, parallelism, func(ctx context.Context, j int) error {
+		if j == q {
+			out[j] = 0
+			return nil
+		}
+		i, k := q, j
+		if i > k {
+			i, k = k, i
+		}
+		d, err := f(i, k)
+		if err != nil {
+			return fmt.Errorf("distance: pair (%d,%d): %w", i, k, err)
+		}
+		out[j] = d
+		return nil
+	})
+}
+
+// parallelFor runs fn(ctx, i) for every i in [0, n). parallelism <= 1
+// runs inline; otherwise a worker pool pulls indices from an atomic
+// counter. The first error cancels the remaining work and is returned;
+// cancellation of ctx itself surfaces as its error.
+func parallelFor(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) error {
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// A worker that merely observed the parent cancellation reports
+		// cctx's error; prefer the caller-visible ctx error in that case.
+		if err := ctx.Err(); err != nil && firstErr == context.Canceled {
+			return err
+		}
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // MaxAbsDiff returns the largest absolute entry-wise difference between

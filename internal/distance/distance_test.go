@@ -1,9 +1,13 @@
 package distance
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/accessarea"
 	"repro/internal/db"
@@ -211,7 +215,7 @@ func TestAccessAreaMissingDomain(t *testing.T) {
 }
 
 func TestBuildMatrix(t *testing.T) {
-	m, err := BuildMatrix(4, func(i, j int) (float64, error) {
+	m, err := BuildMatrix(context.Background(), 4, 1, func(i, j int) (float64, error) {
 		return float64(j - i), nil
 	})
 	if err != nil {
@@ -219,6 +223,198 @@ func TestBuildMatrix(t *testing.T) {
 	}
 	if m[0][3] != 3 || m[3][0] != 3 || m[1][1] != 0 {
 		t.Fatalf("matrix = %v", m)
+	}
+}
+
+func TestBuildMatrixParallelMatchesSequential(t *testing.T) {
+	f := func(i, j int) (float64, error) {
+		return float64(i*31+j) / 7, nil
+	}
+	const n = 37
+	seq, err := BuildMatrix(context.Background(), n, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 64} {
+		par, err := BuildMatrix(context.Background(), n, workers, f)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		d, err := MaxAbsDiff(seq, par)
+		if err != nil || d != 0 {
+			t.Fatalf("parallelism %d: max diff %v, %v", workers, d, err)
+		}
+	}
+}
+
+func TestBuildMatrixErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := BuildMatrix(context.Background(), 20, workers, func(i, j int) (float64, error) {
+			if i == 7 && j == 11 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("parallelism %d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestBuildMatrixCancelMidBuild(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{}, 1)
+		f := func(i, j int) (float64, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		}
+		go func() {
+			<-started
+			cancel()
+		}()
+		start := time.Now()
+		_, err := BuildMatrix(ctx, 100, workers, f) // 4950 pairs ≈ 5s if run to completion
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", workers, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("parallelism %d: cancellation took %v", workers, elapsed)
+		}
+	}
+}
+
+func TestBuildMatrixPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BuildMatrix(ctx, 4, 4, func(i, j int) (float64, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResultComputerConcurrent(t *testing.T) {
+	rc := &ResultComputer{Catalog: resultFixture(t)}
+	stmts := []*sqlparse.SelectStmt{
+		sqlparse.MustParse("SELECT a FROM r WHERE a < 5"),
+		sqlparse.MustParse("SELECT a FROM r WHERE a >= 5"),
+		sqlparse.MustParse("SELECT b FROM r"),
+		sqlparse.MustParse("SELECT a, b FROM r WHERE a = 3"),
+	}
+	if err := rc.Precompute(context.Background(), stmts, 4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range stmts {
+				for j := range stmts {
+					if _, err := rc.Distance(stmts[i], stmts[j]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"access-area", "result", "structure", "token"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if _, err := New("nosuch", Artifacts{}); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+	if _, err := New("result", Artifacts{}); err == nil {
+		t.Fatal("result without catalog must error")
+	}
+	if _, err := New("access-area", Artifacts{}); err == nil {
+		t.Fatal("access-area without domains must error")
+	}
+	if _, err := New("access-area", Artifacts{Domains: testDomains, AccessAreaX: 1.5}); err == nil {
+		t.Fatal("x outside (0,1) must error")
+	}
+}
+
+// TestMetricsMatchDirectFunctions pins the prepared-path distances to the
+// original per-pair functions, for every registered measure.
+func TestMetricsMatchDirectFunctions(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM r WHERE a < 5",
+		"SELECT a FROM r WHERE a <= 4",
+		"SELECT b FROM r WHERE a > 7 AND b < 50",
+		"SELECT a, b FROM r WHERE a = 3 OR b = 90",
+		"SELECT a FROM r",
+	}
+	domains := map[string]accessarea.Domain{
+		"a": {Min: value.Int(0), Max: value.Int(100)},
+		"b": {Min: value.Int(0), Max: value.Int(1000)},
+	}
+	cat := resultFixture(t)
+	stmts := make([]*sqlparse.SelectStmt, len(queries))
+	for i, q := range queries {
+		stmts[i] = sqlparse.MustParse(q)
+	}
+	rc := &ResultComputer{Catalog: cat}
+	direct := map[string]PairFunc{
+		"token": func(i, j int) (float64, error) { return Token(queries[i], queries[j]) },
+		"structure": func(i, j int) (float64, error) {
+			return Structure(stmts[i], stmts[j]), nil
+		},
+		"result": func(i, j int) (float64, error) { return rc.Distance(stmts[i], stmts[j]) },
+		"access-area": func(i, j int) (float64, error) {
+			return AccessArea(stmts[i], stmts[j], AccessAreaParams{Domains: domains})
+		},
+	}
+	arts := Artifacts{Catalog: cat, Domains: domains, Parallelism: 4}
+	for _, name := range Names() {
+		m, err := New(name, arts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("Name() = %q, want %q", m.Name(), name)
+		}
+		prep, err := m.Prepare(context.Background(), queries)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prep.Len() != len(queries) {
+			t.Fatalf("%s: Len() = %d", name, prep.Len())
+		}
+		got, err := BuildMatrix(context.Background(), prep.Len(), 4, prep.Distance)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := BuildMatrix(context.Background(), len(queries), 1, direct[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := MaxAbsDiff(got, want)
+		if err != nil || d > 1e-12 {
+			t.Fatalf("%s: prepared path differs from direct path by %v (%v)", name, d, err)
+		}
 	}
 }
 

@@ -1,0 +1,311 @@
+package distance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/accessarea"
+	"repro/internal/db"
+	"repro/internal/sqlfeature"
+	"repro/internal/sqlparse"
+)
+
+// Artifacts bundles the provider-side shared information of Table I: the
+// encrypted log is passed to Prepare, everything else a measure may need
+// is here. Log-only measures ignore all fields.
+type Artifacts struct {
+	// Catalog is the (encrypted) database content required by the
+	// result-distance measure.
+	Catalog *db.Catalog
+	// Exec carries execution options for the catalog — for encrypted
+	// catalogs the owner's aggregate evaluator.
+	Exec db.Options
+	// Domains are the (encrypted) attribute domains required by the
+	// access-area measure.
+	Domains map[string]accessarea.Domain
+	// AccessAreaX is Definition 5's partial-overlap value; 0 means
+	// DefaultOverlapX.
+	AccessAreaX float64
+	// Parallelism bounds concurrent per-query preparation work (query
+	// execution for the result measure). <= 1 means sequential.
+	Parallelism int
+}
+
+// Prepared is a query log after a metric's per-query work (tokenizing,
+// parsing, feature extraction, execution) has run once. Distance is pure
+// over that state: symmetric, and safe for concurrent use, so matrix
+// builds can fan out freely.
+type Prepared interface {
+	// Len is the number of queries in the prepared log.
+	Len() int
+	// Distance returns the distance of queries i and j.
+	Distance(i, j int) (float64, error)
+}
+
+// Metric is one pluggable query-distance measure (a row of Table I).
+// Implementations work identically on plaintext and ciphertext logs —
+// that is the DPE property the registry's built-ins preserve.
+type Metric interface {
+	// Name is the registry key, e.g. "token".
+	Name() string
+	// Prepare runs the per-query work for a log. It honors ctx
+	// cancellation between queries.
+	Prepare(ctx context.Context, queries []string) (Prepared, error)
+}
+
+// Factory builds a metric from the shared artifacts, validating that the
+// measure's required shared information is present.
+type Factory func(Artifacts) (Metric, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a metric factory under a name. It panics on a duplicate
+// name — registration is an init-time wiring error, not a runtime
+// condition.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("distance: metric %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates the named metric with the given artifacts.
+func New(name string, a Artifacts) (Metric, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("distance: unknown metric %q (have %v)", name, Names())
+	}
+	return f(a)
+}
+
+// Names lists the registered metric names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("token", func(Artifacts) (Metric, error) { return tokenMetric{}, nil })
+	Register("structure", func(Artifacts) (Metric, error) { return structureMetric{}, nil })
+	Register("result", func(a Artifacts) (Metric, error) {
+		if a.Catalog == nil {
+			return nil, fmt.Errorf("distance: result metric requires the (encrypted) catalog")
+		}
+		return &resultMetric{catalog: a.Catalog, opts: a.Exec, parallelism: a.Parallelism}, nil
+	})
+	Register("access-area", func(a Artifacts) (Metric, error) {
+		x := a.AccessAreaX
+		if x == 0 {
+			x = DefaultOverlapX
+		}
+		if x <= 0 || x >= 1 {
+			return nil, fmt.Errorf("distance: overlap value x=%v outside (0,1)", x)
+		}
+		if a.Domains == nil {
+			return nil, fmt.Errorf("distance: access-area metric requires the (encrypted) domains")
+		}
+		return &accessAreaMetric{domains: a.Domains, x: x}, nil
+	})
+}
+
+// setPrepared is a prepared log whose characteristic is one set per
+// query; the distance is their Jaccard distance.
+type setPrepared[K comparable] []map[K]bool
+
+func (p setPrepared[K]) Len() int { return len(p) }
+
+func (p setPrepared[K]) Distance(i, j int) (float64, error) {
+	return Jaccard(p[i], p[j]), nil
+}
+
+// --- token (Definition 3) ---
+
+type tokenMetric struct{}
+
+func (tokenMetric) Name() string { return "token" }
+
+func (tokenMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	sets := make(setPrepared[string], len(queries))
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		set, err := sqlfeature.Tokens(q)
+		if err != nil {
+			return nil, fmt.Errorf("distance: query %d: %w", i, err)
+		}
+		sets[i] = set
+	}
+	return sets, nil
+}
+
+// --- structure (SnipSuggest features) ---
+
+type structureMetric struct{}
+
+func (structureMetric) Name() string { return "structure" }
+
+func (structureMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	stmts, err := parseLog(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	sets := make(setPrepared[sqlfeature.Feature], len(stmts))
+	for i, s := range stmts {
+		sets[i] = sqlfeature.Features(s)
+	}
+	return sets, nil
+}
+
+// --- result (Definition 4) ---
+
+type resultMetric struct {
+	catalog     *db.Catalog
+	opts        db.Options
+	parallelism int
+}
+
+func (*resultMetric) Name() string { return "result" }
+
+func (m *resultMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	stmts, err := parseLog(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	rc := &ResultComputer{Catalog: m.catalog, Options: m.opts}
+	if err := rc.Precompute(ctx, stmts, m.parallelism); err != nil {
+		return nil, err
+	}
+	sets := make(setPrepared[string], len(stmts))
+	for i, s := range stmts {
+		set, err := rc.TupleSet(s)
+		if err != nil {
+			return nil, fmt.Errorf("distance: result of query %d: %w", i, err)
+		}
+		sets[i] = set
+	}
+	return sets, nil
+}
+
+// --- access-area (Definition 5) ---
+
+type accessAreaMetric struct {
+	domains map[string]accessarea.Domain
+	x       float64
+}
+
+func (*accessAreaMetric) Name() string { return "access-area" }
+
+// aaQuery is one query's precomputed access areas: the accessed
+// attributes and, per attribute, the extracted area.
+type aaQuery struct {
+	attrs map[string]bool
+	areas map[string]accessarea.Area
+}
+
+type aaPrepared struct {
+	queries []aaQuery
+	x       float64
+}
+
+func (m *accessAreaMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	stmts, err := parseLog(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := &aaPrepared{x: m.x, queries: make([]aaQuery, len(stmts))}
+	for i, s := range stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		attrs := accessarea.AccessedAttributes(s)
+		areas := make(map[string]accessarea.Area, len(attrs))
+		for a := range attrs {
+			dom, ok := m.domains[a]
+			if !ok {
+				return nil, fmt.Errorf("distance: no domain for accessed attribute %q", a)
+			}
+			area, _, err := accessarea.Extract(s, a, dom)
+			if err != nil {
+				return nil, err
+			}
+			areas[a] = area
+		}
+		out.queries[i] = aaQuery{attrs: attrs, areas: areas}
+	}
+	return out, nil
+}
+
+func (p *aaPrepared) Len() int { return len(p.queries) }
+
+// area returns the query's access area for attribute a: the extracted
+// area when it accesses a, the empty area otherwise.
+func (q aaQuery) area(a string) accessarea.Area {
+	if q.attrs[a] {
+		return q.areas[a]
+	}
+	return accessarea.Empty()
+}
+
+// Distance mirrors AccessArea over the precomputed areas: the mean δ
+// over all attributes accessed by either query.
+func (p *aaPrepared) Distance(i, j int) (float64, error) {
+	q1, q2 := p.queries[i], p.queries[j]
+	n := 0
+	var sum float64
+	delta := func(a string) {
+		n++
+		a1, a2 := q1.area(a), q2.area(a)
+		switch {
+		case a1.Equal(a2):
+			// δ = 0
+		case a1.Overlaps(a2):
+			sum += p.x
+		default:
+			sum += 1
+		}
+	}
+	for a := range q1.attrs {
+		delta(a)
+	}
+	for a := range q2.attrs {
+		if !q1.attrs[a] {
+			delta(a)
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// parseLog parses every query of a log, honoring ctx between queries.
+func parseLog(ctx context.Context, queries []string) ([]*sqlparse.SelectStmt, error) {
+	stmts := make([]*sqlparse.SelectStmt, len(queries))
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := sqlparse.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("distance: query %d: %w", i, err)
+		}
+		stmts[i] = s
+	}
+	return stmts, nil
+}

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/db"
@@ -10,6 +12,12 @@ import (
 	"repro/internal/mining"
 	"repro/internal/workload"
 )
+
+// buildMatrix runs the parallel distance engine with all cores; the
+// result is entry-wise identical to a sequential build.
+func buildMatrix(n int, f distance.PairFunc) (distance.Matrix, error) {
+	return distance.BuildMatrix(context.Background(), n, runtime.NumCPU(), f)
+}
 
 // MiningParams are the E3 algorithm parameters from DESIGN.md §4.
 type MiningParams struct {
@@ -105,13 +113,13 @@ func MiningEquality(p Params, mp MiningParams) ([]MiningRow, *NegativeControl, e
 		return nil, nil, err
 	}
 	n := len(logEnv.w.Stmts)
-	plainStruct, err := distance.BuildMatrix(n, func(i, j int) (float64, error) {
+	plainStruct, err := buildMatrix(n, func(i, j int) (float64, error) {
 		return distance.Structure(logEnv.w.Stmts[i], logEnv.w.Stmts[j]), nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	encStruct, err := distance.BuildMatrix(n, func(i, j int) (float64, error) {
+	encStruct, err := buildMatrix(n, func(i, j int) (float64, error) {
 		return distance.Structure(encStmts[i], encStmts[j]), nil
 	})
 	if err != nil {
@@ -130,13 +138,13 @@ func MiningEquality(p Params, mp MiningParams) ([]MiningRow, *NegativeControl, e
 	if err != nil {
 		return nil, nil, err
 	}
-	plainAA, err := distance.BuildMatrix(n, func(i, j int) (float64, error) {
+	plainAA, err := buildMatrix(n, func(i, j int) (float64, error) {
 		return distance.AccessArea(logEnv.w.Stmts[i], logEnv.w.Stmts[j], distance.AccessAreaParams{Domains: logEnv.w.Domains})
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	encAA, err := distance.BuildMatrix(n, func(i, j int) (float64, error) {
+	encAA, err := buildMatrix(n, func(i, j int) (float64, error) {
 		return distance.AccessArea(encAAStmts[i], encAAStmts[j], distance.AccessAreaParams{Domains: encDomains})
 	})
 	if err != nil {
@@ -158,13 +166,19 @@ func MiningEquality(p Params, mp MiningParams) ([]MiningRow, *NegativeControl, e
 	plainRC := &distance.ResultComputer{Catalog: execEnv.w.Catalog}
 	encRC := &distance.ResultComputer{Catalog: encCat, Options: db.Options{Aggregate: execEnv.d.Aggregator()}}
 	m := len(execEnv.w.Stmts)
-	plainRes, err := distance.BuildMatrix(m, func(i, j int) (float64, error) {
+	if err := plainRC.Precompute(context.Background(), execEnv.w.Stmts, runtime.NumCPU()); err != nil {
+		return nil, nil, err
+	}
+	if err := encRC.Precompute(context.Background(), encResStmts, runtime.NumCPU()); err != nil {
+		return nil, nil, err
+	}
+	plainRes, err := buildMatrix(m, func(i, j int) (float64, error) {
 		return plainRC.Distance(execEnv.w.Stmts[i], execEnv.w.Stmts[j])
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	encRes, err := distance.BuildMatrix(m, func(i, j int) (float64, error) {
+	encRes, err := buildMatrix(m, func(i, j int) (float64, error) {
 		return encRC.Distance(encResStmts[i], encResStmts[j])
 	})
 	if err != nil {
@@ -211,13 +225,13 @@ func (e *env) tokenMatrices(mode encdb.Mode) (distance.Matrix, distance.Matrix, 
 		return nil, nil, err
 	}
 	n := len(e.w.Queries)
-	plain, err := distance.BuildMatrix(n, func(i, j int) (float64, error) {
+	plain, err := buildMatrix(n, func(i, j int) (float64, error) {
 		return distance.Token(e.w.Queries[i], e.w.Queries[j])
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	enc, err := distance.BuildMatrix(n, func(i, j int) (float64, error) {
+	enc, err := buildMatrix(n, func(i, j int) (float64, error) {
 		return distance.Token(encQs[i], encQs[j])
 	})
 	if err != nil {
