@@ -13,25 +13,30 @@
 //
 //	dpebench -exp engine -measure result -queries 64
 //	                          # P: sequential vs parallel matrix build
+//	dpebench -exp service -measure token -queries 48
+//	                          # S: request latency against an in-process
+//	                          # dpeserver, cold vs prepared-cache-warm
 //
 // Scaling flags: -queries, -rows, -seed, -paillier; -measure and -par
-// scope the engine experiment.
+// scope the engine and service experiments.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
 
 	dpe "repro"
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|service|all")
 	queries := flag.Int("queries", 60, "queries in the generated log")
 	rows := flag.Int("rows", 120, "rows per generated table")
 	seed := flag.String("seed", "seed-42", "workload seed")
@@ -113,8 +118,14 @@ func run(exp string, p experiments.Params, measureName string, par int) error {
 			return err
 		}
 	}
+	if exp == "service" {
+		ran = true
+		if err := serviceProbe(p, measureName, par); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|service|all)", exp)
 	}
 	return nil
 }
@@ -207,5 +218,117 @@ func engine(p experiments.Params, measureName string, par int) error {
 		return nil
 	}
 	fmt.Println("\nparallel matrix verified entry-wise identical to the sequential build")
+	return nil
+}
+
+// serviceProbe measures the networked provider: request latency and
+// throughput against an in-process dpeserver handler (httptest), cold
+// (first matrix call prepares the log) vs warm (prepared-state cache
+// hit). The remote matrix is checked entry-wise identical to the
+// in-process provider's.
+func serviceProbe(p experiments.Params, measureName string, par int) error {
+	ctx := context.Background()
+	m, err := dpe.ParseMeasure(measureName)
+	if err != nil {
+		return err
+	}
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
+		Seed: p.Seed, Queries: p.Queries, Rows: p.Rows,
+		IncludeAggregates: true, IncludeJoins: true,
+	})
+	if err != nil {
+		return err
+	}
+	owner, err := dpe.NewOwner([]byte("service:"+p.Seed), w.Schema, dpe.Config{PaillierBits: p.PaillierBits})
+	if err != nil {
+		return err
+	}
+	if err := owner.DeclareJoins(w.Queries); err != nil {
+		return err
+	}
+	encLog, err := owner.EncryptLog(w.Queries, m)
+	if err != nil {
+		return err
+	}
+	localOpts, remoteOpts, err := service.EncryptedArtifactOptions(owner, w, m)
+	if err != nil {
+		return err
+	}
+
+	srv := httptest.NewServer(service.NewHandler(service.NewRegistry(service.Config{Parallelism: par})))
+	defer srv.Close()
+
+	start := time.Now()
+	sess, err := service.NewClient(srv.URL).NewSession(ctx, m, remoteOpts...)
+	if err != nil {
+		return err
+	}
+	setup := time.Since(start)
+
+	fmt.Printf("S — PROVIDER SERVICE (measure %s, %d encrypted queries, parallelism %d, in-process HTTP)\n\n",
+		m, len(encLog), par)
+	fmt.Printf("session create (artifacts over the wire): %s\n", setup.Round(time.Microsecond))
+
+	// Cold: first matrix call uploads the log and prepares it.
+	start = time.Now()
+	remoteMatrix, err := sess.DistanceMatrix(ctx, encLog)
+	if err != nil {
+		return err
+	}
+	cold := time.Since(start)
+
+	// Warm: same log, prepared state served from the LRU cache.
+	const warmCalls = 5
+	start = time.Now()
+	for i := 0; i < warmCalls; i++ {
+		if _, err := sess.DistanceMatrix(ctx, encLog); err != nil {
+			return err
+		}
+	}
+	warm := time.Since(start) / warmCalls
+
+	// Warm rows: the kNN access pattern, one row per request.
+	start = time.Now()
+	for q := 0; q < len(encLog); q++ {
+		if _, err := sess.Distances(ctx, encLog, q); err != nil {
+			return err
+		}
+	}
+	rowTotal := time.Since(start)
+
+	fmt.Printf("matrix cold (upload + prepare + build + stream): %s\n", cold.Round(time.Microsecond))
+	fmt.Printf("matrix warm (prepared-cache hit), avg of %d:    %s (%.2fx faster)\n",
+		warmCalls, warm.Round(time.Microsecond), float64(cold)/float64(warm))
+	fmt.Printf("row requests warm: %d requests in %s (%.0f req/s)\n",
+		len(encLog), rowTotal.Round(time.Microsecond),
+		float64(len(encLog))/rowTotal.Seconds())
+
+	stats, err := sess.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session stats: %d log(s), prepared hits %d, misses %d\n",
+		stats.Logs, stats.PreparedHits, stats.PreparedMisses)
+
+	// The wire must not bend the numbers: compare against in-process.
+	local, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(par)}, localOpts...)...)
+	if err != nil {
+		return err
+	}
+	localMatrix, err := local.DistanceMatrix(ctx, encLog)
+	if err != nil {
+		return err
+	}
+	rep, err := local.VerifyPreservation(localMatrix, remoteMatrix)
+	if err != nil {
+		return err
+	}
+	if !rep.Preserved {
+		return fmt.Errorf("service: remote matrix differs from in-process (max |Δd| %.2e)", rep.MaxAbsError)
+	}
+	fmt.Println("remote matrix verified entry-wise identical to the in-process provider")
 	return nil
 }

@@ -9,6 +9,12 @@
 // Everything is deterministic in -seed; the master key comes from
 // -master (do not reuse the default outside demos). -par sizes the
 // provider's worker pool (0 means all cores).
+//
+// With -remote URL, the provider side runs against a dpeserver at that
+// URL instead of in-process: the encrypted artifacts travel over the
+// wire, and distance/mine/verify become HTTP calls. The output is
+// identical either way — that is the wire format's preservation
+// property.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"runtime"
 
 	dpe "repro"
+	"repro/internal/service"
 )
 
 func main() {
@@ -35,12 +42,13 @@ func main() {
 	measureName := fs.String("measure", "token", "measure: token|structure|result|access-area")
 	k := fs.Int("k", 4, "clusters for mine")
 	par := fs.Int("par", 0, "distance-engine parallelism (0 = all cores)")
+	remote := fs.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
 	fs.Parse(os.Args[2:])
 
 	if *par <= 0 {
 		*par = runtime.NumCPU()
 	}
-	if err := run(cmd, *seed, *master, *queries, *rowsN, *measureName, *k, *par); err != nil {
+	if err := run(cmd, *seed, *master, *queries, *rowsN, *measureName, *k, *par, *remote); err != nil {
 		fmt.Fprintln(os.Stderr, "dpectl:", err)
 		os.Exit(1)
 	}
@@ -70,38 +78,37 @@ func setup(seed, master string, queries, rows int) (*dpe.Workload, *dpe.Owner, e
 
 // providers builds the owner-side (plaintext artifacts) and
 // provider-side (encrypted artifacts) sessions for a measure, sharing
-// exactly the inputs Table I prescribes.
-func providers(w *dpe.Workload, owner *dpe.Owner, m dpe.Measure, par int) (plain, enc *dpe.Provider, err error) {
+// exactly the inputs Table I prescribes. With remote set, the encrypted
+// side is a session on that dpeserver — the artifacts go over the wire
+// — while the plaintext check stays with the owner in-process.
+func providers(ctx context.Context, w *dpe.Workload, owner *dpe.Owner, m dpe.Measure, par int, remote string) (plain, enc dpe.ProviderAPI, err error) {
 	plainOpts := []dpe.ProviderOption{dpe.WithParallelism(par)}
-	encOpts := []dpe.ProviderOption{dpe.WithParallelism(par)}
 	switch m {
 	case dpe.MeasureResult:
-		encCat, err := owner.EncryptCatalog(w.Catalog)
-		if err != nil {
-			return nil, nil, err
-		}
 		plainOpts = append(plainOpts, dpe.WithCatalog(w.Catalog, nil))
-		encOpts = append(encOpts, dpe.WithCatalog(encCat, owner.ResultAggregator()))
 	case dpe.MeasureAccessArea:
-		encDomains, err := owner.EncryptDomains(w.Domains)
-		if err != nil {
-			return nil, nil, err
-		}
 		plainOpts = append(plainOpts, dpe.WithDomains(w.Domains))
-		encOpts = append(encOpts, dpe.WithDomains(encDomains))
+	}
+	encOpts, remoteOpts, err := service.EncryptedArtifactOptions(owner, w, m)
+	if err != nil {
+		return nil, nil, err
 	}
 	plain, err = dpe.NewProvider(m, plainOpts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	enc, err = dpe.NewProvider(m, encOpts...)
+	if remote != "" {
+		enc, err = service.NewClient(remote).NewSession(ctx, m, remoteOpts...)
+	} else {
+		enc, err = dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(par)}, encOpts...)...)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	return plain, enc, nil
 }
 
-func run(cmd, seed, master string, queries, rows int, measureName string, k, par int) error {
+func run(cmd, seed, master string, queries, rows int, measureName string, k, par int, remote string) error {
 	ctx := context.Background()
 	m, err := dpe.ParseMeasure(measureName)
 	if err != nil {
@@ -134,7 +141,7 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k, par
 		if err != nil {
 			return err
 		}
-		_, provider, err := providers(w, owner, m, par)
+		_, provider, err := providers(ctx, w, owner, m, par, remote)
 		if err != nil {
 			return err
 		}
@@ -156,7 +163,7 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k, par
 		if err != nil {
 			return err
 		}
-		_, provider, err := providers(w, owner, m, par)
+		_, provider, err := providers(ctx, w, owner, m, par, remote)
 		if err != nil {
 			return err
 		}
@@ -180,7 +187,7 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k, par
 		if err != nil {
 			return err
 		}
-		plainP, encP, err := providers(w, owner, m, par)
+		plainP, encP, err := providers(ctx, w, owner, m, par, remote)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,107 @@
+// Command dpeserver runs the untrusted service provider of the paper as
+// an actual network service. A data owner ships the encrypted Table I
+// artifacts to it over HTTP, uploads encrypted query logs into a
+// session, and mines on ciphertext remotely:
+//
+//	dpeserver -addr :8433 -par 8 -max-sessions 256
+//
+// The API lives under /v1 (see internal/service):
+//
+//	POST   /v1/sessions                   create a session (measure + artifacts)
+//	GET    /v1/sessions/{id}              session stats (logs, cache hits)
+//	DELETE /v1/sessions/{id}              drop the session
+//	POST   /v1/sessions/{id}/logs         upload a query log (content-addressed)
+//	POST   /v1/sessions/{id}/matrix       full distance matrix (streamed)
+//	POST   /v1/sessions/{id}/distances    one matrix row (kNN access pattern)
+//	POST   /v1/sessions/{id}/mine         matrix + mining algorithm
+//	POST   /v1/sessions/{id}/verify       Definition 1 check on two matrices
+//	GET    /v1/stats                      server-wide stats
+//	GET    /v1/healthz                    liveness
+//
+// The server never holds key material: sessions carry only ciphertext
+// artifacts and the public aggregate-evaluation key. SIGINT/SIGTERM
+// drain in-flight requests before exit (-shutdown-grace bounds the
+// drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8433", "listen address")
+	par := flag.Int("par", 0, "distance-engine parallelism per session (0 = all cores)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
+	cacheEntries := flag.Int("cache-entries", 128, "prepared-state cache: max entries")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "prepared-state cache: max estimated bytes")
+	maxLogs := flag.Int("max-logs", 64, "max distinct uploaded logs per session")
+	maxLogBytes := flag.Int64("max-log-bytes", 64<<20, "max total raw log bytes per session")
+	sessionTTL := flag.Duration("session-ttl", 2*time.Hour, "idle time after which a session may be reaped at capacity")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	if *par <= 0 {
+		*par = runtime.NumCPU()
+	}
+	cfg := service.Config{
+		MaxSessions:           *maxSessions,
+		Parallelism:           *par,
+		CacheEntries:          *cacheEntries,
+		CacheBytes:            *cacheBytes,
+		MaxLogsPerSession:     *maxLogs,
+		MaxLogBytesPerSession: *maxLogBytes,
+		SessionTTL:            *sessionTTL,
+	}
+	if err := run(*addr, cfg, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "dpeserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, grace time.Duration) error {
+	reg := service.NewRegistry(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dpeserver: listening on %s (parallelism %d, max %d sessions, cache %d entries / %d bytes)",
+			addr, cfg.Parallelism, cfg.MaxSessions, cfg.CacheEntries, cfg.CacheBytes)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("dpeserver: shutting down (draining up to %s)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("dpeserver: bye")
+	return nil
+}

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/accessarea"
 	"repro/internal/core"
+	"repro/internal/crypto/hom"
 	"repro/internal/db"
 	"repro/internal/distance"
 	"repro/internal/encdb"
@@ -102,6 +103,27 @@ func ParseMeasure(name string) (Measure, error) {
 	default:
 		return 0, fmt.Errorf("dpe: unknown measure %q (want token|structure|result|access-area)", name)
 	}
+}
+
+// MarshalText implements encoding.TextMarshaler, so a Measure appears in
+// JSON (and any other text format) as its canonical name, e.g. "token".
+// It rejects values outside the four measures.
+func (m Measure) MarshalText() ([]byte, error) {
+	if _, err := m.mode(); err != nil {
+		return nil, err
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler by delegating to
+// ParseMeasure.
+func (m *Measure) UnmarshalText(text []byte) error {
+	parsed, err := ParseMeasure(string(text))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // mode maps a Measure to its appropriate encryption mode (the Table I
@@ -254,6 +276,26 @@ func (o *Owner) ResultAggregator() db.Aggregator {
 	return o.d.Aggregator()
 }
 
+// AggregatorKey is the serializable public-key material behind
+// ResultAggregator (the Paillier public key). It is the form of the
+// aggregate evaluator that travels over a wire: a remote provider turns
+// it back into an Aggregator with AggregatorFromKey. It holds no secret.
+type AggregatorKey = hom.PublicKey
+
+// ResultAggregatorKey returns the owner's aggregate-evaluation public
+// key for shipping to a remote provider.
+func (o *Owner) ResultAggregatorKey() *AggregatorKey {
+	return o.d.AggregatorKey()
+}
+
+// AggregatorFromKey reconstructs the encrypted aggregate evaluator from
+// a (possibly wire-received) public key; it is the provider-side inverse
+// of Owner.ResultAggregatorKey and yields the same evaluator as
+// Owner.ResultAggregator.
+func AggregatorFromKey(pk *AggregatorKey) Aggregator {
+	return encdb.AggregatorFor(pk)
+}
+
 func parseAll(queries []string) ([]*Statement, error) {
 	out := make([]*Statement, len(queries))
 	for i, q := range queries {
@@ -374,17 +416,58 @@ const defaultTolerance = 1e-12
 // Measure returns the session's distance measure.
 func (p *Provider) Measure() Measure { return p.measure }
 
+// PreparedLog is a query log after the session metric's per-query work
+// (tokenizing, parsing, feature extraction, query execution) has run.
+// It is immutable and safe for concurrent use, so a service can prepare
+// a log once, cache the result, and serve any number of matrix, row, and
+// mining requests from it. A PreparedLog is only valid with the Provider
+// that produced it.
+type PreparedLog struct {
+	prep distance.Prepared
+}
+
+// Len is the number of queries in the prepared log.
+func (pl *PreparedLog) Len() int { return pl.prep.Len() }
+
+// SizeBytes estimates the memory the prepared state retains (for cache
+// byte budgets). 0 means the metric cannot estimate it.
+func (pl *PreparedLog) SizeBytes() int64 {
+	if s, ok := pl.prep.(distance.Sizer); ok {
+		return s.SizeBytes()
+	}
+	return 0
+}
+
+// Prepare runs the metric's per-query work for a log once, honoring ctx
+// cancellation. The heavy lifting of DistanceMatrix, Distances, and Mine
+// is split in two halves — preparation and pairwise fan-out — and this
+// is the first half, exposed so callers (e.g. a network service) can
+// amortize it across calls.
+func (p *Provider) Prepare(ctx context.Context, log []string) (*PreparedLog, error) {
+	prep, err := p.metric.Prepare(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedLog{prep: prep}, nil
+}
+
 // DistanceMatrix computes the pairwise distance matrix of a query log.
 // The per-query preparation (tokenizing, parsing, executing) runs once
 // per query, then the upper triangle fans out over the configured worker
 // pool. Cancelling ctx aborts the build promptly with the context's
 // error.
 func (p *Provider) DistanceMatrix(ctx context.Context, log []string) (Matrix, error) {
-	prep, err := p.metric.Prepare(ctx, log)
+	pl, err := p.Prepare(ctx, log)
 	if err != nil {
 		return nil, err
 	}
-	return distance.BuildMatrix(ctx, prep.Len(), p.parallelism, prep.Distance)
+	return p.DistanceMatrixPrepared(ctx, pl)
+}
+
+// DistanceMatrixPrepared is DistanceMatrix over an already-prepared log:
+// only the pairwise fan-out runs.
+func (p *Provider) DistanceMatrixPrepared(ctx context.Context, pl *PreparedLog) (Matrix, error) {
+	return distance.BuildMatrix(ctx, pl.prep.Len(), p.parallelism, pl.prep.Distance)
 }
 
 // Distances computes the distances from query q to every query of the
@@ -394,13 +477,21 @@ func (p *Provider) Distances(ctx context.Context, log []string, q int) ([]float6
 	if q < 0 || q >= len(log) {
 		return nil, fmt.Errorf("dpe: query index %d outside log of %d queries", q, len(log))
 	}
-	prep, err := p.metric.Prepare(ctx, log)
+	pl, err := p.Prepare(ctx, log)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, prep.Len())
-	err = distance.BuildRow(ctx, prep.Len(), p.parallelism, q, prep.Distance, out)
-	if err != nil {
+	return p.DistancesPrepared(ctx, pl, q)
+}
+
+// DistancesPrepared is Distances over an already-prepared log.
+func (p *Provider) DistancesPrepared(ctx context.Context, pl *PreparedLog, q int) ([]float64, error) {
+	n := pl.prep.Len()
+	if q < 0 || q >= n {
+		return nil, fmt.Errorf("dpe: query index %d outside log of %d queries", q, n)
+	}
+	out := make([]float64, n)
+	if err := distance.BuildRow(ctx, n, p.parallelism, q, pl.prep.Distance, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -448,6 +539,49 @@ func (a MiningAlgorithm) String() string {
 	}
 }
 
+// ParseMiningAlgorithm is the inverse of MiningAlgorithm.String. It is
+// case-insensitive and also accepts the squashed spellings "kmedoids"
+// and "completelink".
+func ParseMiningAlgorithm(name string) (MiningAlgorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "k-medoids", "kmedoids":
+		return MineKMedoids, nil
+	case "dbscan":
+		return MineDBSCAN, nil
+	case "complete-link", "completelink":
+		return MineCompleteLink, nil
+	case "outliers":
+		return MineOutliers, nil
+	case "knn":
+		return MineKNN, nil
+	default:
+		return 0, fmt.Errorf("dpe: unknown mining algorithm %q (want k-medoids|dbscan|complete-link|outliers|knn)", name)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler, so an algorithm appears
+// in JSON as its canonical name, e.g. "k-medoids". It rejects values
+// outside the five algorithms.
+func (a MiningAlgorithm) MarshalText() ([]byte, error) {
+	switch a {
+	case MineKMedoids, MineDBSCAN, MineCompleteLink, MineOutliers, MineKNN:
+		return []byte(a.String()), nil
+	default:
+		return nil, fmt.Errorf("dpe: unknown mining algorithm %d", int(a))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler by delegating to
+// ParseMiningAlgorithm.
+func (a *MiningAlgorithm) UnmarshalText(text []byte) error {
+	parsed, err := ParseMiningAlgorithm(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
 // MineSpec selects a mining algorithm and its parameters.
 type MineSpec struct {
 	Algorithm MiningAlgorithm
@@ -461,6 +595,51 @@ type MineSpec struct {
 	P, D float64
 	// Query is the query index kNN searches around.
 	Query int
+}
+
+// Validate checks the spec's parameters against a log of n queries
+// without doing any work: K must be positive (and at most n for the
+// K-cluster algorithms), DBSCAN needs Eps > 0 and MinPts > 0, outlier
+// detection needs P ∈ (0,1) and D > 0, and kNN's Query must index the
+// log. Provider.Mine calls it before building the distance matrix, so a
+// bad spec fails fast instead of after the expensive part.
+func (s MineSpec) Validate(n int) error {
+	switch s.Algorithm {
+	case MineKMedoids, MineCompleteLink:
+		if s.K <= 0 {
+			return fmt.Errorf("dpe: %s needs K > 0, got %d", s.Algorithm, s.K)
+		}
+		if s.K > n {
+			return fmt.Errorf("dpe: %s needs K <= %d queries, got %d", s.Algorithm, n, s.K)
+		}
+	case MineDBSCAN:
+		if s.Eps <= 0 {
+			return fmt.Errorf("dpe: dbscan needs Eps > 0, got %v", s.Eps)
+		}
+		if s.MinPts <= 0 {
+			return fmt.Errorf("dpe: dbscan needs MinPts > 0, got %d", s.MinPts)
+		}
+	case MineOutliers:
+		if s.P <= 0 || s.P >= 1 {
+			return fmt.Errorf("dpe: outliers needs P in (0,1), got %v", s.P)
+		}
+		if s.D <= 0 {
+			return fmt.Errorf("dpe: outliers needs D > 0, got %v", s.D)
+		}
+	case MineKNN:
+		if s.K <= 0 {
+			return fmt.Errorf("dpe: knn needs K > 0, got %d", s.K)
+		}
+		if s.K > n-1 {
+			return fmt.Errorf("dpe: knn needs K <= %d other queries, got %d", n-1, s.K)
+		}
+		if s.Query < 0 || s.Query >= n {
+			return fmt.Errorf("dpe: knn query index %d outside log of %d queries", s.Query, n)
+		}
+	default:
+		return fmt.Errorf("dpe: unknown mining algorithm %d", int(s.Algorithm))
+	}
+	return nil
 }
 
 // MineResult holds the output of Provider.Mine. Matrix is always set;
@@ -480,9 +659,25 @@ type MineResult struct {
 
 // Mine builds the distance matrix of the log and runs one mining
 // algorithm over it — the provider's whole job in one call, entirely on
-// ciphertext.
+// ciphertext. The spec is validated against the log *before* the matrix
+// build, so parameter mistakes fail fast.
 func (p *Provider) Mine(ctx context.Context, log []string, spec MineSpec) (*MineResult, error) {
-	m, err := p.DistanceMatrix(ctx, log)
+	if err := spec.Validate(len(log)); err != nil {
+		return nil, err
+	}
+	pl, err := p.Prepare(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	return p.MinePrepared(ctx, pl, spec)
+}
+
+// MinePrepared is Mine over an already-prepared log.
+func (p *Provider) MinePrepared(ctx context.Context, pl *PreparedLog, spec MineSpec) (*MineResult, error) {
+	if err := spec.Validate(pl.Len()); err != nil {
+		return nil, err
+	}
+	m, err := p.DistanceMatrixPrepared(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -506,6 +701,26 @@ func (p *Provider) Mine(ctx context.Context, log []string, spec MineSpec) (*Mine
 	}
 	return res, nil
 }
+
+// ProviderAPI is the provider-shaped mining surface: what a data owner
+// (or any client) needs from a service provider, independent of whether
+// the provider runs in-process (*Provider) or across the network
+// (internal/service.Session via dpeserver). Code written against this
+// interface runs against either interchangeably.
+type ProviderAPI interface {
+	// Measure returns the session's distance measure.
+	Measure() Measure
+	// DistanceMatrix computes the pairwise distance matrix of a log.
+	DistanceMatrix(ctx context.Context, log []string) (Matrix, error)
+	// Distances computes one matrix row (the kNN access pattern).
+	Distances(ctx context.Context, log []string, q int) ([]float64, error)
+	// Mine builds the matrix and runs one mining algorithm over it.
+	Mine(ctx context.Context, log []string, spec MineSpec) (*MineResult, error)
+	// VerifyPreservation checks Definition 1 on two matrices.
+	VerifyPreservation(plain, enc Matrix) (*PreservationReport, error)
+}
+
+var _ ProviderAPI = (*Provider)(nil)
 
 // --- deprecated free-function API (thin wrappers over Provider) ---
 

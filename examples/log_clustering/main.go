@@ -4,18 +4,24 @@
 // queries. Structure distance admits PROB constants (Table I row 2), so
 // even equal constants look different in the shared log — yet the
 // clustering is identical.
+// With -remote URL the provider is a dpeserver at that URL; the
+// clustering output is identical to the in-process run.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"runtime"
 
 	dpe "repro"
+	"repro/internal/service"
 )
 
 func main() {
+	remote := flag.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
+	flag.Parse()
 	// A deterministic synthetic SkyServer-like workload stands in for
 	// the real (proprietary) logs; see DESIGN.md §2.
 	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
@@ -40,9 +46,15 @@ func main() {
 
 	// Provider: one session, two clusterings over ciphertext. Structure
 	// distance is a log-only measure, so the session needs no shared
-	// artifacts beyond the encrypted log itself.
+	// artifacts beyond the encrypted log itself. In-process and remote
+	// sessions expose the same dpe.ProviderAPI.
 	ctx := context.Background()
-	provider, err := dpe.NewProvider(dpe.MeasureStructure, dpe.WithParallelism(runtime.NumCPU()))
+	var provider dpe.ProviderAPI
+	if *remote != "" {
+		provider, err = service.NewClient(*remote).NewSession(ctx, dpe.MeasureStructure)
+	} else {
+		provider, err = dpe.NewProvider(dpe.MeasureStructure, dpe.WithParallelism(runtime.NumCPU()))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

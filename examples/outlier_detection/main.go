@@ -4,18 +4,25 @@
 // rewritten queries over the encrypted catalog (CryptDB-style onions);
 // queries whose result sets are unlike every other query's are flagged.
 // An injected "exfiltration-style" full scan stands out as the outlier.
+// With -remote URL the provider is a dpeserver at that URL: the
+// encrypted catalog and the public aggregate-evaluation key travel over
+// the wire, and the ciphertext execution happens on the server.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"runtime"
 
 	dpe "repro"
+	"repro/internal/service"
 )
 
 func main() {
+	remote := flag.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
+	flag.Parse()
 	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
 		Seed: "outliers", Queries: 24, Rows: 80,
 		IncludeAggregates: true, IncludeJoins: true,
@@ -48,11 +55,18 @@ func main() {
 	// Provider: a session over the encrypted catalog + aggregate
 	// evaluator. It executes the ciphertext log over the ciphertext
 	// catalog (queries run concurrently across cores) and detects
-	// Knorr–Ng DB(p, D) outliers.
+	// Knorr–Ng DB(p, D) outliers. Remotely, the catalog and the
+	// aggregate-evaluation public key are uploaded at session creation.
 	ctx := context.Background()
-	provider, err := dpe.NewProvider(dpe.MeasureResult,
-		dpe.WithCatalog(encCat, owner.ResultAggregator()),
-		dpe.WithParallelism(runtime.NumCPU()))
+	var provider dpe.ProviderAPI
+	if *remote != "" {
+		provider, err = service.NewClient(*remote).NewSession(ctx, dpe.MeasureResult,
+			service.WithCatalog(encCat, owner.ResultAggregatorKey()))
+	} else {
+		provider, err = dpe.NewProvider(dpe.MeasureResult,
+			dpe.WithCatalog(encCat, owner.ResultAggregator()),
+			dpe.WithParallelism(runtime.NumCPU()))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

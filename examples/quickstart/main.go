@@ -2,18 +2,28 @@
 // hand the ciphertext log to a "service provider", cluster it there, and
 // check the clustering equals the plaintext one (Definition 1 of the
 // paper in five minutes).
+//
+// With -remote URL the provider is a real dpeserver at that URL instead
+// of an in-process session — same API, same results:
+//
+//	go run ./cmd/dpeserver &
+//	go run ./examples/quickstart -remote http://localhost:8433
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"runtime"
 
 	dpe "repro"
+	"repro/internal/service"
 )
 
 func main() {
+	remote := flag.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
+	flag.Parse()
 	// 1. The data owner's schema and (secret) log.
 	schema := dpe.NewSchema()
 	schema.MustAddTable("patients", []dpe.ColumnInfo{
@@ -48,9 +58,16 @@ func main() {
 
 	// 3. Provider side: one session over the shared artifacts (token
 	//    distance needs only the log), then distances + clustering — on
-	//    ciphertext, fanned out over all cores.
+	//    ciphertext, fanned out over all cores. With -remote the session
+	//    lives on a dpeserver and these calls go over HTTP; the
+	//    dpe.ProviderAPI interface makes the two interchangeable.
 	ctx := context.Background()
-	provider, err := dpe.NewProvider(dpe.MeasureToken, dpe.WithParallelism(runtime.NumCPU()))
+	var provider dpe.ProviderAPI
+	if *remote != "" {
+		provider, err = service.NewClient(*remote).NewSession(ctx, dpe.MeasureToken)
+	} else {
+		provider, err = dpe.NewProvider(dpe.MeasureToken, dpe.WithParallelism(runtime.NumCPU()))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

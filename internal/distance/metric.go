@@ -44,6 +44,16 @@ type Prepared interface {
 	Distance(i, j int) (float64, error)
 }
 
+// Sizer is optionally implemented by Prepared states that can estimate
+// the memory they retain. Caches use it to budget prepared state by
+// bytes; the estimate must scale with the real footprint (for the
+// result measure that is the materialized tuple sets, which dwarf the
+// log text).
+type Sizer interface {
+	// SizeBytes estimates the retained memory of the prepared state.
+	SizeBytes() int64
+}
+
 // Metric is one pluggable query-distance measure (a row of Table I).
 // Implementations work identically on plaintext and ciphertext logs —
 // that is the DPE property the registry's built-ins preserve.
@@ -131,6 +141,32 @@ func (p setPrepared[K]) Len() int { return len(p) }
 
 func (p setPrepared[K]) Distance(i, j int) (float64, error) {
 	return Jaccard(p[i], p[j]), nil
+}
+
+// keySize estimates one set element's footprint: strings carry their
+// text (tuple keys grow with catalog rows), fixed-size struct keys a
+// constant plus any string payload.
+func keySize(k any) int64 {
+	switch v := k.(type) {
+	case string:
+		return int64(len(v)) + 16
+	case sqlfeature.Feature:
+		return int64(len(v.Item)) + 24
+	default:
+		return 32
+	}
+}
+
+// SizeBytes implements Sizer over the per-query sets.
+func (p setPrepared[K]) SizeBytes() int64 {
+	total := int64(48 * len(p))
+	for _, set := range p {
+		total += 48
+		for k := range set {
+			total += keySize(k) + 8
+		}
+	}
+	return total
 }
 
 // --- token (Definition 3) ---
@@ -252,6 +288,20 @@ func (m *accessAreaMetric) Prepare(ctx context.Context, queries []string) (Prepa
 }
 
 func (p *aaPrepared) Len() int { return len(p.queries) }
+
+// SizeBytes implements Sizer over the precomputed areas.
+func (p *aaPrepared) SizeBytes() int64 {
+	total := int64(48 * len(p.queries))
+	for _, q := range p.queries {
+		for a := range q.attrs {
+			total += int64(len(a)) + 32
+		}
+		for a, area := range q.areas {
+			total += int64(len(a)) + 48 + int64(len(area.Intervals()))*96
+		}
+	}
+	return total
+}
 
 // area returns the query's access area for attribute a: the extracted
 // area when it accesses a, the empty area otherwise.

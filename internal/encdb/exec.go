@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/crypto/hom"
 	"repro/internal/db"
 	"repro/internal/sqlparse"
 	"repro/internal/value"
@@ -20,7 +21,21 @@ const avgPairTag = 'A'
 // to plaintext semantics (MIN/MAX compare OPE ciphertext bytes, which
 // equals plaintext order).
 func (d *Deployment) Aggregator() db.Aggregator {
-	pk := &d.paillier.PublicKey
+	return AggregatorFor(&d.paillier.PublicKey)
+}
+
+// AggregatorKey returns the public-key material behind Aggregator — the
+// only piece of it that must travel to a remote service provider; the
+// provider reconstructs the evaluator with AggregatorFor.
+func (d *Deployment) AggregatorKey() *hom.PublicKey {
+	return &d.paillier.PublicKey
+}
+
+// AggregatorFor builds the encrypted aggregate evaluator from a Paillier
+// public key alone. A service provider that received the key over the
+// wire (it contains no secret) gets exactly the evaluator the owner's
+// Deployment.Aggregator would hand it in-process.
+func AggregatorFor(pk *hom.PublicKey) db.Aggregator {
 	return func(name string, star bool, args []value.Value, rowCount int) (value.Value, error) {
 		switch name {
 		case "SUM", "AVG":

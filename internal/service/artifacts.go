@@ -1,0 +1,32 @@
+package service
+
+import (
+	dpe "repro"
+)
+
+// EncryptedArtifactOptions encrypts the Table I shared artifacts a
+// measure needs (DB content for the result measure, attribute domains
+// for the access-area measure) and returns matching option slices for
+// both provider shapes — in-process (dpe.NewProvider) and remote
+// (Client.NewSession) — built from the same ciphertext, so the two are
+// interchangeable. Log-only measures need no artifacts and get empty
+// slices.
+func EncryptedArtifactOptions(owner *dpe.Owner, w *dpe.Workload, m dpe.Measure) ([]dpe.ProviderOption, []SessionOption, error) {
+	switch m {
+	case dpe.MeasureResult:
+		encCat, err := owner.EncryptCatalog(w.Catalog)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []dpe.ProviderOption{dpe.WithCatalog(encCat, owner.ResultAggregator())},
+			[]SessionOption{WithCatalog(encCat, owner.ResultAggregatorKey())}, nil
+	case dpe.MeasureAccessArea:
+		encDomains, err := owner.EncryptDomains(w.Domains)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []dpe.ProviderOption{dpe.WithDomains(encDomains)},
+			[]SessionOption{WithDomains(encDomains)}, nil
+	}
+	return nil, nil, nil
+}

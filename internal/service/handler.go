@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	dpe "repro"
+)
+
+// maxBodyBytes bounds request bodies (uploaded artifacts can be large —
+// an encrypted catalog is the biggest legitimate payload).
+const maxBodyBytes = 256 << 20
+
+// API wire bodies not owned by the registry.
+type (
+	// CreateSessionResponse answers POST /v1/sessions.
+	CreateSessionResponse struct {
+		Session string      `json:"session"`
+		Measure dpe.Measure `json:"measure"`
+	}
+	// UploadLogRequest is the body of POST /v1/sessions/{id}/logs.
+	UploadLogRequest struct {
+		Queries []string `json:"queries"`
+	}
+	// UploadLogResponse answers it with the content-derived log id.
+	UploadLogResponse struct {
+		Log     string `json:"log"`
+		Queries int    `json:"queries"`
+	}
+	// MatrixRequest is the body of POST /v1/sessions/{id}/matrix.
+	MatrixRequest struct {
+		Log string `json:"log"`
+	}
+	// DistancesRequest is the body of POST /v1/sessions/{id}/distances.
+	DistancesRequest struct {
+		Log   string `json:"log"`
+		Query int    `json:"query"`
+	}
+	// DistancesResponse answers it.
+	DistancesResponse struct {
+		Distances []float64 `json:"distances"`
+	}
+	// MineRequest is the body of POST /v1/sessions/{id}/mine.
+	MineRequest struct {
+		Log  string       `json:"log"`
+		Spec WireMineSpec `json:"spec"`
+	}
+	// VerifyRequest is the body of POST /v1/sessions/{id}/verify: two
+	// distance matrices to check entry-wise (Definition 1).
+	VerifyRequest struct {
+		Plain [][]float64 `json:"plain"`
+		Enc   [][]float64 `json:"enc"`
+	}
+	// errorResponse is every non-2xx body.
+	errorResponse struct {
+		Error string `json:"error"`
+	}
+)
+
+// NewHandler exposes a registry as the dpeserver HTTP API under /v1.
+// All endpoints honor request-context cancellation: a client that goes
+// away aborts its matrix build mid-flight.
+func NewHandler(reg *Registry) http.Handler {
+	h := &handler{reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, reg.Stats())
+	})
+	mux.HandleFunc("POST /v1/sessions", h.createSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", h.sessionStats)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", h.deleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/logs", h.uploadLog)
+	mux.HandleFunc("POST /v1/sessions/{id}/matrix", h.matrix)
+	mux.HandleFunc("POST /v1/sessions/{id}/distances", h.distances)
+	mux.HandleFunc("POST /v1/sessions/{id}/mine", h.mine)
+	mux.HandleFunc("POST /v1/sessions/{id}/verify", h.verify)
+	return mux
+}
+
+type handler struct {
+	reg *Registry
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeError maps an error to a status: capacity exhaustion is 429,
+// unknown sessions/logs are 404, a cancelled request context gets the
+// non-standard-but-conventional 499 (the client is gone anyway), and
+// everything else — bad artifacts, bad specs, parse failures — is the
+// caller's fault (400).
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errTooManySessions):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			status = 499
+		}
+	default:
+		var notFound interface{ NotFound() bool }
+		if errors.As(err, &notFound) {
+			status = http.StatusNotFound
+		}
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("service: decoding request body: %w", err)
+	}
+	return nil
+}
+
+// sessionOf resolves the {id} path segment.
+func (h *handler) sessionOf(r *http.Request) (*session, error) {
+	return h.reg.Session(r.PathValue("id"))
+}
+
+func (h *handler) createSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	s, err := h.reg.CreateSession(&req)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{Session: s.ID(), Measure: *req.Measure})
+}
+
+func (h *handler) sessionStats(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (h *handler) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := h.reg.DeleteSession(r.PathValue("id")); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (h *handler) uploadLog(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req UploadLogRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	id, err := s.AddLog(req.Queries)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, UploadLogResponse{Log: id, Queries: len(req.Queries)})
+}
+
+func (h *handler) matrix(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req MatrixRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	m, err := s.Matrix(r.Context(), req.Log)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	WriteMatrix(w, m)
+}
+
+func (h *handler) distances(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req DistancesRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	out, err := s.Distances(r.Context(), req.Log, req.Query)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DistancesResponse{Distances: out})
+}
+
+func (h *handler) mine(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req MineRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	spec, err := req.Spec.Decode()
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	res, err := s.Mine(r.Context(), req.Log, spec)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeMineResult(res))
+}
+
+func (h *handler) verify(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req VerifyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	rep, err := s.Verify(dpe.Matrix(req.Plain), dpe.Matrix(req.Enc))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodePreservationReport(rep))
+}

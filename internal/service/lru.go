@@ -1,0 +1,125 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a snapshot of the prepared-state cache's counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// lruCache is a concurrency-safe LRU keyed by string with two budgets:
+// a maximum entry count and a maximum total cost in (estimated) bytes.
+// Adding past either budget evicts least-recently-used entries first. A
+// single over-budget entry is admitted alone — refusing it would make
+// one huge log uncacheable forever and thrash the service.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+type lruEntry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+// newLRU creates a cache with the given budgets; both must be positive.
+func newLRU(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value and marks it most recently used. The
+// hit/miss counters track every lookup.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a value with the given cost, evicting from
+// the LRU end until both budgets hold again.
+func (c *lruCache) add(key string, val any, cost int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, cost: cost})
+		c.bytes += cost
+	}
+	for (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the LRU entry; callers hold the mutex.
+func (c *lruCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.cost
+	c.evictions++
+}
+
+// removePrefix drops every entry whose key starts with prefix — used
+// when a session is deleted to release its prepared state.
+func (c *lruCache) removePrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*lruEntry)
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.cost
+		}
+	}
+}
+
+// stats snapshots the counters.
+func (c *lruCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

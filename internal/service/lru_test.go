@@ -1,0 +1,73 @@
+package service
+
+import "testing"
+
+// TestLRUEntryBudget checks eviction by entry count in LRU order, with
+// get refreshing recency.
+func TestLRUEntryBudget(t *testing.T) {
+	c := newLRU(2, 1<<30)
+	c.add("a", 1, 1)
+	c.add("b", 2, 1)
+	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a should be cached")
+	}
+	c.add("c", 3, 1)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	s := c.stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries and 1 eviction", s)
+	}
+}
+
+// TestLRUByteBudget checks eviction by total cost, and that one
+// over-budget entry is still admitted alone.
+func TestLRUByteBudget(t *testing.T) {
+	c := newLRU(100, 10)
+	c.add("a", 1, 4)
+	c.add("b", 2, 4)
+	c.add("c", 3, 4) // 12 > 10: evict a
+	if _, ok := c.get("a"); ok {
+		t.Error("a should have been evicted over the byte budget")
+	}
+	if s := c.stats(); s.Bytes != 8 {
+		t.Errorf("bytes = %d, want 8", s.Bytes)
+	}
+	c.add("huge", 4, 1000) // over budget alone: evicts the rest, stays
+	if _, ok := c.get("huge"); !ok {
+		t.Error("a single over-budget entry must still be admitted")
+	}
+	if s := c.stats(); s.Entries != 1 {
+		t.Errorf("entries = %d, want only the huge one", s.Entries)
+	}
+}
+
+// TestLRUUpdateAndRemovePrefix checks in-place cost updates and
+// session-scoped removal.
+func TestLRUUpdateAndRemovePrefix(t *testing.T) {
+	c := newLRU(10, 100)
+	c.add("s1\x00l1", 1, 10)
+	c.add("s1\x00l2", 2, 10)
+	c.add("s2\x00l1", 3, 10)
+	c.add("s1\x00l1", 4, 20) // update cost in place
+	if s := c.stats(); s.Bytes != 40 {
+		t.Errorf("bytes = %d, want 40 after update", s.Bytes)
+	}
+	c.removePrefix("s1\x00")
+	if _, ok := c.get("s1\x00l1"); ok {
+		t.Error("s1 entries should be gone")
+	}
+	if _, ok := c.get("s2\x00l1"); !ok {
+		t.Error("s2 entry should survive")
+	}
+	if s := c.stats(); s.Entries != 1 || s.Bytes != 10 {
+		t.Errorf("stats = %+v, want 1 entry / 10 bytes", s)
+	}
+}

@@ -1,0 +1,515 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	dpe "repro"
+)
+
+// notFoundError marks lookup failures (unknown session or log) so the
+// HTTP layer maps them to 404 instead of 400.
+type notFoundError struct{ err error }
+
+func (e notFoundError) Error() string  { return e.err.Error() }
+func (e notFoundError) Unwrap() error  { return e.err }
+func (e notFoundError) NotFound() bool { return true }
+
+// Config tunes a Registry.
+type Config struct {
+	// MaxSessions bounds concurrently live sessions; 0 means 64.
+	MaxSessions int
+	// Parallelism sizes each session provider's distance-engine worker
+	// pool; <= 1 means sequential.
+	Parallelism int
+	// CacheEntries bounds the prepared-state cache's entry count; 0
+	// means 128.
+	CacheEntries int
+	// CacheBytes bounds the prepared-state cache's estimated total
+	// size; 0 means 64 MiB.
+	CacheBytes int64
+	// MaxLogsPerSession bounds distinct uploaded logs per session; 0
+	// means 64.
+	MaxLogsPerSession int
+	// MaxLogBytesPerSession bounds the total raw bytes of a session's
+	// uploaded logs; 0 means 64 MiB.
+	MaxLogBytesPerSession int64
+	// SessionTTL is how long an idle session survives once the registry
+	// is full: at capacity, sessions untouched for longer are reaped to
+	// make room. 0 means 2 hours.
+	SessionTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxLogsPerSession <= 0 {
+		c.MaxLogsPerSession = 64
+	}
+	if c.MaxLogBytesPerSession <= 0 {
+		c.MaxLogBytesPerSession = 64 << 20
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 2 * time.Hour
+	}
+	return c
+}
+
+// CreateSessionRequest is the wire body of POST /v1/sessions: the
+// measure plus whatever Table I shared artifacts it needs. Catalog (with
+// an optional aggregator key for encrypted content) belongs to the
+// result measure, Domains to the access-area measure.
+type CreateSessionRequest struct {
+	// Measure is required: a pointer so an absent (or misspelled) field
+	// is an error instead of silently defaulting to the token measure.
+	Measure       *dpe.Measure          `json:"measure"`
+	Catalog       *WireCatalog          `json:"catalog,omitempty"`
+	AggregatorKey *WireAggregatorKey    `json:"aggregator_key,omitempty"`
+	Domains       map[string]WireDomain `json:"domains,omitempty"`
+	AccessAreaX   float64               `json:"access_area_x,omitempty"`
+	Tolerance     float64               `json:"tolerance,omitempty"`
+}
+
+// SessionStats is the wire body of GET /v1/sessions/{id}: what a tenant
+// can observe about its session, including whether its calls are being
+// served from the prepared-state cache.
+type SessionStats struct {
+	Session        string      `json:"session"`
+	Measure        dpe.Measure `json:"measure"`
+	Logs           int         `json:"logs"`
+	PreparedHits   int64       `json:"prepared_hits"`
+	PreparedMisses int64       `json:"prepared_misses"`
+	CreatedAt      time.Time   `json:"created_at"`
+}
+
+// RegistryStats is the wire body of GET /v1/stats.
+type RegistryStats struct {
+	Sessions      int        `json:"sessions"`
+	MaxSessions   int        `json:"max_sessions"`
+	PreparedCache CacheStats `json:"prepared_cache"`
+}
+
+// Registry is the service's multi-tenant state: live sessions plus one
+// shared LRU cache of prepared logs. All methods are safe for concurrent
+// use.
+type Registry struct {
+	cfg    Config
+	cache  *lruCache
+	flight *flightGroup
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	return &Registry{
+		cfg:      cfg,
+		cache:    newLRU(cfg.CacheEntries, cfg.CacheBytes),
+		flight:   newFlightGroup(),
+		sessions: make(map[string]*session),
+	}
+}
+
+// newSessionID draws an unguessable session id: in a multi-tenant
+// service the id is the only thing protecting one tenant's session from
+// another, so it must not be enumerable.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: generating session id: %w", err)
+	}
+	return "s-" + hex.EncodeToString(b[:]), nil
+}
+
+// errTooManySessions distinguishes capacity exhaustion (429) from bad
+// requests (400).
+var errTooManySessions = fmt.Errorf("service: session limit reached")
+
+// CreateSession decodes the request's artifacts, builds the provider
+// once, and registers a session serving it.
+func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
+	if req.Measure == nil {
+		return nil, fmt.Errorf("service: request is missing the measure (want token|structure|result|access-area)")
+	}
+	opts := []dpe.ProviderOption{dpe.WithParallelism(r.cfg.Parallelism)}
+	if req.Catalog != nil {
+		cat, err := req.Catalog.Decode()
+		if err != nil {
+			return nil, err
+		}
+		var agg dpe.Aggregator
+		if req.AggregatorKey != nil {
+			pk, err := req.AggregatorKey.Decode()
+			if err != nil {
+				return nil, err
+			}
+			agg = dpe.AggregatorFromKey(pk)
+		}
+		opts = append(opts, dpe.WithCatalog(cat, agg))
+	}
+	if req.Domains != nil {
+		domains, err := DecodeDomains(req.Domains)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, dpe.WithDomains(domains))
+	}
+	if req.AccessAreaX != 0 {
+		opts = append(opts, dpe.WithAccessAreaX(req.AccessAreaX))
+	}
+	if req.Tolerance != 0 {
+		opts = append(opts, dpe.WithTolerance(req.Tolerance))
+	}
+	provider, err := dpe.NewProvider(*req.Measure, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.reapIdleLocked(now)
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w (%d live)", errTooManySessions, len(r.sessions))
+	}
+	s := &session{
+		id:       id,
+		measure:  *req.Measure,
+		provider: provider,
+		reg:      r,
+		logs:     make(map[string][]string),
+		created:  now,
+		lastUsed: now,
+	}
+	r.sessions[s.id] = s
+	return s, nil
+}
+
+// reapIdleLocked drops sessions idle longer than the TTL (and their
+// cached prepared state). Called with r.mu held, only when the registry
+// is at capacity — abandoned sessions must not squat on it forever.
+func (r *Registry) reapIdleLocked(now time.Time) {
+	for id, s := range r.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > r.cfg.SessionTTL {
+			delete(r.sessions, id)
+			r.cache.removePrefix(id + "\x00")
+		}
+	}
+}
+
+// Session returns a live session by id.
+func (r *Registry) Session(id string) (*session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, notFoundError{fmt.Errorf("service: unknown session %q", id)}
+	}
+	return s, nil
+}
+
+// DeleteSession removes a session and its cached prepared state.
+func (r *Registry) DeleteSession(id string) error {
+	r.mu.Lock()
+	_, ok := r.sessions[id]
+	delete(r.sessions, id)
+	r.mu.Unlock()
+	if !ok {
+		return notFoundError{fmt.Errorf("service: unknown session %q", id)}
+	}
+	r.cache.removePrefix(id + "\x00")
+	return nil
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	n := len(r.sessions)
+	r.mu.Unlock()
+	return RegistryStats{
+		Sessions:      n,
+		MaxSessions:   r.cfg.MaxSessions,
+		PreparedCache: r.cache.stats(),
+	}
+}
+
+// session is one tenant's provider state on the server: the immutable
+// provider built from the uploaded artifacts, plus the logs uploaded so
+// far. Logs are content-addressed, so re-uploading an identical log is
+// idempotent and lands on the same cached prepared state.
+type session struct {
+	id       string
+	measure  dpe.Measure
+	provider *dpe.Provider
+	reg      *Registry
+	created  time.Time
+
+	mu       sync.Mutex
+	logs     map[string][]string
+	logBytes int64
+	lastUsed time.Time
+	hits     int64
+	misses   int64
+}
+
+// ID returns the session id.
+func (s *session) ID() string { return s.id }
+
+// touchLocked marks the session used; callers hold s.mu.
+func (s *session) touchLocked() { s.lastUsed = time.Now() }
+
+// LogID content-addresses a query log: equal logs get equal ids.
+func LogID(queries []string) string {
+	h := sha256.New()
+	for _, q := range queries {
+		fmt.Fprintf(h, "%d\n", len(q))
+		h.Write([]byte(q))
+	}
+	return "l-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// AddLog registers an uploaded log and returns its content-derived id.
+// The session's raw-log store is budgeted (entries and bytes) so one
+// tenant cannot grow server memory without bound.
+func (s *session) AddLog(queries []string) (string, error) {
+	if len(queries) == 0 {
+		return "", fmt.Errorf("service: empty query log")
+	}
+	id := LogID(queries)
+	size := int64(0)
+	for _, q := range queries {
+		size += int64(len(q))
+	}
+	cfg := s.reg.cfg
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	if _, ok := s.logs[id]; ok {
+		return id, nil
+	}
+	if len(s.logs) >= cfg.MaxLogsPerSession {
+		return "", fmt.Errorf("service: session log limit reached (%d logs); delete the session or reuse uploaded logs", len(s.logs))
+	}
+	if s.logBytes+size > cfg.MaxLogBytesPerSession {
+		return "", fmt.Errorf("service: session log byte budget exceeded (%d + %d > %d bytes)", s.logBytes, size, cfg.MaxLogBytesPerSession)
+	}
+	s.logs[id] = append([]string(nil), queries...)
+	s.logBytes += size
+	return id, nil
+}
+
+// log returns an uploaded log by id.
+func (s *session) log(id string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	queries, ok := s.logs[id]
+	if !ok {
+		return nil, notFoundError{fmt.Errorf("service: unknown log %q (upload it first)", id)}
+	}
+	return queries, nil
+}
+
+// preparedCost is the cache's byte accounting for one prepared log: the
+// metric's own footprint estimate when it has one (the result measure's
+// tuple sets scale with catalog rows, not with log text), the log size
+// plus a per-query overhead otherwise.
+func preparedCost(pl *dpe.PreparedLog, queries []string) int64 {
+	if size := pl.SizeBytes(); size > 0 {
+		return size
+	}
+	cost := int64(0)
+	for _, q := range queries {
+		cost += int64(2*len(q)) + 256
+	}
+	return cost
+}
+
+// flightGroup coalesces concurrent preparations of the same cache key:
+// one caller becomes the leader and runs Prepare, the rest wait for its
+// result instead of repeating the most expensive operation the service
+// has.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	pl   *dpe.PreparedLog
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// begin joins the in-flight call for key, or starts one; leader reports
+// which happened.
+func (g *flightGroup) begin(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and retires the call.
+func (g *flightGroup) finish(key string, c *flightCall, pl *dpe.PreparedLog, err error) {
+	c.pl, c.err = pl, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// prepared returns the log's prepared state, serving repeat calls from
+// the registry-wide LRU cache (the expensive half of every distance
+// computation — tokenizing, parsing, executing — runs at most once per
+// uploaded log while the entry stays cached). Concurrent cold calls for
+// the same log collapse into a single preparation.
+func (s *session) prepared(ctx context.Context, logID string) (*dpe.PreparedLog, error) {
+	queries, err := s.log(logID)
+	if err != nil {
+		return nil, err
+	}
+	key := s.id + "\x00" + logID
+	for {
+		if v, ok := s.reg.cache.get(key); ok {
+			s.mu.Lock()
+			s.hits++
+			s.mu.Unlock()
+			return v.(*dpe.PreparedLog), nil
+		}
+		c, leader := s.reg.flight.begin(key)
+		if leader {
+			// Re-check under leadership: a previous leader may have added
+			// the entry between our cache miss and our begin (its add runs
+			// before its finish, so the entry is visible by now).
+			if v, ok := s.reg.cache.get(key); ok {
+				pl := v.(*dpe.PreparedLog)
+				s.reg.flight.finish(key, c, pl, nil)
+				s.mu.Lock()
+				s.hits++
+				s.mu.Unlock()
+				return pl, nil
+			}
+			pl, err := s.provider.Prepare(ctx, queries)
+			if err == nil {
+				// Only cache for a still-live session: if the session was
+				// deleted (or reaped) mid-prepare, its removePrefix already
+				// ran and an add now would strand an unreachable entry on
+				// the shared byte budget.
+				if _, live := s.reg.Session(s.id); live == nil {
+					s.reg.cache.add(key, pl, preparedCost(pl, queries))
+				}
+				s.mu.Lock()
+				s.misses++
+				s.mu.Unlock()
+			}
+			s.reg.flight.finish(key, c, pl, err)
+			return pl, err
+		}
+		select {
+		case <-c.done:
+			if c.err == nil {
+				s.mu.Lock()
+				s.hits++
+				s.mu.Unlock()
+				return c.pl, nil
+			}
+			// The leader failed — possibly only because *its* context was
+			// cancelled. If ours is still live, retry (and likely become
+			// the new leader) rather than inherit a stranger's error.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Matrix computes the full pairwise distance matrix of an uploaded log.
+func (s *session) Matrix(ctx context.Context, logID string) (dpe.Matrix, error) {
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.DistanceMatrixPrepared(ctx, pl)
+}
+
+// Distances computes one matrix row of an uploaded log.
+func (s *session) Distances(ctx context.Context, logID string, q int) ([]float64, error) {
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.DistancesPrepared(ctx, pl, q)
+}
+
+// Mine builds the matrix of an uploaded log and runs one mining
+// algorithm over it. The spec is validated before any expensive work.
+func (s *session) Mine(ctx context.Context, logID string, spec dpe.MineSpec) (*dpe.MineResult, error) {
+	queries, err := s.log(logID)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(len(queries)); err != nil {
+		return nil, err
+	}
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.MinePrepared(ctx, pl, spec)
+}
+
+// Verify runs the Definition 1 check with the session's tolerance.
+func (s *session) Verify(plain, enc dpe.Matrix) (*dpe.PreservationReport, error) {
+	s.mu.Lock()
+	s.touchLocked()
+	s.mu.Unlock()
+	return s.provider.VerifyPreservation(plain, enc)
+}
+
+// Stats snapshots the session.
+func (s *session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	return SessionStats{
+		Session:        s.id,
+		Measure:        s.measure,
+		Logs:           len(s.logs),
+		PreparedHits:   s.hits,
+		PreparedMisses: s.misses,
+		CreatedAt:      s.created,
+	}
+}

@@ -1,0 +1,457 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	dpe "repro"
+)
+
+// fixture is one owner-side deployment: a deterministic workload plus
+// the master secret holder.
+type fixture struct {
+	w     *dpe.Workload
+	owner *dpe.Owner
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
+		Seed: "service-test", Queries: 12, Rows: 30,
+		IncludeAggregates: true, IncludeJoins: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := dpe.NewOwner([]byte("service-test-master"), w.Schema, dpe.Config{PaillierBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.DeclareJoins(w.Queries); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{w: w, owner: owner}
+}
+
+// measureSetup encrypts the log for a measure and builds both sides of
+// the parity check from the same encrypted artifacts: an in-process
+// provider, and the wire options for a remote session.
+func (f *fixture) measureSetup(t *testing.T, m dpe.Measure) (encLog []string, local *dpe.Provider, remoteOpts []SessionOption) {
+	t.Helper()
+	encLog, err := f.owner.EncryptLog(f.w.Queries, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localOpts, remoteOpts, err := EncryptedArtifactOptions(f.owner, f.w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err = dpe.NewProvider(m, localOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encLog, local, remoteOpts
+}
+
+func startServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(NewRegistry(cfg)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRemoteLocalParity is the tentpole's acceptance check: for every
+// measure, the matrix, row, and mining results served over HTTP are
+// entry-wise identical to the in-process Provider on the same encrypted
+// log — and the second matrix call is served from the prepared-state
+// cache (observable via the session stats endpoint).
+func TestRemoteLocalParity(t *testing.T) {
+	f := newFixture(t)
+	srv := startServer(t, Config{})
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	for _, m := range []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea} {
+		t.Run(m.String(), func(t *testing.T) {
+			encLog, local, remoteOpts := f.measureSetup(t, m)
+			sess, err := client.NewSession(ctx, m, remoteOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sess.Measure() != m {
+				t.Errorf("session measure = %v, want %v", sess.Measure(), m)
+			}
+
+			want, err := local.DistanceMatrix(ctx, encLog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sess.DistanceMatrix(ctx, encLog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("remote matrix differs from in-process matrix")
+			}
+
+			// Row access parity (first and last query).
+			for _, q := range []int{0, len(encLog) - 1} {
+				wantRow, err := local.Distances(ctx, encLog, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRow, err := sess.Distances(ctx, encLog, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotRow, wantRow) {
+					t.Errorf("remote row %d differs from in-process row", q)
+				}
+			}
+
+			// Mining parity.
+			spec := dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 3}
+			wantMine, err := local.Mine(ctx, encLog, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMine, err := sess.Mine(ctx, encLog, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotMine, wantMine) {
+				t.Error("remote mining result differs from in-process result")
+			}
+
+			// Remote Definition 1 check against the owner's plaintext matrix.
+			plainProvider := plainSide(t, f, m)
+			plain, err := plainProvider.DistanceMatrix(ctx, f.w.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sess.VerifyPreservation(plain, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Preserved {
+				t.Errorf("measure %v not preserved over the wire: max |Δd| = %g", m, rep.MaxAbsError)
+			}
+
+			// The repeat calls above must have hit the prepared cache: only
+			// the very first call on the uploaded log may miss.
+			stats, err := sess.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Logs != 1 {
+				t.Errorf("stats.Logs = %d, want 1 (content-addressed upload)", stats.Logs)
+			}
+			// One miss (the first matrix call) and a hit for each of the two
+			// row calls and the mine call.
+			if stats.PreparedMisses != 1 || stats.PreparedHits != 3 {
+				t.Errorf("prepared cache: hits %d misses %d, want exactly 1 miss and 3 hits",
+					stats.PreparedHits, stats.PreparedMisses)
+			}
+		})
+	}
+}
+
+// plainSide builds the owner's in-process plaintext session for a
+// measure (the other half of the Definition 1 check).
+func plainSide(t *testing.T, f *fixture, m dpe.Measure) *dpe.Provider {
+	t.Helper()
+	var opts []dpe.ProviderOption
+	switch m {
+	case dpe.MeasureResult:
+		opts = append(opts, dpe.WithCatalog(f.w.Catalog, nil))
+	case dpe.MeasureAccessArea:
+		opts = append(opts, dpe.WithDomains(f.w.Domains))
+	}
+	p, err := dpe.NewProvider(m, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHandlerCancellation drives a request whose context is already
+// cancelled through the full handler: the matrix build must abort with
+// the context's error instead of running to completion.
+func TestHandlerCancellation(t *testing.T) {
+	reg := NewRegistry(Config{})
+	h := NewHandler(reg)
+
+	token := dpe.MeasureToken
+	s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logID, err := s.AddLog([]string{"SELECT a FROM t", "SELECT b FROM t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body := strings.NewReader(fmt.Sprintf(`{"log":%q}`, logID))
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+s.ID()+"/matrix", body).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("cancelled request got HTTP %d (%s), want 499", rec.Code, rec.Body.String())
+	}
+
+	// The same cancellation surfaces directly from the session layer.
+	if _, err := s.Matrix(ctx, logID); !errors.Is(err, context.Canceled) {
+		t.Errorf("session.Matrix with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientCancellationMidRequest cancels a client context while the
+// server is grinding through a large matrix build; the call must return
+// promptly with the context error.
+func TestClientCancellationMidRequest(t *testing.T) {
+	srv := startServer(t, Config{})
+	bg := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(bg, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A log big enough that the n(n-1)/2 pairwise build dominates: the
+	// 5ms budget below expires long before ~700k Jaccard computations.
+	log := make([]string, 1200)
+	for i := range log {
+		log[i] = fmt.Sprintf("SELECT objid, ra, dec FROM photoobj WHERE ra > %d AND nvote = %d", i, i%7)
+	}
+	if _, err := sess.UploadLog(bg, log); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.DistanceMatrix(ctx, log)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DistanceMatrix under cancellation = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %s to surface, want prompt abort", elapsed)
+	}
+}
+
+// TestErrorPaths exercises the API's failure modes: bad sessions, bad
+// logs, bad specs, bad artifacts, and the session capacity limit.
+func TestErrorPaths(t *testing.T) {
+	srv := startServer(t, Config{MaxSessions: 1})
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Unknown session -> 404.
+	if code, body := post("/v1/sessions/s-ffffffff/logs", `{"queries":["SELECT a FROM t"]}`); code != http.StatusNotFound {
+		t.Errorf("unknown session: HTTP %d (%s), want 404", code, body)
+	}
+	// Unknown measure -> 400.
+	if code, body := post("/v1/sessions", `{"measure":"bogus"}`); code != http.StatusBadRequest {
+		t.Errorf("bad measure: HTTP %d (%s), want 400", code, body)
+	}
+	// Missing measure must not silently default to token -> 400.
+	if code, body := post("/v1/sessions", `{}`); code != http.StatusBadRequest || !strings.Contains(body, "missing the measure") {
+		t.Errorf("missing measure: HTTP %d (%s), want 400 naming the field", code, body)
+	}
+	// Result measure without its shared artifact -> 400.
+	if code, body := post("/v1/sessions", `{"measure":"result"}`); code != http.StatusBadRequest || !strings.Contains(body, "catalog") {
+		t.Errorf("result without catalog: HTTP %d (%s), want 400 naming the catalog", code, body)
+	}
+
+	sess, err := client.NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity: the registry holds one live session.
+	if _, err := client.NewSession(ctx, dpe.MeasureToken); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Errorf("second session = %v, want 429 session-limit error", err)
+	}
+
+	// Empty log -> 400.
+	if code, body := post("/v1/sessions/"+sess.ID()+"/logs", `{"queries":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty log: HTTP %d (%s), want 400", code, body)
+	}
+	// Matrix over a log that was never uploaded -> 404.
+	if code, body := post("/v1/sessions/"+sess.ID()+"/matrix", `{"log":"l-deadbeef"}`); code != http.StatusNotFound {
+		t.Errorf("unknown log: HTTP %d (%s), want 404", code, body)
+	}
+
+	log := []string{"SELECT a FROM t", "SELECT b FROM t", "SELECT a, b FROM t"}
+	// Bad spec fails fast with the validation message, not a mining crash.
+	_, err = sess.Mine(ctx, log, dpe.MineSpec{Algorithm: dpe.MineDBSCAN, MinPts: 2})
+	if err == nil || !strings.Contains(err.Error(), "Eps > 0") {
+		t.Errorf("bad spec = %v, want Eps validation error", err)
+	}
+	// Mismatched verify matrices -> 400.
+	if rep, err := sess.VerifyPreservation(dpe.Matrix{{0}}, dpe.Matrix{{0, 1}, {1, 0}}); err == nil {
+		t.Errorf("mismatched verify = %+v, want error", rep)
+	}
+
+	// Deleting the session frees capacity and invalidates the handle.
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Stats(ctx); err == nil {
+		t.Error("stats on a deleted session should fail")
+	}
+	if _, err := client.NewSession(ctx, dpe.MeasureToken); err != nil {
+		t.Errorf("capacity not released after delete: %v", err)
+	}
+}
+
+// TestPrepareSingleflight checks concurrent cold requests for the same
+// log collapse into one preparation: however many clients race, the
+// expensive Prepare runs once.
+func TestPrepareSingleflight(t *testing.T) {
+	srv := startServer(t, Config{})
+	ctx := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := []string{"SELECT a FROM t", "SELECT b FROM t", "SELECT a, b FROM t"}
+	if _, err := sess.UploadLog(ctx, log); err != nil {
+		t.Fatal(err)
+	}
+	const racers = 8
+	errs := make(chan error, racers)
+	for i := 0; i < racers; i++ {
+		go func() {
+			_, err := sess.DistanceMatrix(ctx, log)
+			errs <- err
+		}()
+	}
+	for i := 0; i < racers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := sess.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PreparedMisses != 1 {
+		t.Errorf("%d concurrent cold calls ran Prepare %d times, want 1 (singleflight)",
+			racers, stats.PreparedMisses)
+	}
+	if stats.PreparedHits != racers-1 {
+		t.Errorf("hits = %d, want %d coalesced/cached calls", stats.PreparedHits, racers-1)
+	}
+}
+
+// TestSessionLogBudgets checks a tenant cannot grow server memory
+// without bound: distinct uploads stop at the per-session entry budget
+// (re-uploads of known logs stay free), and oversized logs hit the byte
+// budget.
+func TestSessionLogBudgets(t *testing.T) {
+	srv := startServer(t, Config{MaxLogsPerSession: 2, MaxLogBytesPerSession: 1 << 20})
+	ctx := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := [][]string{
+		{"SELECT a FROM t"},
+		{"SELECT b FROM t"},
+		{"SELECT c FROM t"},
+	}
+	for i, log := range logs[:2] {
+		if _, err := sess.UploadLog(ctx, log); err != nil {
+			t.Fatalf("log %d: %v", i, err)
+		}
+	}
+	if _, err := sess.UploadLog(ctx, logs[2]); err == nil || !strings.Contains(err.Error(), "log limit") {
+		t.Errorf("third distinct log = %v, want entry-budget error", err)
+	}
+	// Re-uploading a known log is idempotent, not a new entry.
+	if _, err := sess.UploadLog(ctx, logs[0]); err != nil {
+		t.Errorf("re-upload of a known log = %v, want success", err)
+	}
+
+	tight := startServer(t, Config{MaxLogBytesPerSession: 16})
+	sess2, err := NewClient(tight.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.UploadLog(ctx, []string{"SELECT a, b, c FROM a_rather_long_table_name"}); err == nil || !strings.Contains(err.Error(), "byte budget") {
+		t.Errorf("oversized log = %v, want byte-budget error", err)
+	}
+}
+
+// TestIdleSessionReaping checks that, at capacity, sessions idle past
+// the TTL are reaped so new tenants are not locked out forever by
+// abandoned ones.
+func TestIdleSessionReaping(t *testing.T) {
+	reg := NewRegistry(Config{MaxSessions: 1, SessionTTL: time.Nanosecond})
+	token := dpe.MeasureToken
+	old, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond) // let the idle clock pass the 1ns TTL
+	fresh, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatalf("create at capacity with a stale session = %v, want reap + success", err)
+	}
+	if _, err := reg.Session(old.ID()); err == nil {
+		t.Error("the idle session should have been reaped")
+	}
+	if _, err := reg.Session(fresh.ID()); err != nil {
+		t.Errorf("the fresh session should be live: %v", err)
+	}
+}
+
+// TestCacheEviction checks the registry-wide LRU actually bounds
+// prepared state: with room for one entry, alternating logs keep
+// missing, while a stable log keeps hitting.
+func TestCacheEviction(t *testing.T) {
+	srv := startServer(t, Config{CacheEntries: 1})
+	ctx := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logA := []string{"SELECT a FROM t", "SELECT b FROM t"}
+	logB := []string{"SELECT c FROM t", "SELECT d FROM t"}
+	for i := 0; i < 2; i++ {
+		if _, err := sess.DistanceMatrix(ctx, logA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.DistanceMatrix(ctx, logB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := sess.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PreparedMisses != 4 {
+		t.Errorf("alternating logs with a 1-entry cache: %d misses, want 4 (every call evicted the other)", stats.PreparedMisses)
+	}
+}

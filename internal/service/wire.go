@@ -1,0 +1,439 @@
+// Package service turns the in-process provider session (dpe.Provider)
+// into a networked, multi-tenant provider service — the paper's
+// deployment model made literal. A data owner encrypts the Table I
+// shared artifacts (query log, database contents, attribute domains),
+// ships them over the wire to an untrusted dpeserver, and mines on
+// ciphertext remotely.
+//
+// The package has three layers:
+//
+//   - wire codecs (this file): JSON encodings for the shared artifacts —
+//     values, catalogs, domains, the aggregate-evaluation public key,
+//     mining specs/results, and a streamed distance-matrix format. The
+//     codecs are exact: a value round-trips bit-identically, so distance
+//     preservation (Definition 1) survives the network hop.
+//   - a session registry (registry.go): concurrency-safe multi-tenant
+//     state. A session is created once from a measure plus artifacts;
+//     logs are uploaded once and addressed by content hash; the metric's
+//     expensive per-log Prepared state is reused across matrix, row, and
+//     mine calls through an LRU cache with byte and entry budgets.
+//   - HTTP (handler.go, client.go): a stdlib net/http handler exposing
+//     the registry under /v1, and a Client whose Session implements
+//     dpe.ProviderAPI, so owner-side code runs against a local Provider
+//     or a remote dpeserver interchangeably.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+
+	dpe "repro"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/value"
+)
+
+// WireValue is the JSON form of one SQL value. Exactly one payload field
+// is set, matching Kind; bytes (ciphertexts) travel base64-encoded.
+// Integers decode through strconv, not float64, so 64-bit ciphertext
+// payloads round-trip exactly.
+type WireValue struct {
+	Kind  string   `json:"kind"`
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+	Bytes []byte   `json:"bytes,omitempty"`
+}
+
+// EncodeValue converts a value to its wire form.
+func EncodeValue(v value.Value) (WireValue, error) {
+	switch v.Kind() {
+	case value.KindNull:
+		return WireValue{Kind: "null"}, nil
+	case value.KindInt:
+		i := v.AsInt()
+		return WireValue{Kind: "int", Int: &i}, nil
+	case value.KindFloat:
+		f := v.AsFloat()
+		return WireValue{Kind: "float", Float: &f}, nil
+	case value.KindString:
+		s := v.AsString()
+		return WireValue{Kind: "str", Str: &s}, nil
+	case value.KindBytes:
+		return WireValue{Kind: "bytes", Bytes: v.AsBytes()}, nil
+	default:
+		return WireValue{}, fmt.Errorf("service: unknown value kind %v", v.Kind())
+	}
+}
+
+// Decode converts the wire form back to a value.
+func (w WireValue) Decode() (value.Value, error) {
+	switch w.Kind {
+	case "null":
+		return value.Null(), nil
+	case "int":
+		if w.Int == nil {
+			return value.Value{}, fmt.Errorf("service: int value without payload")
+		}
+		return value.Int(*w.Int), nil
+	case "float":
+		if w.Float == nil {
+			return value.Value{}, fmt.Errorf("service: float value without payload")
+		}
+		return value.Float(*w.Float), nil
+	case "str":
+		if w.Str == nil {
+			return value.Value{}, fmt.Errorf("service: str value without payload")
+		}
+		return value.Str(*w.Str), nil
+	case "bytes":
+		return value.Bytes(w.Bytes), nil
+	default:
+		return value.Value{}, fmt.Errorf("service: unknown wire value kind %q", w.Kind)
+	}
+}
+
+// WireColumn is the JSON form of one table column.
+type WireColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // INT|FLOAT|STRING|BYTES
+}
+
+// WireTable is the JSON form of one relation.
+type WireTable struct {
+	Name    string        `json:"name"`
+	Columns []WireColumn  `json:"columns"`
+	Rows    [][]WireValue `json:"rows"`
+}
+
+// WireCatalog is the JSON form of the DB-Content shared artifact: the
+// (encrypted) database the result-distance measure executes over.
+type WireCatalog struct {
+	Tables []WireTable `json:"tables"`
+}
+
+func parseColumnType(s string) (db.ColumnType, error) {
+	for _, t := range []db.ColumnType{db.TypeInt, db.TypeFloat, db.TypeString, db.TypeBytes} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("service: unknown column type %q", s)
+}
+
+// EncodeCatalog converts a catalog (tables in name order) to wire form.
+func EncodeCatalog(c *dpe.Catalog) (*WireCatalog, error) {
+	out := &WireCatalog{}
+	for _, name := range c.TableNames() {
+		t, err := c.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		wt := WireTable{Name: name, Columns: make([]WireColumn, len(t.Columns))}
+		for i, col := range t.Columns {
+			wt.Columns[i] = WireColumn{Name: col.Name, Type: col.Type.String()}
+		}
+		wt.Rows = make([][]WireValue, len(t.Rows))
+		for i, row := range t.Rows {
+			wr := make([]WireValue, len(row))
+			for j, v := range row {
+				wv, err := EncodeValue(v)
+				if err != nil {
+					return nil, fmt.Errorf("service: table %q row %d: %w", name, i, err)
+				}
+				wr[j] = wv
+			}
+			wt.Rows[i] = wr
+		}
+		out.Tables = append(out.Tables, wt)
+	}
+	return out, nil
+}
+
+// Decode rebuilds the catalog, re-validating every row against its
+// table's declared column types.
+func (w *WireCatalog) Decode() (*dpe.Catalog, error) {
+	cat := db.NewCatalog()
+	for _, wt := range w.Tables {
+		cols := make([]db.Column, len(wt.Columns))
+		for i, wc := range wt.Columns {
+			t, err := parseColumnType(wc.Type)
+			if err != nil {
+				return nil, fmt.Errorf("service: table %q column %q: %w", wt.Name, wc.Name, err)
+			}
+			cols[i] = db.Column{Name: wc.Name, Type: t}
+		}
+		table, err := cat.Create(wt.Name, cols)
+		if err != nil {
+			return nil, err
+		}
+		for i, wr := range wt.Rows {
+			row := make(db.Row, len(wr))
+			for j, wv := range wr {
+				v, err := wv.Decode()
+				if err != nil {
+					return nil, fmt.Errorf("service: table %q row %d: %w", wt.Name, i, err)
+				}
+				row[j] = v
+			}
+			if err := table.Insert(row); err != nil {
+				return nil, fmt.Errorf("service: table %q row %d: %w", wt.Name, i, err)
+			}
+		}
+	}
+	return cat, nil
+}
+
+// WireDomain is the JSON form of one attribute domain (the Domains
+// shared artifact of the access-area measure).
+type WireDomain struct {
+	Min WireValue `json:"min"`
+	Max WireValue `json:"max"`
+}
+
+// EncodeDomains converts a domain map to wire form.
+func EncodeDomains(domains map[string]dpe.Domain) (map[string]WireDomain, error) {
+	out := make(map[string]WireDomain, len(domains))
+	for attr, d := range domains {
+		min, err := EncodeValue(d.Min)
+		if err != nil {
+			return nil, fmt.Errorf("service: domain %q: %w", attr, err)
+		}
+		max, err := EncodeValue(d.Max)
+		if err != nil {
+			return nil, fmt.Errorf("service: domain %q: %w", attr, err)
+		}
+		out[attr] = WireDomain{Min: min, Max: max}
+	}
+	return out, nil
+}
+
+// DecodeDomains is the inverse of EncodeDomains.
+func DecodeDomains(domains map[string]WireDomain) (map[string]dpe.Domain, error) {
+	out := make(map[string]dpe.Domain, len(domains))
+	for attr, wd := range domains {
+		min, err := wd.Min.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("service: domain %q: %w", attr, err)
+		}
+		max, err := wd.Max.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("service: domain %q: %w", attr, err)
+		}
+		out[attr] = dpe.Domain{Min: min, Max: max}
+	}
+	return out, nil
+}
+
+// WireAggregatorKey is the JSON form of the owner's aggregate-evaluation
+// public key (Paillier modulus). It carries no secret.
+type WireAggregatorKey struct {
+	N []byte `json:"n"`
+}
+
+// EncodeAggregatorKey converts the public key to wire form.
+func EncodeAggregatorKey(pk *dpe.AggregatorKey) *WireAggregatorKey {
+	return &WireAggregatorKey{N: pk.N.Bytes()}
+}
+
+// Decode rebuilds the public key (recomputing n²).
+func (w *WireAggregatorKey) Decode() (*dpe.AggregatorKey, error) {
+	n := new(big.Int).SetBytes(w.N)
+	if n.Sign() <= 0 {
+		return nil, fmt.Errorf("service: aggregator key modulus must be positive")
+	}
+	return &dpe.AggregatorKey{N: n, N2: new(big.Int).Mul(n, n)}, nil
+}
+
+// WireMineSpec is the JSON form of a mining request's parameters. The
+// algorithm travels as its canonical name ("k-medoids", "dbscan", ...)
+// and is required: a pointer so an absent (or misspelled) field is an
+// error instead of silently defaulting to k-medoids.
+type WireMineSpec struct {
+	Algorithm *dpe.MiningAlgorithm `json:"algorithm"`
+	K         int                  `json:"k,omitempty"`
+	Eps       float64              `json:"eps,omitempty"`
+	MinPts    int                  `json:"min_pts,omitempty"`
+	P         float64              `json:"p,omitempty"`
+	D         float64              `json:"d,omitempty"`
+	Query     int                  `json:"query,omitempty"`
+}
+
+// EncodeMineSpec converts a spec to wire form.
+func EncodeMineSpec(s dpe.MineSpec) WireMineSpec {
+	return WireMineSpec{Algorithm: &s.Algorithm, K: s.K, Eps: s.Eps,
+		MinPts: s.MinPts, P: s.P, D: s.D, Query: s.Query}
+}
+
+// Decode converts the wire form back to a spec, rejecting a spec with
+// no algorithm.
+func (w WireMineSpec) Decode() (dpe.MineSpec, error) {
+	if w.Algorithm == nil {
+		return dpe.MineSpec{}, fmt.Errorf("service: mine spec is missing the algorithm (want k-medoids|dbscan|complete-link|outliers|knn)")
+	}
+	return dpe.MineSpec{Algorithm: *w.Algorithm, K: w.K, Eps: w.Eps,
+		MinPts: w.MinPts, P: w.P, D: w.D, Query: w.Query}, nil
+}
+
+// WireClusters is the JSON form of a k-medoids result.
+type WireClusters struct {
+	Medoids    []int   `json:"medoids"`
+	Assign     []int   `json:"assign"`
+	Cost       float64 `json:"cost"`
+	Iterations int     `json:"iterations"`
+}
+
+// WireMineResult is the JSON form of a mining response: the distance
+// matrix plus exactly one algorithm-specific field.
+type WireMineResult struct {
+	Matrix    [][]float64   `json:"matrix"`
+	Clusters  *WireClusters `json:"clusters,omitempty"`
+	Labels    []int         `json:"labels,omitempty"`
+	Outliers  []bool        `json:"outliers,omitempty"`
+	Neighbors []int         `json:"neighbors,omitempty"`
+}
+
+// EncodeMineResult converts a mining result to wire form.
+func EncodeMineResult(r *dpe.MineResult) *WireMineResult {
+	out := &WireMineResult{
+		Matrix:    r.Matrix,
+		Labels:    r.Labels,
+		Outliers:  r.Outliers,
+		Neighbors: r.Neighbors,
+	}
+	if r.Clusters != nil {
+		out.Clusters = &WireClusters{
+			Medoids:    r.Clusters.Medoids,
+			Assign:     r.Clusters.Assign,
+			Cost:       r.Clusters.Cost,
+			Iterations: r.Clusters.Iterations,
+		}
+	}
+	return out
+}
+
+// Decode converts the wire form back to a mining result.
+func (w *WireMineResult) Decode() *dpe.MineResult {
+	out := &dpe.MineResult{
+		Matrix:    w.Matrix,
+		Labels:    w.Labels,
+		Outliers:  w.Outliers,
+		Neighbors: w.Neighbors,
+	}
+	if w.Clusters != nil {
+		out.Clusters = &dpe.KMedoidsResult{
+			Medoids:    w.Clusters.Medoids,
+			Assign:     w.Clusters.Assign,
+			Cost:       w.Clusters.Cost,
+			Iterations: w.Clusters.Iterations,
+		}
+	}
+	return out
+}
+
+// WireCounterExample is the JSON form of one Definition 1 violation.
+type WireCounterExample struct {
+	I     int     `json:"i"`
+	J     int     `json:"j"`
+	Plain float64 `json:"plain"`
+	Enc   float64 `json:"enc"`
+}
+
+// WirePreservationReport is the JSON form of a Definition 1 check.
+type WirePreservationReport struct {
+	Pairs           int                  `json:"pairs"`
+	MaxAbsError     float64              `json:"max_abs_error"`
+	Preserved       bool                 `json:"preserved"`
+	CounterExamples []WireCounterExample `json:"counter_examples,omitempty"`
+	Error           string               `json:"error,omitempty"`
+}
+
+// EncodePreservationReport converts a report to wire form.
+func EncodePreservationReport(r *dpe.PreservationReport) *WirePreservationReport {
+	out := &WirePreservationReport{
+		Pairs:       r.Pairs,
+		MaxAbsError: r.MaxAbsError,
+		Preserved:   r.Preserved,
+		Error:       r.Error,
+	}
+	for _, ce := range r.CounterExamples {
+		out.CounterExamples = append(out.CounterExamples,
+			WireCounterExample{I: ce.I, J: ce.J, Plain: ce.Plain, Enc: ce.Enc})
+	}
+	return out
+}
+
+// Decode converts the wire form back to a report.
+func (w *WirePreservationReport) Decode() *dpe.PreservationReport {
+	out := &dpe.PreservationReport{
+		Pairs:       w.Pairs,
+		MaxAbsError: w.MaxAbsError,
+		Preserved:   w.Preserved,
+		Error:       w.Error,
+	}
+	for _, ce := range w.CounterExamples {
+		out.CounterExamples = append(out.CounterExamples,
+			core.CounterExample{I: ce.I, J: ce.J, Plain: ce.Plain, Enc: ce.Enc})
+	}
+	return out
+}
+
+// matrixFlushEvery is how many streamed matrix rows are written between
+// flushes to the client.
+const matrixFlushEvery = 64
+
+// WriteMatrix streams a distance matrix as JSON — {"n":N,"rows":[...]}
+// — row by row, flushing every matrixFlushEvery rows when the writer
+// supports it (http.Flusher). Large matrices reach the client
+// incrementally instead of being buffered whole.
+func WriteMatrix(w io.Writer, m dpe.Matrix) error {
+	flusher, _ := w.(http.Flusher)
+	if _, err := fmt.Fprintf(w, `{"n":%d,"rows":[`, len(m)); err != nil {
+		return err
+	}
+	for i, row := range m {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if flusher != nil && (i+1)%matrixFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	_, err := io.WriteString(w, "]}")
+	return err
+}
+
+// wireMatrix mirrors the WriteMatrix stream for decoding.
+type wireMatrix struct {
+	N    int         `json:"n"`
+	Rows [][]float64 `json:"rows"`
+}
+
+// ReadMatrix decodes a WriteMatrix stream, validating the dimensions.
+func ReadMatrix(r io.Reader) (dpe.Matrix, error) {
+	var w wireMatrix
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("service: decoding matrix: %w", err)
+	}
+	if len(w.Rows) != w.N {
+		return nil, fmt.Errorf("service: matrix has %d rows, header says %d", len(w.Rows), w.N)
+	}
+	for i, row := range w.Rows {
+		if len(row) != w.N {
+			return nil, fmt.Errorf("service: matrix row %d has %d entries, want %d", i, len(row), w.N)
+		}
+	}
+	return dpe.Matrix(w.Rows), nil
+}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	dpe "repro"
+	"repro/internal/db"
+	"repro/internal/value"
+)
+
+// TestValueRoundTrip checks every value kind survives the wire exactly,
+// including through JSON bytes — full-range int64s and floats must not
+// pass through float64 truncation.
+func TestValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null(),
+		value.Int(0),
+		value.Int(math.MaxInt64),
+		value.Int(math.MinInt64),
+		value.Float(0.1),
+		value.Float(1e-300),
+		value.Float(-123456.789),
+		value.Str(""),
+		value.Str("O'Hara \x00 ünicode"),
+		value.Bytes(nil),
+		value.Bytes([]byte{0, 1, 2, 0xff}),
+	}
+	for _, v := range vals {
+		wv, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		b, err := json.Marshal(wv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded WireValue
+		if err := json.Unmarshal(b, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		back, err := decoded.Decode()
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if back.Kind() != v.Kind() || back.Key() != v.Key() {
+			t.Errorf("%v round-trips to %v (keys %q vs %q)", v, back, v.Key(), back.Key())
+		}
+	}
+	if _, err := (WireValue{Kind: "int"}).Decode(); err == nil {
+		t.Error("int without payload should fail to decode")
+	}
+	if _, err := (WireValue{Kind: "imaginary"}).Decode(); err == nil {
+		t.Error("unknown kind should fail to decode")
+	}
+}
+
+// TestCatalogRoundTrip checks a multi-table catalog (including a BYTES
+// ciphertext column and NULLs) is rebuilt identically.
+func TestCatalogRoundTrip(t *testing.T) {
+	cat := db.NewCatalog()
+	tbl := cat.MustCreate("t1", []db.Column{
+		{Name: "a", Type: db.TypeInt},
+		{Name: "b", Type: db.TypeString},
+		{Name: "c", Type: db.TypeBytes},
+	})
+	tbl.MustInsert(db.Row{value.Int(1), value.Str("x"), value.Bytes([]byte{9, 8})})
+	tbl.MustInsert(db.Row{value.Null(), value.Null(), value.Null()})
+	cat.MustCreate("t2", []db.Column{{Name: "f", Type: db.TypeFloat}}).
+		MustInsert(db.Row{value.Float(2.5)})
+
+	wc, err := EncodeCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded WireCatalog
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.TableNames(), cat.TableNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tables %v, want %v", got, want)
+	}
+	for _, name := range cat.TableNames() {
+		orig, _ := cat.Table(name)
+		got, _ := back.Table(name)
+		if !reflect.DeepEqual(got.Columns, orig.Columns) {
+			t.Errorf("table %q columns %v, want %v", name, got.Columns, orig.Columns)
+		}
+		if len(got.Rows) != len(orig.Rows) {
+			t.Fatalf("table %q has %d rows, want %d", name, len(got.Rows), len(orig.Rows))
+		}
+		for i := range orig.Rows {
+			for j := range orig.Rows[i] {
+				if got.Rows[i][j].Key() != orig.Rows[i][j].Key() {
+					t.Errorf("table %q cell (%d,%d): %v, want %v", name, i, j, got.Rows[i][j], orig.Rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestDomainsRoundTrip checks the Domains artifact survives the wire.
+func TestDomainsRoundTrip(t *testing.T) {
+	domains := map[string]dpe.Domain{
+		"ra":    {Min: value.Float(0), Max: value.Float(360)},
+		"class": {Min: value.Str("GALAXY"), Max: value.Str("STAR")},
+		"nvote": {Min: value.Int(-5), Max: value.Int(1 << 60)},
+	}
+	wd, err := EncodeDomains(domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]WireDomain
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDomains(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(domains) {
+		t.Fatalf("got %d domains, want %d", len(back), len(domains))
+	}
+	for attr, d := range domains {
+		g := back[attr]
+		if g.Min.Key() != d.Min.Key() || g.Max.Key() != d.Max.Key() {
+			t.Errorf("domain %q: %v..%v, want %v..%v", attr, g.Min, g.Max, d.Min, d.Max)
+		}
+	}
+}
+
+// TestAggregatorKeyRoundTrip checks the Paillier public key rebuilds
+// with a working evaluator: the wire-reconstructed aggregator must
+// produce a ciphertext the owner decrypts to the true sum.
+func TestAggregatorKeyRoundTrip(t *testing.T) {
+	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{Seed: "aggkey", Queries: 4, Rows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := dpe.NewOwner([]byte("aggkey-test"), w.Schema, dpe.Config{PaillierBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := owner.ResultAggregatorKey()
+	b, err := json.Marshal(EncodeAggregatorKey(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded WireAggregatorKey
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Cmp(key.N) != 0 || back.N2.Cmp(key.N2) != 0 {
+		t.Error("aggregator key does not round-trip")
+	}
+	if _, err := (&WireAggregatorKey{}).Decode(); err == nil {
+		t.Error("empty modulus should fail to decode")
+	}
+}
+
+// TestMatrixStreamRoundTrip checks WriteMatrix/ReadMatrix, including
+// dimension validation on the read side.
+func TestMatrixStreamRoundTrip(t *testing.T) {
+	m := dpe.Matrix{
+		{0, 0.5, 1},
+		{0.5, 0, 0.25},
+		{1, 0.25, 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrix(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Errorf("matrix round-trips to %v, want %v", back, m)
+	}
+	var empty bytes.Buffer
+	if err := WriteMatrix(&empty, dpe.Matrix{}); err != nil {
+		t.Fatal(err)
+	}
+	if back, err := ReadMatrix(bytes.NewReader(empty.Bytes())); err != nil || len(back) != 0 {
+		t.Errorf("empty matrix round-trips to %v, %v", back, err)
+	}
+	if _, err := ReadMatrix(bytes.NewReader([]byte(`{"n":2,"rows":[[0,1]]}`))); err == nil {
+		t.Error("row-count mismatch should fail")
+	}
+	if _, err := ReadMatrix(bytes.NewReader([]byte(`{"n":2,"rows":[[0],[1]]}`))); err == nil {
+		t.Error("row-width mismatch should fail")
+	}
+}
+
+// TestMineSpecWireRoundTrip checks spec fields and the algorithm's text
+// form survive the wire.
+func TestMineSpecWireRoundTrip(t *testing.T) {
+	spec := dpe.MineSpec{Algorithm: dpe.MineDBSCAN, K: 3, Eps: 0.4, MinPts: 2, P: 0.9, D: 0.8, Query: 5}
+	b, err := json.Marshal(EncodeMineSpec(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"dbscan"`)) {
+		t.Errorf("wire spec %s should name the algorithm", b)
+	}
+	var decoded WireMineSpec
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decoded.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Errorf("spec round-trips to %+v, want %+v", got, spec)
+	}
+	// A spec whose algorithm field is absent (or misspelled, which JSON
+	// decoding silently drops) must error, not silently run k-medoids.
+	var noAlgo WireMineSpec
+	if err := json.Unmarshal([]byte(`{"algoritm":"knn","k":5}`), &noAlgo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noAlgo.Decode(); err == nil {
+		t.Error("spec without an algorithm should fail to decode")
+	}
+}
