@@ -1,0 +1,149 @@
+package dpe_test
+
+// The append path's defining property, checked end to end from outside
+// the facade: for random workloads and random split points, building a
+// matrix over n queries and appending k more yields exactly the matrix
+// a from-scratch build over all n+k queries produces — for all four
+// measures, on plaintext and ciphertext logs, in-process and over the
+// wire. (This file is an external test package so it can drive both the
+// facade and internal/service against each other.)
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	dpe "repro"
+	"repro/internal/service"
+)
+
+func TestAppendMatchesFullBuildProperty(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7)) // deterministic "random" workloads
+	iters := 3
+	measures := []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea}
+	if testing.Short() {
+		iters = 1
+		measures = measures[:2] // skip the Paillier-heavy artifact encryptions
+	}
+
+	srv := httptest.NewServer(service.NewHandler(service.NewRegistry(service.Config{Parallelism: 2})))
+	defer srv.Close()
+	client := service.NewClient(srv.URL)
+
+	for it := 0; it < iters; it++ {
+		total := 8 + rng.Intn(8)   // 8..15 queries
+		k := 1 + rng.Intn(total-3) // 1..total-3 appended
+		n := total - k             // >= 3 base queries
+		rows := 16 + rng.Intn(16)  // 16..31 rows per table
+		seed := fmt.Sprintf("prop-%d-%d", it, rng.Int63())
+
+		w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
+			Seed: seed, Queries: total, Rows: rows,
+			IncludeAggregates: true, IncludeJoins: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, err := dpe.NewOwner([]byte("prop:"+seed), w.Schema, dpe.Config{PaillierBits: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := owner.DeclareJoins(w.Queries); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, m := range measures {
+			t.Run(fmt.Sprintf("it%d_n%d_k%d_%s", it, n, k, m), func(t *testing.T) {
+				encLog, err := owner.EncryptLog(w.Queries, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				localOpts, remoteOpts, err := service.EncryptedArtifactOptions(owner, w, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Plaintext, in-process: the property must hold before any
+				// encryption is involved.
+				var plainOpts []dpe.ProviderOption
+				switch m {
+				case dpe.MeasureResult:
+					plainOpts = append(plainOpts, dpe.WithCatalog(w.Catalog, nil))
+				case dpe.MeasureAccessArea:
+					plainOpts = append(plainOpts, dpe.WithDomains(w.Domains))
+				}
+				plain, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(2)}, plainOpts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAppendProperty(t, ctx, "plaintext local", plain, w.Queries, n)
+
+				// Ciphertext, in-process.
+				local, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(2)}, localOpts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAppendProperty(t, ctx, "encrypted local", local, encLog, n)
+
+				// Ciphertext, over the wire: the remote session implements
+				// the same dpe.ProviderAPI, so the identical check runs
+				// against dpeserver.
+				sess, err := client.NewSession(ctx, m, remoteOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sess.Close(ctx)
+				checkAppendProperty(t, ctx, "encrypted remote", sess, encLog, n)
+
+				// Cross-check: the remote full build equals the local one.
+				want, err := local.DistanceMatrix(ctx, encLog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sess.DistanceMatrix(ctx, encLog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("remote matrix differs from local matrix")
+				}
+			})
+		}
+	}
+}
+
+// checkAppendProperty asserts DistanceMatrix(log[:n]) + Append(log[n:])
+// == DistanceMatrix(log) entry-wise, through the dpe.ProviderAPI
+// surface, so in-process providers and remote sessions run the
+// identical check.
+func checkAppendProperty(t *testing.T, ctx context.Context, label string, p dpe.ProviderAPI, log []string, n int) {
+	t.Helper()
+	full, err := p.DistanceMatrix(ctx, log)
+	if err != nil {
+		t.Fatalf("%s: full build: %v", label, err)
+	}
+	old, err := p.DistanceMatrix(ctx, log[:n])
+	if err != nil {
+		t.Fatalf("%s: base build: %v", label, err)
+	}
+	got, err := p.Append(ctx, old, log[:n], log[n:])
+	if err != nil {
+		t.Fatalf("%s: append: %v", label, err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Errorf("%s: Append(n=%d, k=%d) differs from the full %d×%d build",
+			label, n, len(log)-n, len(log), len(log))
+	}
+	// The k=0 edge: an empty append is a no-op on every implementation.
+	noop, err := p.Append(ctx, full, log, nil)
+	if err != nil {
+		t.Fatalf("%s: empty append: %v", label, err)
+	}
+	if !reflect.DeepEqual(noop, full) {
+		t.Errorf("%s: empty append changed the matrix", label)
+	}
+}

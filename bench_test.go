@@ -39,12 +39,24 @@ import (
 // benchParams scale the experiment benches (DESIGN.md §4 parameters).
 var benchParams = experiments.Params{Seed: "seed-42", Queries: 40, Rows: 100, PaillierBits: 512}
 
+// skipShort guards the heavyweight benchmarks (full experiment
+// pipelines, matrix builds over executed logs) so `go test -short
+// -bench .` — the CI shape — stays fast. The deterministic smoke
+// coverage of the same paths lives in internal/bench.
+func skipShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavyweight benchmark; run without -short")
+	}
+}
+
 var printOnce sync.Once
 
 // --- E1: Table I ---
 
 func benchTable1(b *testing.B, row int) {
 	b.Helper()
+	skipShort(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(benchParams)
@@ -69,6 +81,7 @@ func BenchmarkTable1_AccessAreaDistance(b *testing.B) { benchTable1(b, 3) }
 // --- E2: Fig. 1 ---
 
 func BenchmarkFig1_Taxonomy(b *testing.B) {
+	skipShort(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig1(benchParams)
@@ -88,6 +101,7 @@ func BenchmarkFig1_Taxonomy(b *testing.B) {
 // --- E3: mining equality ---
 
 func BenchmarkMiningEquality(b *testing.B) {
+	skipShort(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		rows, ctrl, err := experiments.MiningEquality(benchParams, experiments.DefaultMiningParams())
@@ -112,6 +126,7 @@ func BenchmarkMiningEquality(b *testing.B) {
 // --- E4: access-area security ---
 
 func BenchmarkAccessAreaSecurity(b *testing.B) {
+	skipShort(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		rep, err := experiments.AccessAreaSecurity(benchParams)
@@ -131,6 +146,7 @@ func BenchmarkAccessAreaSecurity(b *testing.B) {
 // --- E5: shared information ---
 
 func BenchmarkSharedInfo(b *testing.B) {
+	skipShort(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.SharedInfo(benchParams)
@@ -147,6 +163,7 @@ func BenchmarkSharedInfo(b *testing.B) {
 // --- E6: association rules over encrypted logs ---
 
 func BenchmarkAssociationRules(b *testing.B) {
+	skipShort(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		rep, err := experiments.AssociationRules(benchParams, 0, 0)
@@ -335,6 +352,7 @@ func benchWorkload(b *testing.B, n int) (*Workload, *Owner) {
 }
 
 func BenchmarkDistance_TokenMatrix(b *testing.B) {
+	skipShort(b)
 	w, _ := benchWorkload(b, 40)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -345,6 +363,7 @@ func BenchmarkDistance_TokenMatrix(b *testing.B) {
 }
 
 func BenchmarkDistance_StructureMatrix(b *testing.B) {
+	skipShort(b)
 	w, _ := benchWorkload(b, 40)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -355,6 +374,7 @@ func BenchmarkDistance_StructureMatrix(b *testing.B) {
 }
 
 func BenchmarkDistance_ResultMatrix(b *testing.B) {
+	skipShort(b)
 	w, _ := benchWorkload(b, 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -365,6 +385,7 @@ func BenchmarkDistance_ResultMatrix(b *testing.B) {
 }
 
 func BenchmarkDistance_AccessAreaMatrix(b *testing.B) {
+	skipShort(b)
 	w, _ := benchWorkload(b, 40)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -383,6 +404,7 @@ func BenchmarkDistance_AccessAreaMatrix(b *testing.B) {
 // upper-triangle fan-out over N workers. All variants produce entry-wise
 // identical matrices (TestProviderDistanceMatrixAllMeasures pins that).
 func BenchmarkBuildMatrix(b *testing.B) {
+	skipShort(b)
 	w, _ := benchWorkload(b, 64)
 	run := func(b *testing.B, parallelism int) {
 		b.Helper()
@@ -412,6 +434,7 @@ func BenchmarkBuildMatrix(b *testing.B) {
 // --- P5: end-to-end pipelines ---
 
 func BenchmarkEndToEnd_EncryptLogToken(b *testing.B) {
+	skipShort(b)
 	w, owner := benchWorkload(b, 40)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -422,6 +445,7 @@ func BenchmarkEndToEnd_EncryptLogToken(b *testing.B) {
 }
 
 func BenchmarkEndToEnd_EncryptCatalog(b *testing.B) {
+	skipShort(b)
 	w, owner := benchWorkload(b, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -432,6 +456,7 @@ func BenchmarkEndToEnd_EncryptCatalog(b *testing.B) {
 }
 
 func BenchmarkEndToEnd_EncryptAndCluster(b *testing.B) {
+	skipShort(b)
 	w, owner := benchWorkload(b, 40)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,7 +1,7 @@
-// Command dpebench regenerates the paper's evaluation artifacts
-// (DESIGN.md §4) and prints them in the paper's format.
+// Command dpebench regenerates the paper's evaluation artifacts and
+// runs the repository's reproducible benchmark harness (internal/bench).
 //
-// Usage:
+// Paper experiments (text output, DESIGN.md §4):
 //
 //	dpebench -exp table1      # E1: Table I via empirical class selection
 //	dpebench -exp fig1        # E2: Fig. 1 as measured attack advantages
@@ -9,326 +9,324 @@
 //	dpebench -exp accessarea  # E4: Section IV-C refinement
 //	dpebench -exp shared      # E5: shared-information columns
 //	dpebench -exp rules       # E6: association rules over encrypted logs
-//	dpebench -exp all         # everything above (default)
 //
-//	dpebench -exp engine -measure result -queries 64
-//	                          # P: sequential vs parallel matrix build
-//	dpebench -exp service -measure token -queries 48
-//	                          # S: request latency against an in-process
-//	                          # dpeserver, cold vs prepared-cache-warm
+// Harness experiments (internal/bench; text render, or a versioned
+// machine-readable report with -json):
 //
-// Scaling flags: -queries, -rows, -seed, -paillier; -measure and -par
-// scope the engine and service experiments.
+//	dpebench -exp engine      # matrix build, sequential vs worker pool
+//	dpebench -exp append      # incremental append vs from-scratch rebuild
+//	dpebench -exp service     # cold/warm/append latency vs dpeserver
+//
+//	dpebench -exp all -json   # run the whole harness, write BENCH_PR3.json
+//	dpebench -exp all -json -short -baseline bench_baseline.json
+//	                          # CI shape: smoke sizes, fail if any tracked
+//	                          # metric regresses >30% vs the baseline
+//
+// In text mode, -exp all runs the paper experiments (E1–E6); the
+// harness experiments run when named explicitly or whenever -json is
+// set. Sizing flags: -queries, -append, -rows, -seed, -paillier, -par,
+// -measure, -warm; -short starts from the CI smoke sizes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http/httptest"
+	"io"
 	"os"
-	"runtime"
-	"time"
+	"os/exec"
+	"strings"
 
 	dpe "repro"
+	"repro/internal/bench"
 	"repro/internal/experiments"
-	"repro/internal/service"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|service|all")
-	queries := flag.Int("queries", 60, "queries in the generated log")
-	rows := flag.Int("rows", 120, "rows per generated table")
-	seed := flag.String("seed", "seed-42", "workload seed")
-	paillier := flag.Int("paillier", 512, "Paillier modulus bits")
-	measureName := flag.String("measure", "result", "measure for -exp engine: token|structure|result|access-area")
-	par := flag.Int("par", 0, "parallelism for -exp engine (0 = all cores)")
-	flag.Parse()
-
-	p := experiments.Params{Seed: *seed, Queries: *queries, Rows: *rows, PaillierBits: *paillier}
-	if err := run(*exp, p, *measureName, *par); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dpebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, p experiments.Params, measureName string, par int) error {
-	all := exp == "all"
-	ran := false
+// options is the parsed command line.
+type options struct {
+	exp        string
+	json       bool
+	short      bool
+	out        string
+	baseline   string
+	maxRegress float64
 
-	if all || exp == "table1" {
-		ran = true
+	// Workload sizing; zero means "the mode's default".
+	seed     string
+	queries  int
+	appendK  int
+	rows     int
+	paillier int
+	par      int
+	warm     int
+	measure  string
+}
+
+// parseOptions parses the flags without exiting the process, so tests
+// can drive it.
+func parseOptions(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("dpebench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|service|all")
+	fs.BoolVar(&o.json, "json", false, "run the bench harness and write a machine-readable report")
+	fs.BoolVar(&o.short, "short", false, "CI smoke sizes (small workloads, fewer iterations)")
+	fs.StringVar(&o.out, "out", "BENCH_PR3.json", "report path for -json")
+	fs.StringVar(&o.baseline, "baseline", "", "committed baseline report; with -json, fail on tracked-metric regressions")
+	fs.Float64Var(&o.maxRegress, "max-regress", 0.30, "allowed tracked-metric regression vs the baseline (0.30 = +30%)")
+	fs.StringVar(&o.seed, "seed", "", "workload seed")
+	fs.IntVar(&o.queries, "queries", 0, "queries in the generated log (harness: base log size n)")
+	fs.IntVar(&o.appendK, "append", 0, "appended queries k (harness append/service experiments)")
+	fs.IntVar(&o.rows, "rows", 0, "rows per generated table")
+	fs.IntVar(&o.paillier, "paillier", 0, "Paillier modulus bits")
+	fs.IntVar(&o.par, "par", 0, "worker-pool parallelism (0 = all cores)")
+	fs.IntVar(&o.warm, "warm", 0, "warm repetitions in the service experiment")
+	fs.StringVar(&o.measure, "measure", "", "restrict the harness to one measure: token|structure|result|access-area")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.maxRegress < 0 {
+		return nil, fmt.Errorf("-max-regress must be >= 0, got %v", o.maxRegress)
+	}
+	_, harness, err := o.selection()
+	if err != nil {
+		return nil, err
+	}
+	if o.baseline != "" && len(harness) == 0 {
+		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|service|all), but -exp %s runs none", o.exp)
+	}
+	if _, err := o.benchConfig(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+var paperExps = []string{"table1", "fig1", "mining", "accessarea", "shared", "rules"}
+
+// selection splits -exp into the paper experiments and the harness
+// experiments it names.
+func (o *options) selection() (paper, harness []string, err error) {
+	switch o.exp {
+	case "all":
+		if o.json {
+			return nil, []string{"all"}, nil
+		}
+		return paperExps, nil, nil
+	case "engine", "append", "service":
+		return nil, []string{o.exp}, nil
+	default:
+		for _, p := range paperExps {
+			if o.exp == p {
+				if o.json {
+					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|service|all), not %q", o.exp)
+				}
+				return []string{o.exp}, nil, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|service|all)", o.exp)
+	}
+}
+
+// paperParams are the text experiments' sizes, preserving the historic
+// defaults.
+func (o *options) paperParams() experiments.Params {
+	p := experiments.Params{Seed: "seed-42", Queries: 60, Rows: 120, PaillierBits: 512}
+	if o.seed != "" {
+		p.Seed = o.seed
+	}
+	if o.queries > 0 {
+		p.Queries = o.queries
+	}
+	if o.rows > 0 {
+		p.Rows = o.rows
+	}
+	if o.paillier > 0 {
+		p.PaillierBits = o.paillier
+	}
+	return p
+}
+
+// benchConfig maps the flags onto the harness config: -short starts
+// from the smoke shape, explicit flags win either way.
+func (o *options) benchConfig() (bench.Config, error) {
+	var cfg bench.Config
+	if o.short {
+		cfg = bench.ShortConfig()
+	}
+	if o.seed != "" {
+		cfg.Seed = o.seed
+	}
+	if o.queries > 0 {
+		cfg.Queries = o.queries
+	}
+	if o.appendK > 0 {
+		cfg.Append = o.appendK
+	}
+	if o.rows > 0 {
+		cfg.Rows = o.rows
+	}
+	if o.paillier > 0 {
+		cfg.PaillierBits = o.paillier
+	}
+	if o.par > 0 {
+		cfg.Parallelism = o.par
+	}
+	if o.warm > 0 {
+		cfg.WarmCalls = o.warm
+	}
+	if o.measure != "" {
+		m, err := dpe.ParseMeasure(o.measure)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Measures = []dpe.Measure{m}
+	}
+	return cfg, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	paper, harness, err := o.selection()
+	if err != nil {
+		return err
+	}
+	for _, exp := range paper {
+		if err := runPaper(exp, o.paperParams(), stdout); err != nil {
+			return err
+		}
+	}
+	if len(harness) == 0 {
+		return nil
+	}
+	cfg, err := o.benchConfig()
+	if err != nil {
+		return err
+	}
+	report, err := bench.Run(context.Background(), harness, cfg)
+	if err != nil {
+		return err
+	}
+	report.GitSHA = gitSHA()
+	if o.json {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d metrics)\n", o.out, len(report.Metrics))
+	} else {
+		fmt.Fprintln(stdout, bench.Render(report))
+	}
+	// The regression gate runs whenever a baseline is named — with or
+	// without -json, so a mistyped invocation cannot silently skip it.
+	if o.baseline == "" {
+		return nil
+	}
+	bf, err := os.Open(o.baseline)
+	if err != nil {
+		return fmt.Errorf("opening baseline: %w", err)
+	}
+	defer bf.Close()
+	base, err := bench.ReadReport(bf)
+	if err != nil {
+		return err
+	}
+	regs, err := bench.Compare(report, base, o.maxRegress)
+	if err != nil {
+		return err
+	}
+	if len(regs) > 0 {
+		for _, reg := range regs {
+			fmt.Fprintln(stdout, "REGRESSION:", reg)
+		}
+		return fmt.Errorf("%d tracked metric(s) regressed beyond +%.0f%% of %s", len(regs), o.maxRegress*100, o.baseline)
+	}
+	fmt.Fprintf(stdout, "all tracked metrics within +%.0f%% of %s\n", o.maxRegress*100, o.baseline)
+	return nil
+}
+
+// gitSHA stamps the report with the commit it measured, best effort:
+// CI exposes GITHUB_SHA; local runs ask git.
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runPaper executes one of the paper's evaluation experiments and
+// prints its table.
+func runPaper(exp string, p experiments.Params, w io.Writer) error {
+	switch exp {
+	case "table1":
 		rows, err := experiments.Table1(p)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderTable1(rows))
-	}
-	if all || exp == "fig1" {
-		ran = true
+		fmt.Fprintln(w, experiments.RenderTable1(rows))
+	case "fig1":
 		rows, err := experiments.Fig1(p)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderFig1(rows))
+		fmt.Fprintln(w, experiments.RenderFig1(rows))
 		if !experiments.OrderingHolds(rows) {
 			return fmt.Errorf("fig1: measured ordering violates the taxonomy")
 		}
-		fmt.Println("Measured ordering matches Fig. 1: OK")
-		fmt.Println()
-	}
-	if all || exp == "mining" {
-		ran = true
+		fmt.Fprintln(w, "Measured ordering matches Fig. 1: OK")
+		fmt.Fprintln(w)
+	case "mining":
 		rows, ctrl, err := experiments.MiningEquality(p, experiments.DefaultMiningParams())
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderMining(rows, ctrl))
-	}
-	if all || exp == "accessarea" {
-		ran = true
+		fmt.Fprintln(w, experiments.RenderMining(rows, ctrl))
+	case "accessarea":
 		rep, err := experiments.AccessAreaSecurity(p)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderAccessAreaSecurity(rep))
-	}
-	if all || exp == "rules" {
-		ran = true
+		fmt.Fprintln(w, experiments.RenderAccessAreaSecurity(rep))
+	case "rules":
 		rep, err := experiments.AssociationRules(p, 0, 0)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderRules(rep))
+		fmt.Fprintln(w, experiments.RenderRules(rep))
 		if !rep.ShapesEqual {
 			return fmt.Errorf("rules: shapes differ between plaintext and ciphertext")
 		}
-	}
-	if all || exp == "shared" {
-		ran = true
+	case "shared":
 		rows, err := experiments.SharedInfo(p)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderSharedInfo(rows))
+		fmt.Fprintln(w, experiments.RenderSharedInfo(rows))
+	default:
+		return fmt.Errorf("unknown paper experiment %q", exp)
 	}
-	if exp == "engine" {
-		ran = true
-		if err := engine(p, measureName, par); err != nil {
-			return err
-		}
-	}
-	if exp == "service" {
-		ran = true
-		if err := serviceProbe(p, measureName, par); err != nil {
-			return err
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|service|all)", exp)
-	}
-	return nil
-}
-
-// engine measures the parallel distance engine: one encrypted log, one
-// Provider session per parallelism level, wall-clock per full matrix
-// build. The matrices are checked entry-wise identical across levels.
-func engine(p experiments.Params, measureName string, par int) error {
-	ctx := context.Background()
-	m, err := dpe.ParseMeasure(measureName)
-	if err != nil {
-		return err
-	}
-	if par <= 0 {
-		par = runtime.NumCPU()
-	}
-	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
-		Seed: p.Seed, Queries: p.Queries, Rows: p.Rows,
-		IncludeAggregates: true, IncludeJoins: true,
-	})
-	if err != nil {
-		return err
-	}
-	owner, err := dpe.NewOwner([]byte("engine:"+p.Seed), w.Schema, dpe.Config{PaillierBits: p.PaillierBits})
-	if err != nil {
-		return err
-	}
-	if err := owner.DeclareJoins(w.Queries); err != nil {
-		return err
-	}
-	encLog, err := owner.EncryptLog(w.Queries, m)
-	if err != nil {
-		return err
-	}
-	// The encrypted artifacts do not depend on parallelism: encrypt once,
-	// vary only the worker-pool size per level.
-	var shared []dpe.ProviderOption
-	switch m {
-	case dpe.MeasureResult:
-		encCat, err := owner.EncryptCatalog(w.Catalog)
-		if err != nil {
-			return err
-		}
-		shared = append(shared, dpe.WithCatalog(encCat, owner.ResultAggregator()))
-	case dpe.MeasureAccessArea:
-		encDomains, err := owner.EncryptDomains(w.Domains)
-		if err != nil {
-			return err
-		}
-		shared = append(shared, dpe.WithDomains(encDomains))
-	}
-
-	fmt.Printf("P — PARALLEL DISTANCE ENGINE (measure %s, %d encrypted queries, %d pairs)\n\n",
-		m, len(encLog), len(encLog)*(len(encLog)-1)/2)
-	fmt.Printf("%-12s | %-12s | %s\n", "parallelism", "build time", "speedup vs seq")
-	fmt.Println("--------------------------------------------")
-	levels := []int{1}
-	if par > 1 {
-		levels = append(levels, par)
-	}
-	var seq time.Duration
-	var baseline dpe.Matrix
-	for _, level := range levels {
-		provider, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(level)}, shared...)...)
-		if err != nil {
-			return err
-		}
-		start := time.Now()
-		matrix, err := provider.DistanceMatrix(ctx, encLog)
-		if err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		if level == 1 {
-			seq, baseline = elapsed, matrix
-			fmt.Printf("%-12d | %-12s | 1.00x\n", level, elapsed.Round(time.Microsecond))
-			continue
-		}
-		rep, err := provider.VerifyPreservation(baseline, matrix)
-		if err != nil {
-			return err
-		}
-		if !rep.Preserved {
-			return fmt.Errorf("engine: parallel matrix differs from sequential (max |Δd| %.2e)", rep.MaxAbsError)
-		}
-		fmt.Printf("%-12d | %-12s | %.2fx\n", level, elapsed.Round(time.Microsecond), float64(seq)/float64(elapsed))
-	}
-	if len(levels) == 1 {
-		fmt.Println("\nonly one CPU available: sequential build only, nothing to compare (use -par N to force a pool)")
-		return nil
-	}
-	fmt.Println("\nparallel matrix verified entry-wise identical to the sequential build")
-	return nil
-}
-
-// serviceProbe measures the networked provider: request latency and
-// throughput against an in-process dpeserver handler (httptest), cold
-// (first matrix call prepares the log) vs warm (prepared-state cache
-// hit). The remote matrix is checked entry-wise identical to the
-// in-process provider's.
-func serviceProbe(p experiments.Params, measureName string, par int) error {
-	ctx := context.Background()
-	m, err := dpe.ParseMeasure(measureName)
-	if err != nil {
-		return err
-	}
-	if par <= 0 {
-		par = runtime.NumCPU()
-	}
-	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
-		Seed: p.Seed, Queries: p.Queries, Rows: p.Rows,
-		IncludeAggregates: true, IncludeJoins: true,
-	})
-	if err != nil {
-		return err
-	}
-	owner, err := dpe.NewOwner([]byte("service:"+p.Seed), w.Schema, dpe.Config{PaillierBits: p.PaillierBits})
-	if err != nil {
-		return err
-	}
-	if err := owner.DeclareJoins(w.Queries); err != nil {
-		return err
-	}
-	encLog, err := owner.EncryptLog(w.Queries, m)
-	if err != nil {
-		return err
-	}
-	localOpts, remoteOpts, err := service.EncryptedArtifactOptions(owner, w, m)
-	if err != nil {
-		return err
-	}
-
-	srv := httptest.NewServer(service.NewHandler(service.NewRegistry(service.Config{Parallelism: par})))
-	defer srv.Close()
-
-	start := time.Now()
-	sess, err := service.NewClient(srv.URL).NewSession(ctx, m, remoteOpts...)
-	if err != nil {
-		return err
-	}
-	setup := time.Since(start)
-
-	fmt.Printf("S — PROVIDER SERVICE (measure %s, %d encrypted queries, parallelism %d, in-process HTTP)\n\n",
-		m, len(encLog), par)
-	fmt.Printf("session create (artifacts over the wire): %s\n", setup.Round(time.Microsecond))
-
-	// Cold: first matrix call uploads the log and prepares it.
-	start = time.Now()
-	remoteMatrix, err := sess.DistanceMatrix(ctx, encLog)
-	if err != nil {
-		return err
-	}
-	cold := time.Since(start)
-
-	// Warm: same log, prepared state served from the LRU cache.
-	const warmCalls = 5
-	start = time.Now()
-	for i := 0; i < warmCalls; i++ {
-		if _, err := sess.DistanceMatrix(ctx, encLog); err != nil {
-			return err
-		}
-	}
-	warm := time.Since(start) / warmCalls
-
-	// Warm rows: the kNN access pattern, one row per request.
-	start = time.Now()
-	for q := 0; q < len(encLog); q++ {
-		if _, err := sess.Distances(ctx, encLog, q); err != nil {
-			return err
-		}
-	}
-	rowTotal := time.Since(start)
-
-	fmt.Printf("matrix cold (upload + prepare + build + stream): %s\n", cold.Round(time.Microsecond))
-	fmt.Printf("matrix warm (prepared-cache hit), avg of %d:    %s (%.2fx faster)\n",
-		warmCalls, warm.Round(time.Microsecond), float64(cold)/float64(warm))
-	fmt.Printf("row requests warm: %d requests in %s (%.0f req/s)\n",
-		len(encLog), rowTotal.Round(time.Microsecond),
-		float64(len(encLog))/rowTotal.Seconds())
-
-	stats, err := sess.Stats(ctx)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("session stats: %d log(s), prepared hits %d, misses %d\n",
-		stats.Logs, stats.PreparedHits, stats.PreparedMisses)
-
-	// The wire must not bend the numbers: compare against in-process.
-	local, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(par)}, localOpts...)...)
-	if err != nil {
-		return err
-	}
-	localMatrix, err := local.DistanceMatrix(ctx, encLog)
-	if err != nil {
-		return err
-	}
-	rep, err := local.VerifyPreservation(localMatrix, remoteMatrix)
-	if err != nil {
-		return err
-	}
-	if !rep.Preserved {
-		return fmt.Errorf("service: remote matrix differs from in-process (max |Δd| %.2e)", rep.MaxAbsError)
-	}
-	fmt.Println("remote matrix verified entry-wise identical to the in-process provider")
 	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	dpe "repro"
+)
+
+func TestParseOptionsSelection(t *testing.T) {
+	cases := []struct {
+		args    []string
+		paper   int
+		harness int
+	}{
+		{[]string{"-exp", "all"}, 6, 0},          // text mode: E1–E6
+		{[]string{"-exp", "all", "-json"}, 0, 1}, // harness "all"
+		{[]string{"-exp", "table1"}, 1, 0},
+		{[]string{"-exp", "engine"}, 0, 1},
+		{[]string{"-exp", "append", "-json"}, 0, 1},
+		{[]string{"-exp", "service"}, 0, 1},
+	}
+	for _, tc := range cases {
+		o, err := parseOptions(tc.args)
+		if err != nil {
+			t.Errorf("parseOptions(%v): %v", tc.args, err)
+			continue
+		}
+		paper, harness, err := o.selection()
+		if err != nil {
+			t.Errorf("selection(%v): %v", tc.args, err)
+			continue
+		}
+		if len(paper) != tc.paper || len(harness) != tc.harness {
+			t.Errorf("selection(%v) = %d paper, %d harness, want %d/%d",
+				tc.args, len(paper), len(harness), tc.paper, tc.harness)
+		}
+	}
+}
+
+func TestParseOptionsBenchConfig(t *testing.T) {
+	o, err := parseOptions([]string{"-exp", "append", "-short", "-queries", "12", "-measure", "token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.benchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -short sets the smoke shape; explicit -queries wins over it.
+	if cfg.Queries != 12 || cfg.Append != 4 || cfg.Rows != 24 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if len(cfg.Measures) != 1 || cfg.Measures[0] != dpe.MeasureToken {
+		t.Errorf("measures = %v, want [token]", cfg.Measures)
+	}
+}
+
+func TestParseOptionsErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "bogus"}, "unknown experiment"},
+		{[]string{"-exp", "table1", "-json"}, "-json applies"},
+		{[]string{"-exp", "table1", "-baseline", "b.json"}, "-baseline gates"},
+		{[]string{"-measure", "bogus"}, "unknown measure"},
+		{[]string{"-max-regress", "-0.1"}, "-max-regress"},
+		{[]string{"stray"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		_, err := parseOptions(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseOptions(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -28,13 +29,37 @@ import (
 	"repro/internal/service"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+// cliConfig is the fully-validated outcome of parsing the dpectl
+// command line: the subcommand plus its parameters.
+type cliConfig struct {
+	cmd     string
+	seed    string
+	master  string
+	queries int
+	rows    int
+	measure dpe.Measure
+	k       int
+	par     int
+	remote  string
+}
+
+// commands are the valid subcommands.
+var commands = map[string]bool{
+	"gen": true, "encrypt": true, "distance": true, "mine": true, "verify": true,
+}
+
+// parseConfig parses and validates `dpectl <cmd> [flags]` without
+// exiting the process, so tests can drive it.
+func parseConfig(args []string) (*cliConfig, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("missing command: %s", usageLine)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	c := &cliConfig{cmd: args[0]}
+	if !commands[c.cmd] {
+		return nil, fmt.Errorf("unknown command %q: %s", c.cmd, usageLine)
+	}
+	fs := flag.NewFlagSet(c.cmd, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
 	seed := fs.String("seed", "dpectl", "workload seed")
 	master := fs.String("master", "dpectl-demo-master", "master secret")
 	queries := fs.Int("queries", 20, "queries in the log")
@@ -43,19 +68,48 @@ func main() {
 	k := fs.Int("k", 4, "clusters for mine")
 	par := fs.Int("par", 0, "distance-engine parallelism (0 = all cores)")
 	remote := fs.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
-	fs.Parse(os.Args[2:])
-
+	if err := fs.Parse(args[1:]); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	m, err := dpe.ParseMeasure(*measureName)
+	if err != nil {
+		return nil, err
+	}
+	if *queries < 2 {
+		return nil, fmt.Errorf("-queries must be at least 2, got %d", *queries)
+	}
+	if *rowsN <= 0 {
+		return nil, fmt.Errorf("-rows must be positive, got %d", *rowsN)
+	}
+	if *k <= 0 {
+		return nil, fmt.Errorf("-k must be positive, got %d", *k)
+	}
+	if *master == "" {
+		return nil, fmt.Errorf("-master must not be empty")
+	}
 	if *par <= 0 {
 		*par = runtime.NumCPU()
 	}
-	if err := run(cmd, *seed, *master, *queries, *rowsN, *measureName, *k, *par, *remote); err != nil {
+	c.seed, c.master, c.queries, c.rows = *seed, *master, *queries, *rowsN
+	c.measure, c.k, c.par, c.remote = m, *k, *par, *remote
+	return c, nil
+}
+
+const usageLine = "usage: dpectl <gen|encrypt|distance|mine|verify> [flags]"
+
+func main() {
+	c, err := parseConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpectl:", err)
+		os.Exit(2)
+	}
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "dpectl:", err)
 		os.Exit(1)
 	}
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dpectl <gen|encrypt|distance|mine|verify> [flags]")
 }
 
 func setup(seed, master string, queries, rows int) (*dpe.Workload, *dpe.Owner, error) {
@@ -108,18 +162,15 @@ func providers(ctx context.Context, w *dpe.Workload, owner *dpe.Owner, m dpe.Mea
 	return plain, enc, nil
 }
 
-func run(cmd, seed, master string, queries, rows int, measureName string, k, par int, remote string) error {
+func run(c *cliConfig) error {
 	ctx := context.Background()
-	m, err := dpe.ParseMeasure(measureName)
-	if err != nil {
-		return err
-	}
-	w, owner, err := setup(seed, master, queries, rows)
+	m, k, par, remote := c.measure, c.k, c.par, c.remote
+	w, owner, err := setup(c.seed, c.master, c.queries, c.rows)
 	if err != nil {
 		return err
 	}
 
-	switch cmd {
+	switch c.cmd {
 	case "gen":
 		for i, q := range w.Queries {
 			fmt.Printf("%3d  %s\n", i, q)
@@ -211,7 +262,6 @@ func run(cmd, seed, master string, queries, rows int, measureName string, k, par
 		return nil
 
 	default:
-		usage()
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("unknown command %q: %s", c.cmd, usageLine)
 	}
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	dpe "repro"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	c, err := parseConfig([]string{"gen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cmd != "gen" || c.seed != "dpectl" || c.master != "dpectl-demo-master" {
+		t.Errorf("parsed = %+v", c)
+	}
+	if c.queries != 20 || c.rows != 80 || c.k != 4 || c.remote != "" {
+		t.Errorf("parsed sizes = %+v", c)
+	}
+	if c.measure != dpe.MeasureToken {
+		t.Errorf("measure = %v, want token", c.measure)
+	}
+	if c.par < 1 {
+		t.Errorf("par = %d, want all cores", c.par)
+	}
+}
+
+func TestParseConfigAllCommands(t *testing.T) {
+	for _, cmd := range []string{"gen", "encrypt", "distance", "mine", "verify"} {
+		if _, err := parseConfig([]string{cmd}); err != nil {
+			t.Errorf("command %q: %v", cmd, err)
+		}
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	c, err := parseConfig([]string{
+		"mine", "-seed", "s1", "-master", "m1", "-queries", "30",
+		"-rows", "10", "-measure", "access-area", "-k", "2",
+		"-par", "2", "-remote", "http://localhost:8433",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.seed != "s1" || c.master != "m1" || c.queries != 30 || c.rows != 10 ||
+		c.measure != dpe.MeasureAccessArea || c.k != 2 || c.par != 2 ||
+		c.remote != "http://localhost:8433" {
+		t.Errorf("parsed = %+v", c)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "missing command"},
+		{[]string{"frobnicate"}, "unknown command"},
+		{[]string{"gen", "-measure", "bogus"}, "unknown measure"},
+		{[]string{"gen", "-queries", "1"}, "-queries"},
+		{[]string{"gen", "-rows", "0"}, "-rows"},
+		{[]string{"mine", "-k", "0"}, "-k"},
+		{[]string{"gen", "-master", ""}, "-master"},
+		{[]string{"gen", "-no-such"}, "not defined"},
+		{[]string{"gen", "stray"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		_, err := parseConfig(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseConfig(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -40,31 +41,79 @@ import (
 	"repro/internal/service"
 )
 
-func main() {
-	addr := flag.String("addr", ":8433", "listen address")
-	par := flag.Int("par", 0, "distance-engine parallelism per session (0 = all cores)")
-	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
-	cacheEntries := flag.Int("cache-entries", 128, "prepared-state cache: max entries")
-	cacheBytes := flag.Int64("cache-bytes", 64<<20, "prepared-state cache: max estimated bytes")
-	maxLogs := flag.Int("max-logs", 64, "max distinct uploaded logs per session")
-	maxLogBytes := flag.Int64("max-log-bytes", 64<<20, "max total raw log bytes per session")
-	sessionTTL := flag.Duration("session-ttl", 2*time.Hour, "idle time after which a session may be reaped at capacity")
-	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
-	flag.Parse()
+// serverConfig is the fully-validated outcome of flag parsing — what
+// run needs to start serving.
+type serverConfig struct {
+	addr    string
+	grace   time.Duration
+	service service.Config
+}
 
+// parseConfig parses and validates the command line without touching
+// the process (no flag.ExitOnError, no os.Exit), so tests can drive it.
+func parseConfig(args []string) (*serverConfig, error) {
+	fs := flag.NewFlagSet("dpeserver", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", ":8433", "listen address")
+	par := fs.Int("par", 0, "distance-engine parallelism per session (0 = all cores)")
+	maxSessions := fs.Int("max-sessions", 64, "maximum live sessions")
+	cacheEntries := fs.Int("cache-entries", 128, "prepared-state cache: max entries")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "prepared-state cache: max estimated bytes")
+	maxLogs := fs.Int("max-logs", 64, "max distinct uploaded logs per session")
+	maxLogBytes := fs.Int64("max-log-bytes", 64<<20, "max total raw log bytes per session")
+	sessionTTL := fs.Duration("session-ttl", 2*time.Hour, "idle time after which a session may be reaped at capacity")
+	grace := fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *addr == "" {
+		return nil, fmt.Errorf("-addr must not be empty")
+	}
 	if *par <= 0 {
 		*par = runtime.NumCPU()
 	}
-	cfg := service.Config{
-		MaxSessions:           *maxSessions,
-		Parallelism:           *par,
-		CacheEntries:          *cacheEntries,
-		CacheBytes:            *cacheBytes,
-		MaxLogsPerSession:     *maxLogs,
-		MaxLogBytesPerSession: *maxLogBytes,
-		SessionTTL:            *sessionTTL,
+	for name, v := range map[string]int64{
+		"-max-sessions":  int64(*maxSessions),
+		"-cache-entries": int64(*cacheEntries),
+		"-cache-bytes":   *cacheBytes,
+		"-max-logs":      int64(*maxLogs),
+		"-max-log-bytes": *maxLogBytes,
+	} {
+		if v <= 0 {
+			return nil, fmt.Errorf("%s must be positive, got %d", name, v)
+		}
 	}
-	if err := run(*addr, cfg, *grace); err != nil {
+	if *sessionTTL <= 0 {
+		return nil, fmt.Errorf("-session-ttl must be positive, got %v", *sessionTTL)
+	}
+	if *grace < 0 {
+		return nil, fmt.Errorf("-shutdown-grace must not be negative, got %v", *grace)
+	}
+	return &serverConfig{
+		addr:  *addr,
+		grace: *grace,
+		service: service.Config{
+			MaxSessions:           *maxSessions,
+			Parallelism:           *par,
+			CacheEntries:          *cacheEntries,
+			CacheBytes:            *cacheBytes,
+			MaxLogsPerSession:     *maxLogs,
+			MaxLogBytesPerSession: *maxLogBytes,
+			SessionTTL:            *sessionTTL,
+		},
+	}, nil
+}
+
+func main() {
+	sc, err := parseConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpeserver:", err)
+		os.Exit(2)
+	}
+	if err := run(sc.addr, sc.service, sc.grace); err != nil {
 		fmt.Fprintln(os.Stderr, "dpeserver:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	sc, err := parseConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.addr != ":8433" {
+		t.Errorf("addr = %q, want :8433", sc.addr)
+	}
+	if sc.grace != 10*time.Second {
+		t.Errorf("grace = %v, want 10s", sc.grace)
+	}
+	cfg := sc.service
+	if cfg.MaxSessions != 64 || cfg.CacheEntries != 128 || cfg.CacheBytes != 64<<20 {
+		t.Errorf("service defaults = %+v", cfg)
+	}
+	if cfg.Parallelism <= 0 {
+		t.Errorf("parallelism = %d, want all cores", cfg.Parallelism)
+	}
+	if cfg.SessionTTL != 2*time.Hour {
+		t.Errorf("session TTL = %v, want 2h", cfg.SessionTTL)
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	sc, err := parseConfig([]string{
+		"-addr", "127.0.0.1:9000", "-par", "3", "-max-sessions", "5",
+		"-cache-entries", "7", "-cache-bytes", "1024", "-max-logs", "2",
+		"-max-log-bytes", "2048", "-session-ttl", "5m", "-shutdown-grace", "1s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.service
+	if sc.addr != "127.0.0.1:9000" || cfg.Parallelism != 3 || cfg.MaxSessions != 5 ||
+		cfg.CacheEntries != 7 || cfg.CacheBytes != 1024 || cfg.MaxLogsPerSession != 2 ||
+		cfg.MaxLogBytesPerSession != 2048 || cfg.SessionTTL != 5*time.Minute || sc.grace != time.Second {
+		t.Errorf("parsed = %+v / %+v", sc, cfg)
+	}
+}
+
+func TestParseConfigRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-addr", ""}, "-addr"},
+		{[]string{"-max-sessions", "0"}, "-max-sessions"},
+		{[]string{"-max-sessions", "-4"}, "-max-sessions"},
+		{[]string{"-cache-entries", "0"}, "-cache-entries"},
+		{[]string{"-cache-bytes", "-1"}, "-cache-bytes"},
+		{[]string{"-max-logs", "0"}, "-max-logs"},
+		{[]string{"-max-log-bytes", "0"}, "-max-log-bytes"},
+		{[]string{"-session-ttl", "0s"}, "-session-ttl"},
+		{[]string{"-shutdown-grace", "-1s"}, "-shutdown-grace"},
+		{[]string{"-par", "x"}, "invalid value"},
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+		{[]string{"stray"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		_, err := parseConfig(c.args)
+		if err == nil {
+			t.Errorf("parseConfig(%v) succeeded, want error mentioning %q", c.args, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseConfig(%v) = %v, want error mentioning %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestParseConfigZeroParMeansAllCores pins the 0-sentinel behavior.
+func TestParseConfigZeroParMeansAllCores(t *testing.T) {
+	sc, err := parseConfig([]string{"-par", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.service.Parallelism < 1 {
+		t.Errorf("parallelism = %d", sc.service.Parallelism)
+	}
+}

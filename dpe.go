@@ -712,6 +712,9 @@ type ProviderAPI interface {
 	Measure() Measure
 	// DistanceMatrix computes the pairwise distance matrix of a log.
 	DistanceMatrix(ctx context.Context, log []string) (Matrix, error)
+	// Append extends the matrix already built for log with newQueries,
+	// computing only the new entries (the incremental append path).
+	Append(ctx context.Context, old Matrix, log []string, newQueries []string) (Matrix, error)
 	// Distances computes one matrix row (the kNN access pattern).
 	Distances(ctx context.Context, log []string, q int) ([]float64, error)
 	// Mine builds the matrix and runs one mining algorithm over it.

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the report format version. Bump it when metric names
+// or semantics change incompatibly; Compare refuses to gate across
+// schema versions rather than produce nonsense.
+const SchemaVersion = 1
+
+// Metric is one measured number. Tracked metrics are deterministic
+// machine-independent counters (pair computations, cache hits, exact
+// equality checks) — the CI regression gate compares only those, because
+// wall-clock numbers regress arbitrarily across runners. Untracked
+// metrics (ns/op, allocs/op, ratios) are recorded for humans and for
+// trend dashboards.
+type Metric struct {
+	Name    string  `json:"name"`
+	Unit    string  `json:"unit"`
+	Value   float64 `json:"value"`
+	Tracked bool    `json:"tracked,omitempty"`
+}
+
+// Report is the machine-readable outcome of one harness run — what
+// dpebench -json writes to BENCH_PR3.json and the CI bench job uploads
+// as an artifact.
+type Report struct {
+	Schema    int      `json:"schema"`
+	GitSHA    string   `json:"git_sha,omitempty"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Config    Config   `json:"config"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// add appends one metric.
+func (r *Report) add(name, unit string, value float64, tracked bool) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: value, Tracked: tracked})
+}
+
+// Metric returns the named metric, or false.
+func (r *Report) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteJSON writes the report, indented, with a stable metric order.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport decodes a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: decoding report: %w", err)
+	}
+	return &r, nil
+}
+
+// Regression is one tracked metric that got worse than the baseline
+// allows. All tracked metrics are lower-is-better counters.
+type Regression struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Limit is the largest value the baseline admitted.
+	Limit float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.6g exceeds baseline %.6g (limit %.6g)", r.Name, r.Current, r.Baseline, r.Limit)
+}
+
+// Compare gates a report against a committed baseline: every tracked
+// baseline metric must still exist and must not exceed the baseline by
+// more than maxRegress (0.30 = +30%). A zero baseline admits only zero.
+// Untracked metrics never gate. It returns the violations, empty when
+// the report passes.
+//
+// The tracked counters are closed-form functions of the workload shape,
+// so a baseline produced at different sizes would make the gate
+// vacuous (e.g. full-size pair counts dwarf the smoke suite's forever).
+// Compare therefore refuses to gate across mismatched shapes instead
+// of silently passing.
+func Compare(current, baseline *Report, maxRegress float64) ([]Regression, error) {
+	if baseline.Schema != current.Schema {
+		return nil, fmt.Errorf("bench: baseline schema v%d, report schema v%d — regenerate the baseline", baseline.Schema, current.Schema)
+	}
+	if err := comparableConfigs(current.Config, baseline.Config); err != nil {
+		return nil, err
+	}
+	var out []Regression
+	for _, base := range baseline.Metrics {
+		if !base.Tracked {
+			continue
+		}
+		cur, ok := current.Metric(base.Name)
+		if !ok {
+			out = append(out, Regression{Name: base.Name + " (missing from report)", Baseline: base.Value, Current: 0, Limit: base.Value})
+			continue
+		}
+		limit := base.Value * (1 + maxRegress)
+		if cur.Value > limit {
+			out = append(out, Regression{Name: base.Name, Baseline: base.Value, Current: cur.Value, Limit: limit})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// comparableConfigs errors when two runs' counter-determining sizes
+// differ — pair counts derive from Queries/Append, the service hit/miss
+// counters from WarmCalls, and the metric set from Measures.
+func comparableConfigs(cur, base Config) error {
+	if cur.Queries != base.Queries || cur.Append != base.Append || cur.WarmCalls != base.WarmCalls {
+		return fmt.Errorf("bench: baseline sized n=%d k=%d warm=%d but report n=%d k=%d warm=%d — regenerate the baseline with matching sizes",
+			base.Queries, base.Append, base.WarmCalls, cur.Queries, cur.Append, cur.WarmCalls)
+	}
+	if fmt.Sprint(cur.Measures) != fmt.Sprint(base.Measures) {
+		return fmt.Errorf("bench: baseline measures %v but report measures %v — regenerate the baseline with matching measures",
+			base.Measures, cur.Measures)
+	}
+	return nil
+}
+
+// Render formats the report as a human-readable table, grouped by the
+// experiment prefix of each metric name.
+func Render(r *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "BENCH REPORT (schema v%d, go %s, %d CPU", r.Schema, r.GoVersion, r.NumCPU)
+	if r.GitSHA != "" {
+		fmt.Fprintf(&sb, ", %s", r.GitSHA)
+	}
+	fmt.Fprintf(&sb, ")\nworkload: seed %q, %d+%d queries, %d rows, parallelism %d\n",
+		r.Config.Seed, r.Config.Queries, r.Config.Append, r.Config.Rows, r.Config.Parallelism)
+	prev := ""
+	for _, m := range r.Metrics {
+		group, _, _ := strings.Cut(m.Name, "/")
+		if group != prev {
+			fmt.Fprintf(&sb, "\n-- %s --\n", group)
+			prev = group
+		}
+		mark := " "
+		if m.Tracked {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s %-44s %14.4g %s\n", mark, m.Name, m.Value, m.Unit)
+	}
+	sb.WriteString("\n(* = tracked: deterministic counter gated by CI against bench_baseline.json)\n")
+	return sb.String()
+}

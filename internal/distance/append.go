@@ -1,0 +1,108 @@
+package distance
+
+import (
+	"context"
+	"fmt"
+)
+
+// AppendRows computes the rows the extended matrix gains when k new
+// items join an existing n-item matrix: rows n..total-1, each of full
+// width total. Only the genuinely new pairs are evaluated — n·k pairs
+// between old and new items plus k·(k−1)/2 pairs among the new items;
+// entries between two old items never touch f. Pairs between two new
+// rows are computed once and mirrored. With parallelism > 1 the new
+// rows are distributed over a worker pool; the result is entry-wise
+// identical to the sequential path. Cancelling ctx aborts between pairs
+// with the context's error.
+func AppendRows(ctx context.Context, n, total, parallelism int, f PairFunc) ([][]float64, error) {
+	if n < 0 || total < n {
+		return nil, fmt.Errorf("distance: append from %d to %d items", n, total)
+	}
+	k := total - n
+	rows := make([][]float64, k)
+	for r := range rows {
+		rows[r] = make([]float64, total)
+	}
+	// One work unit per new row i = n+r. Each row computes its pairs
+	// against all old items and against the *later* new rows (j > i);
+	// the earlier new rows' pairs were produced by those rows' workers
+	// and mirrored here, so cells of distinct pairs never alias.
+	row := func(ctx context.Context, r int) error {
+		i := n + r
+		for j := 0; j < n; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			d, err := f(j, i)
+			if err != nil {
+				return fmt.Errorf("distance: pair (%d,%d): %w", j, i, err)
+			}
+			rows[r][j] = d
+		}
+		for j := i + 1; j < total; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			d, err := f(i, j)
+			if err != nil {
+				return fmt.Errorf("distance: pair (%d,%d): %w", i, j, err)
+			}
+			rows[r][j] = d
+			rows[j-n][i] = d
+		}
+		return nil
+	}
+	if err := parallelFor(ctx, k, parallelism, row); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ExtendMatrix grows an existing n×n matrix to total×total by computing
+// only the new entries (see AppendRows); the old n×n block is copied,
+// never recomputed. The result is entry-wise identical to a from-scratch
+// BuildMatrix over all total items. The input matrix is not modified.
+func ExtendMatrix(ctx context.Context, old Matrix, total, parallelism int, f PairFunc) (Matrix, error) {
+	n := len(old)
+	rows, err := AppendRows(ctx, n, total, parallelism, f)
+	if err != nil {
+		return nil, err
+	}
+	return SpliceRows(old, rows)
+}
+
+// SpliceRows assembles the extended total×total matrix from the old n×n
+// block and the k = total−n new full-width rows (AppendRows' output, or
+// the same rows received over a wire). Symmetry fills the old rows' new
+// columns from the new rows.
+func SpliceRows(old Matrix, rows [][]float64) (Matrix, error) {
+	n := len(old)
+	total := n + len(rows)
+	m := make(Matrix, total)
+	for i := 0; i < n; i++ {
+		if len(old[i]) != n {
+			return nil, fmt.Errorf("distance: old matrix row %d has %d entries, want %d", i, len(old[i]), n)
+		}
+		m[i] = make([]float64, total)
+		copy(m[i], old[i])
+	}
+	for r, row := range rows {
+		if len(row) != total {
+			return nil, fmt.Errorf("distance: appended row %d has %d entries, want %d", r, len(row), total)
+		}
+		m[n+r] = append([]float64(nil), row...)
+		for j := 0; j < n; j++ {
+			m[j][n+r] = row[j]
+		}
+	}
+	return m, nil
+}
+
+// AppendPairs is the number of pair computations an append of k items
+// onto n existing items performs: n·k pairs across the generations plus
+// k·(k−1)/2 among the newcomers. A from-scratch rebuild performs
+// (n+k)·(n+k−1)/2 — the difference is the incremental path's entire
+// point, and benchmarks assert it with an entry-computation counter.
+func AppendPairs(n, k int) int {
+	return n*k + k*(k-1)/2
+}

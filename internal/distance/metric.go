@@ -65,6 +65,34 @@ type Metric interface {
 	Prepare(ctx context.Context, queries []string) (Prepared, error)
 }
 
+// Extender is optionally implemented by metrics whose prepared state
+// can grow incrementally: Extend runs the per-query work for only the
+// new queries and returns a prepared state over old ∘ new, identical to
+// Prepare over the concatenated log. All four built-in metrics
+// implement it — it is what makes matrix appends O(n·k) instead of
+// O((n+k)²). prev must come from the same metric's Prepare or Extend;
+// it is not modified (the result may share its per-query state).
+type Extender interface {
+	Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error)
+}
+
+// extendSets is the shared Extend implementation of the set-based
+// metrics: prepare the new queries alone, then concatenate.
+func extendSets[K comparable](m Metric, ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
+	old, ok := prev.(setPrepared[K])
+	if !ok {
+		return nil, fmt.Errorf("distance: %s: prepared state %T is not this metric's", m.Name(), prev)
+	}
+	fresh, err := m.Prepare(ctx, newQueries)
+	if err != nil {
+		return nil, err
+	}
+	out := make(setPrepared[K], 0, len(old)+len(newQueries))
+	out = append(out, old...)
+	out = append(out, fresh.(setPrepared[K])...)
+	return out, nil
+}
+
 // Factory builds a metric from the shared artifacts, validating that the
 // measure's required shared information is present.
 type Factory func(Artifacts) (Metric, error)
@@ -190,6 +218,10 @@ func (tokenMetric) Prepare(ctx context.Context, queries []string) (Prepared, err
 	return sets, nil
 }
 
+func (m tokenMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
+	return extendSets[string](m, ctx, prev, newQueries)
+}
+
 // --- structure (SnipSuggest features) ---
 
 type structureMetric struct{}
@@ -206,6 +238,10 @@ func (structureMetric) Prepare(ctx context.Context, queries []string) (Prepared,
 		sets[i] = sqlfeature.Features(s)
 	}
 	return sets, nil
+}
+
+func (m structureMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
+	return extendSets[sqlfeature.Feature](m, ctx, prev, newQueries)
 }
 
 // --- result (Definition 4) ---
@@ -236,6 +272,13 @@ func (m *resultMetric) Prepare(ctx context.Context, queries []string) (Prepared,
 		sets[i] = set
 	}
 	return sets, nil
+}
+
+// Extend executes only the new queries (a fresh ResultComputer — query
+// execution is deterministic, so the tuple sets match what a combined
+// Prepare would produce) and concatenates.
+func (m *resultMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
+	return extendSets[string](m, ctx, prev, newQueries)
 }
 
 // --- access-area (Definition 5) ---
@@ -284,6 +327,21 @@ func (m *accessAreaMetric) Prepare(ctx context.Context, queries []string) (Prepa
 		}
 		out.queries[i] = aaQuery{attrs: attrs, areas: areas}
 	}
+	return out, nil
+}
+
+func (m *accessAreaMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
+	old, ok := prev.(*aaPrepared)
+	if !ok {
+		return nil, fmt.Errorf("distance: access-area: prepared state %T is not this metric's", prev)
+	}
+	fresh, err := m.Prepare(ctx, newQueries)
+	if err != nil {
+		return nil, err
+	}
+	out := &aaPrepared{x: old.x, queries: make([]aaQuery, 0, len(old.queries)+len(newQueries))}
+	out.queries = append(out.queries, old.queries...)
+	out.queries = append(out.queries, fresh.(*aaPrepared).queries...)
 	return out, nil
 }
 

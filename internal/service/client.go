@@ -219,6 +219,46 @@ func (s *Session) DistanceMatrix(ctx context.Context, log []string) (dpe.Matrix,
 	return ReadMatrix(body)
 }
 
+// Append extends the matrix already built for log with newQueries,
+// implementing dpe.ProviderAPI's incremental path over the wire: the
+// server reuses the session's cached prepared state, computes only the
+// new entries, and streams back only the new rows; the old block never
+// crosses the network again. The result is entry-wise identical to
+// DistanceMatrix over the concatenated log. len(old) must equal
+// len(log), and log must describe the matrix old was built from.
+func (s *Session) Append(ctx context.Context, old dpe.Matrix, log []string, newQueries []string) (dpe.Matrix, error) {
+	if len(old) != len(log) {
+		return nil, fmt.Errorf("service: old matrix has %d rows for a log of %d queries", len(old), len(log))
+	}
+	id, err := s.UploadLog(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	body, err := s.c.doStream(ctx, http.MethodPost, s.path("/logs:append"),
+		&AppendLogRequest{Log: id, Queries: newQueries})
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	resp, err := ReadAppendedRows(body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Offset != len(old) || resp.N != len(old)+len(newQueries) {
+		return nil, fmt.Errorf("service: appended rows span %d..%d, want %d..%d",
+			resp.Offset, resp.N, len(old), len(old)+len(newQueries))
+	}
+	// Remember the combined log's server id: follow-up calls on the
+	// grown log skip the re-upload and land on the warm prepared state.
+	combined := make([]string, 0, resp.N)
+	combined = append(combined, log...)
+	combined = append(combined, newQueries...)
+	s.mu.Lock()
+	s.logIDs[LogID(combined)] = resp.Log
+	s.mu.Unlock()
+	return dpe.SpliceMatrixRows(old, resp.Rows)
+}
+
 // Distances computes one matrix row on the server.
 func (s *Session) Distances(ctx context.Context, log []string, q int) ([]float64, error) {
 	id, err := s.UploadLog(ctx, log)

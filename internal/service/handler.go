@@ -30,6 +30,12 @@ type (
 		Log     string `json:"log"`
 		Queries int    `json:"queries"`
 	}
+	// AppendLogRequest is the body of POST /v1/sessions/{id}/logs:append:
+	// the already-uploaded base log plus the queries to append to it.
+	AppendLogRequest struct {
+		Log     string   `json:"log"`
+		Queries []string `json:"queries"`
+	}
 	// MatrixRequest is the body of POST /v1/sessions/{id}/matrix.
 	MatrixRequest struct {
 		Log string `json:"log"`
@@ -76,6 +82,7 @@ func NewHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", h.sessionStats)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", h.deleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/logs", h.uploadLog)
+	mux.HandleFunc("POST /v1/sessions/{id}/logs:append", h.appendLog)
 	mux.HandleFunc("POST /v1/sessions/{id}/matrix", h.matrix)
 	mux.HandleFunc("POST /v1/sessions/{id}/distances", h.distances)
 	mux.HandleFunc("POST /v1/sessions/{id}/mine", h.mine)
@@ -177,6 +184,31 @@ func (h *handler) uploadLog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, UploadLogResponse{Log: id, Queries: len(req.Queries)})
+}
+
+// appendLog is the incremental ingest endpoint: it grows an uploaded
+// log in place (content-addressed, so the combined log gets its own id)
+// and streams back only the new matrix rows — the expensive O(n²) block
+// the client already holds never crosses the wire again.
+func (h *handler) appendLog(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req AppendLogRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	combinedID, offset, rows, err := s.Append(r.Context(), req.Log, req.Queries)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	WriteAppendedRows(w, combinedID, offset+len(rows), offset, rows)
 }
 
 func (h *handler) matrix(w http.ResponseWriter, r *http.Request) {

@@ -295,14 +295,22 @@ func LogID(queries []string) string {
 // The session's raw-log store is budgeted (entries and bytes) so one
 // tenant cannot grow server memory without bound.
 func (s *session) AddLog(queries []string) (string, error) {
-	if len(queries) == 0 {
-		return "", fmt.Errorf("service: empty query log")
-	}
-	id := LogID(queries)
 	size := int64(0)
 	for _, q := range queries {
 		size += int64(len(q))
 	}
+	return s.addLogSized(queries, size)
+}
+
+// addLogSized is AddLog with the byte-budget charge made explicit: a
+// log derived from an already-stored base (the append path) shares the
+// base's string data — Go strings are immutable, so the combined slice
+// duplicates only headers — and is charged only for its new tail.
+func (s *session) addLogSized(queries []string, size int64) (string, error) {
+	if len(queries) == 0 {
+		return "", fmt.Errorf("service: empty query log")
+	}
+	id := LogID(queries)
 	cfg := s.reg.cfg
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -399,6 +407,17 @@ func (s *session) prepared(ctx context.Context, logID string) (*dpe.PreparedLog,
 	if err != nil {
 		return nil, err
 	}
+	return s.preparedKeyed(ctx, logID, queries, func(ctx context.Context) (*dpe.PreparedLog, error) {
+		return s.provider.Prepare(ctx, queries)
+	})
+}
+
+// preparedKeyed serves the prepared state for one cached log id,
+// running build at most once per cold key however many callers race
+// (singleflight). Both the full-prepare path (prepared) and the
+// incremental extension path (Append) go through here, so they share
+// the cache, the coalescing, and the deleted-session rule.
+func (s *session) preparedKeyed(ctx context.Context, logID string, queries []string, build func(context.Context) (*dpe.PreparedLog, error)) (*dpe.PreparedLog, error) {
 	key := s.id + "\x00" + logID
 	for {
 		if v, ok := s.reg.cache.get(key); ok {
@@ -420,7 +439,7 @@ func (s *session) prepared(ctx context.Context, logID string) (*dpe.PreparedLog,
 				s.mu.Unlock()
 				return pl, nil
 			}
-			pl, err := s.provider.Prepare(ctx, queries)
+			pl, err := build(ctx)
 			if err == nil {
 				// Only cache for a still-live session: if the session was
 				// deleted (or reaped) mid-prepare, its removePrefix already
@@ -454,6 +473,59 @@ func (s *session) prepared(ctx context.Context, logID string) (*dpe.PreparedLog,
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// Append is the incremental ingest path: it registers base ∘ newQueries
+// as a new content-addressed log, extends the base log's cached prepared
+// state with only the new queries, and computes only the new matrix rows
+// (n·k + k·(k−1)/2 pair computations instead of a full rebuild). It
+// returns the combined log's id, the offset n where the new rows start,
+// and the k full-width rows — what a client splices onto its old matrix.
+// The extended prepared state is cached under the combined log, so
+// follow-up matrix/row/mine calls on it are warm; concurrent identical
+// appends coalesce into one extension (the same singleflight as cold
+// prepares).
+//
+// Each append registers one more log entry (charged only for the new
+// tail's bytes — the base's string data is shared), so a long
+// one-query-at-a-time append chain runs into MaxLogsPerSession; batch
+// appends, or delete the session, when the budget error surfaces.
+//
+// An empty append is a no-op, not an error — the combined log *is* the
+// base log (content addressing collapses them) and zero rows come back
+// — matching dpe.Provider.Append, so dpe.ProviderAPI callers behave
+// identically in-process and remote.
+func (s *session) Append(ctx context.Context, baseLogID string, newQueries []string) (combinedID string, offset int, rows [][]float64, err error) {
+	base, err := s.log(baseLogID)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	combined := make([]string, 0, len(base)+len(newQueries))
+	combined = append(combined, base...)
+	combined = append(combined, newQueries...)
+	tailSize := int64(0)
+	for _, q := range newQueries {
+		tailSize += int64(len(q))
+	}
+	combinedID, err = s.addLogSized(combined, tailSize)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	pl, err := s.preparedKeyed(ctx, combinedID, combined, func(ctx context.Context) (*dpe.PreparedLog, error) {
+		basePL, err := s.prepared(ctx, baseLogID)
+		if err != nil {
+			return nil, err
+		}
+		return s.provider.ExtendPrepared(ctx, basePL, newQueries)
+	})
+	if err != nil {
+		return "", 0, nil, err
+	}
+	rows, err = s.provider.AppendRowsPrepared(ctx, len(base), pl)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return combinedID, len(base), rows, nil
 }
 
 // Matrix computes the full pairwise distance matrix of an uploaded log.

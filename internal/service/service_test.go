@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -79,7 +81,11 @@ func TestRemoteLocalParity(t *testing.T) {
 	client := NewClient(srv.URL)
 	ctx := context.Background()
 
-	for _, m := range []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea} {
+	measures := []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea}
+	if testing.Short() {
+		measures = measures[:2] // skip the Paillier-heavy artifact encryptions
+	}
+	for _, m := range measures {
 		t.Run(m.String(), func(t *testing.T) {
 			encLog, local, remoteOpts := f.measureSetup(t, m)
 			sess, err := client.NewSession(ctx, m, remoteOpts...)
@@ -219,6 +225,9 @@ func TestHandlerCancellation(t *testing.T) {
 // server is grinding through a large matrix build; the call must return
 // promptly with the context error.
 func TestClientCancellationMidRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a deliberately large matrix to race the cancellation")
+	}
 	srv := startServer(t, Config{})
 	bg := context.Background()
 	sess, err := NewClient(srv.URL).NewSession(bg, dpe.MeasureToken)
@@ -322,6 +331,156 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if _, err := client.NewSession(ctx, dpe.MeasureToken); err != nil {
 		t.Errorf("capacity not released after delete: %v", err)
+	}
+}
+
+// TestAppendParity checks the incremental ingest path end to end: for
+// every measure, Append over the wire returns a matrix entry-wise
+// identical to a from-scratch DistanceMatrix over the concatenated log,
+// the server reuses the cached prepared state (observable via stats),
+// and the follow-up call on the grown log is warm.
+func TestAppendParity(t *testing.T) {
+	f := newFixture(t)
+	srv := startServer(t, Config{})
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	measures := []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea}
+	if testing.Short() {
+		measures = measures[:2] // skip the Paillier-heavy artifact encryptions
+	}
+	for _, m := range measures {
+		t.Run(m.String(), func(t *testing.T) {
+			encLog, local, remoteOpts := f.measureSetup(t, m)
+			base, tail := encLog[:len(encLog)-3], encLog[len(encLog)-3:]
+
+			sess, err := client.NewSession(ctx, m, remoteOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			old, err := sess.DistanceMatrix(ctx, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sess.Append(ctx, old, base, tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := local.DistanceMatrix(ctx, encLog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("appended matrix differs from from-scratch matrix")
+			}
+
+			// The grown log's prepared state is cached: a full matrix call
+			// on the concatenated log must be a hit, not a new preparation.
+			statsBefore, err := sess.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := sess.DistanceMatrix(ctx, encLog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(full, want) {
+				t.Fatal("matrix on the grown log differs")
+			}
+			statsAfter, err := sess.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if statsAfter.PreparedMisses != statsBefore.PreparedMisses {
+				t.Errorf("matrix on the grown log re-prepared it: misses %d -> %d",
+					statsBefore.PreparedMisses, statsAfter.PreparedMisses)
+			}
+			if statsAfter.Logs != 2 {
+				t.Errorf("stats.Logs = %d, want 2 (base + combined)", statsAfter.Logs)
+			}
+		})
+	}
+}
+
+// TestAppendWirePayload checks the append response carries only the new
+// rows — the O(n²) old block must not cross the wire again.
+func TestAppendWirePayload(t *testing.T) {
+	srv := startServer(t, Config{})
+	ctx := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"SELECT a FROM t", "SELECT b FROM t", "SELECT a, b FROM t"}
+	baseID, err := sess.UploadLog(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(AppendLogRequest{Log: baseID, Queries: []string{"SELECT c FROM t"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/sessions/"+sess.ID()+"/logs:append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rows, err := ReadAppendedRows(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Offset != 3 || rows.N != 4 || len(rows.Rows) != 1 || len(rows.Rows[0]) != 4 {
+		t.Errorf("appended rows = offset %d n %d (%d rows), want one full-width row 3..4", rows.Offset, rows.N, len(rows.Rows))
+	}
+}
+
+// TestAppendErrors exercises the append endpoint's failure modes.
+func TestAppendErrors(t *testing.T) {
+	srv := startServer(t, Config{})
+	ctx := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"SELECT a FROM t", "SELECT b FROM t"}
+	old, err := sess.DistanceMatrix(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending to a log that was never uploaded -> 404.
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/sessions/"+sess.ID()+"/logs:append", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := post(`{"log":"l-deadbeef","queries":["SELECT c FROM t"]}`); code != http.StatusNotFound {
+		t.Errorf("append to unknown log: HTTP %d (%s), want 404", code, body)
+	}
+	// Appending nothing is a no-op, mirroring dpe.Provider.Append: the
+	// combined log is the base itself and zero rows come back.
+	baseID, err := sess.UploadLog(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(fmt.Sprintf(`{"log":%q,"queries":[]}`, baseID)); code != http.StatusOK ||
+		!strings.Contains(body, fmt.Sprintf(`"log":%q`, baseID)) || !strings.Contains(body, `"rows":[]`) {
+		t.Errorf("empty append: HTTP %d (%s), want 200 echoing the base log with no rows", code, body)
+	}
+	if got, err := sess.Append(ctx, old, base, nil); err != nil || !reflect.DeepEqual(got, old) {
+		t.Errorf("client empty append = %v, %v, want the old matrix back", got, err)
+	}
+	// An unparseable appended query surfaces as 400, not a crash.
+	if code, body := post(fmt.Sprintf(`{"log":%q,"queries":["bad @"]}`, baseID)); code != http.StatusBadRequest {
+		t.Errorf("bad appended query: HTTP %d (%s), want 400", code, body)
+	}
+	// Client-side validation: a stale old matrix is rejected locally.
+	if _, err := sess.Append(ctx, old[:1], base, []string{"SELECT c FROM t"}); err == nil {
+		t.Error("mismatched old matrix should error")
 	}
 }
 

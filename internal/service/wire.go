@@ -421,6 +421,67 @@ type wireMatrix struct {
 	Rows [][]float64 `json:"rows"`
 }
 
+// AppendedRows is the logs:append response: only the k new full-width
+// rows of the extended matrix travel over the wire (rows Offset..N-1),
+// never the unchanged old block — for a large session log the append
+// payload is O(n·k), not O(n²). Log is the combined log's
+// content-addressed id, for follow-up calls on the grown log.
+type AppendedRows struct {
+	Log    string      `json:"log"`
+	N      int         `json:"n"`
+	Offset int         `json:"offset"`
+	Rows   [][]float64 `json:"rows"`
+}
+
+// WriteAppendedRows streams an append response row by row, flushing
+// like WriteMatrix so large appends reach the client incrementally.
+func WriteAppendedRows(w io.Writer, logID string, total, offset int, rows [][]float64) error {
+	flusher, _ := w.(http.Flusher)
+	if _, err := fmt.Fprintf(w, `{"log":%q,"n":%d,"offset":%d,"rows":[`, logID, total, offset); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if flusher != nil && (i+1)%matrixFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	_, err := io.WriteString(w, "]}")
+	return err
+}
+
+// ReadAppendedRows decodes a WriteAppendedRows stream, validating that
+// the row count and widths match the header.
+func ReadAppendedRows(r io.Reader) (*AppendedRows, error) {
+	var a AppendedRows
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("service: decoding appended rows: %w", err)
+	}
+	if a.Offset < 0 || a.N < a.Offset {
+		return nil, fmt.Errorf("service: appended rows span %d..%d", a.Offset, a.N)
+	}
+	if len(a.Rows) != a.N-a.Offset {
+		return nil, fmt.Errorf("service: %d appended rows, header says %d", len(a.Rows), a.N-a.Offset)
+	}
+	for i, row := range a.Rows {
+		if len(row) != a.N {
+			return nil, fmt.Errorf("service: appended row %d has %d entries, want %d", i, len(row), a.N)
+		}
+	}
+	return &a, nil
+}
+
 // ReadMatrix decodes a WriteMatrix stream, validating the dimensions.
 func ReadMatrix(r io.Reader) (dpe.Matrix, error) {
 	var w wireMatrix
