@@ -30,9 +30,17 @@ func TestAppendMatchesFullBuildProperty(t *testing.T) {
 		measures = measures[:2] // skip the Paillier-heavy artifact encryptions
 	}
 
-	srv := httptest.NewServer(service.NewHandler(service.NewRegistry(service.Config{Parallelism: 2})))
-	defer srv.Close()
-	client := service.NewClient(srv.URL)
+	// Two servers bracketing the shard spectrum: the registry's shard
+	// count must be invisible in every wire result, so the identical
+	// property check runs against both.
+	clients := map[string]*service.Client{}
+	for _, shards := range []int{1, 16} {
+		reg := service.NewRegistry(service.Config{Parallelism: 2, Shards: shards})
+		defer reg.Close()
+		srv := httptest.NewServer(service.NewHandler(reg))
+		defer srv.Close()
+		clients[fmt.Sprintf("shards=%d", shards)] = service.NewClient(srv.URL)
+	}
 
 	for it := 0; it < iters; it++ {
 		total := 8 + rng.Intn(8)   // 8..15 queries
@@ -91,25 +99,27 @@ func TestAppendMatchesFullBuildProperty(t *testing.T) {
 
 				// Ciphertext, over the wire: the remote session implements
 				// the same dpe.ProviderAPI, so the identical check runs
-				// against dpeserver.
-				sess, err := client.NewSession(ctx, m, remoteOpts...)
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer sess.Close(ctx)
-				checkAppendProperty(t, ctx, "encrypted remote", sess, encLog, n)
-
-				// Cross-check: the remote full build equals the local one.
+				// against dpeserver — once per shard count.
 				want, err := local.DistanceMatrix(ctx, encLog)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := sess.DistanceMatrix(ctx, encLog)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !reflect.DeepEqual(got, want) {
-					t.Error("remote matrix differs from local matrix")
+				for name, client := range clients {
+					sess, err := client.NewSession(ctx, m, remoteOpts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer sess.Close(ctx)
+					checkAppendProperty(t, ctx, "encrypted remote "+name, sess, encLog, n)
+
+					// Cross-check: the remote full build equals the local one.
+					got, err := sess.DistanceMatrix(ctx, encLog)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("remote matrix (%s) differs from local matrix", name)
+					}
 				}
 			})
 		}

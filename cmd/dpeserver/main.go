@@ -3,7 +3,12 @@
 // artifacts to it over HTTP, uploads encrypted query logs into a
 // session, and mines on ciphertext remotely:
 //
-//	dpeserver -addr :8433 -par 8 -max-sessions 256
+//	dpeserver -addr :8433 -par 8 -max-sessions 256 -shards 16
+//
+// Multi-tenant state is sharded by session id over a consistent-hash
+// ring (-shards, default GOMAXPROCS rounded to a power of two): each
+// shard owns its own lock, singleflight group, and slice of the
+// prepared-state cache, so tenants on different shards never contend.
 //
 // The API lives under /v1 (see internal/service):
 //
@@ -57,6 +62,7 @@ func parseConfig(args []string) (*serverConfig, error) {
 	addr := fs.String("addr", ":8433", "listen address")
 	par := fs.Int("par", 0, "distance-engine parallelism per session (0 = all cores)")
 	maxSessions := fs.Int("max-sessions", 64, "maximum live sessions")
+	shards := fs.Int("shards", 0, "session/cache shards (0 = GOMAXPROCS rounded up to a power of two)")
 	cacheEntries := fs.Int("cache-entries", 128, "prepared-state cache: max entries")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "prepared-state cache: max estimated bytes")
 	maxLogs := fs.Int("max-logs", 64, "max distinct uploaded logs per session")
@@ -74,6 +80,12 @@ func parseConfig(args []string) (*serverConfig, error) {
 	}
 	if *par <= 0 {
 		*par = runtime.NumCPU()
+	}
+	if *shards < 0 {
+		return nil, fmt.Errorf("-shards must not be negative, got %d", *shards)
+	}
+	if *shards == 0 {
+		*shards = service.DefaultShards()
 	}
 	for name, v := range map[string]int64{
 		"-max-sessions":  int64(*maxSessions),
@@ -103,6 +115,7 @@ func parseConfig(args []string) (*serverConfig, error) {
 			MaxLogsPerSession:     *maxLogs,
 			MaxLogBytesPerSession: *maxLogBytes,
 			SessionTTL:            *sessionTTL,
+			Shards:                *shards,
 		},
 	}, nil
 }
@@ -121,6 +134,7 @@ func main() {
 
 func run(addr string, cfg service.Config, grace time.Duration) error {
 	reg := service.NewRegistry(cfg)
+	defer reg.Close() // stop the per-shard janitors on the way out
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           service.NewHandler(reg),
@@ -132,8 +146,8 @@ func run(addr string, cfg service.Config, grace time.Duration) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dpeserver: listening on %s (parallelism %d, max %d sessions, cache %d entries / %d bytes)",
-			addr, cfg.Parallelism, cfg.MaxSessions, cfg.CacheEntries, cfg.CacheBytes)
+		log.Printf("dpeserver: listening on %s (parallelism %d, %d shards, max %d sessions, cache %d entries / %d bytes)",
+			addr, cfg.Parallelism, cfg.Shards, cfg.MaxSessions, cfg.CacheEntries, cfg.CacheBytes)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/service"
 )
 
 func TestParseConfigDefaults(t *testing.T) {
@@ -27,6 +29,12 @@ func TestParseConfigDefaults(t *testing.T) {
 	if cfg.SessionTTL != 2*time.Hour {
 		t.Errorf("session TTL = %v, want 2h", cfg.SessionTTL)
 	}
+	if cfg.Shards != service.DefaultShards() {
+		t.Errorf("shards = %d, want the GOMAXPROCS-derived default %d", cfg.Shards, service.DefaultShards())
+	}
+	if s := cfg.Shards; s&(s-1) != 0 || s < 1 {
+		t.Errorf("default shards = %d, want a power of two", s)
+	}
 }
 
 func TestParseConfigOverrides(t *testing.T) {
@@ -34,6 +42,7 @@ func TestParseConfigOverrides(t *testing.T) {
 		"-addr", "127.0.0.1:9000", "-par", "3", "-max-sessions", "5",
 		"-cache-entries", "7", "-cache-bytes", "1024", "-max-logs", "2",
 		"-max-log-bytes", "2048", "-session-ttl", "5m", "-shutdown-grace", "1s",
+		"-shards", "16",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +50,8 @@ func TestParseConfigOverrides(t *testing.T) {
 	cfg := sc.service
 	if sc.addr != "127.0.0.1:9000" || cfg.Parallelism != 3 || cfg.MaxSessions != 5 ||
 		cfg.CacheEntries != 7 || cfg.CacheBytes != 1024 || cfg.MaxLogsPerSession != 2 ||
-		cfg.MaxLogBytesPerSession != 2048 || cfg.SessionTTL != 5*time.Minute || sc.grace != time.Second {
+		cfg.MaxLogBytesPerSession != 2048 || cfg.SessionTTL != 5*time.Minute || sc.grace != time.Second ||
+		cfg.Shards != 16 {
 		t.Errorf("parsed = %+v / %+v", sc, cfg)
 	}
 }
@@ -59,6 +69,7 @@ func TestParseConfigRejectsBadValues(t *testing.T) {
 		{[]string{"-max-logs", "0"}, "-max-logs"},
 		{[]string{"-max-log-bytes", "0"}, "-max-log-bytes"},
 		{[]string{"-session-ttl", "0s"}, "-session-ttl"},
+		{[]string{"-shards", "-1"}, "-shards"},
 		{[]string{"-shutdown-grace", "-1s"}, "-shutdown-grace"},
 		{[]string{"-par", "x"}, "invalid value"},
 		{[]string{"-no-such-flag"}, "flag provided but not defined"},

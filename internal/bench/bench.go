@@ -1,10 +1,10 @@
 // Package bench is the reproducible benchmark harness: it runs
 // paper-style performance experiments against deterministic synthetic
 // workloads and emits a versioned machine-readable report
-// (BENCH_PR3.json) that CI gates against a committed baseline.
+// (BENCH_PR4.json) that CI gates against a committed baseline.
 //
-// Three experiments, each across the configured measures (all four of
-// Table I by default), each on encrypted artifacts:
+// Four experiments; the first three run across the configured measures
+// (all four of Table I by default) on encrypted artifacts:
 //
 //   - engine:  full distance-matrix builds, sequential vs the worker
 //     pool, with an entry-computation counter pinning the upper-triangle
@@ -16,6 +16,11 @@
 //     create, cold matrix (upload + prepare + build), warm matrix
 //     (prepared-cache hit), and the logs:append round trip — with the
 //     cache hit/miss counters tracked exactly.
+//   - contention: P goroutines churning whole tenant lifecycles
+//     (create/upload/matrix/append/delete) against one sharded
+//     registry. Operation and cache-hit/miss totals are deterministic
+//     and tracked; throughput is recorded untracked — the number that
+//     shows the sharding win on multi-core hardware.
 //
 // Wall-clock metrics are recorded but never gated (they vary across
 // machines); only deterministic counters are marked Tracked and
@@ -95,7 +100,7 @@ func ShortConfig() Config {
 }
 
 // Experiments lists the harness experiments in run order.
-func Experiments() []string { return []string{"engine", "append", "service"} }
+func Experiments() []string { return []string{"engine", "append", "service", "contention"} }
 
 // Run executes the named experiments ("all" or nil means every one) and
 // returns the report. The context cancels mid-experiment work.
@@ -109,14 +114,15 @@ func Run(ctx context.Context, names []string, cfg Config) (*Report, error) {
 		selected[n] = true
 	}
 	known := map[string]func(context.Context, *Report, *fixtures) error{
-		"engine":  runEngine,
-		"append":  runAppend,
-		"service": runService,
+		"engine":     runEngine,
+		"append":     runAppend,
+		"service":    runService,
+		"contention": runContention,
 	}
 	for n := range selected {
 		if n != "all" {
 			if _, ok := known[n]; !ok {
-				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|service|all)", n)
+				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|service|contention|all)", n)
 			}
 		}
 	}

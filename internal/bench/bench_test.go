@@ -72,6 +72,36 @@ func TestRunAllTrackedCounters(t *testing.T) {
 	if wantPairsAppend >= wantPairsRebuild {
 		t.Fatalf("smoke config degenerate: append %v >= rebuild %v", wantPairsAppend, wantPairsRebuild)
 	}
+
+	// Contention counters: closed-form in (workers, rounds). Each
+	// worker-round performs 7 operations (6 on the final round, whose
+	// session stays live), 2 misses, and 3 hits — however the
+	// goroutines interleave.
+	rounds := cfg.WarmCalls
+	contentionChecks := map[string]float64{
+		"contention/ops":             float64(contentionWorkers * (7*rounds - 1)),
+		"contention/prepared_misses": float64(2 * contentionWorkers * rounds),
+		"contention/errors":          0,
+		"contention/shards":          contentionShards,
+		"contention/sessions_live":   contentionWorkers,
+	}
+	for name, want := range contentionChecks {
+		got, ok := r.Metric(name)
+		if !ok {
+			t.Errorf("metric %s missing", name)
+			continue
+		}
+		if !got.Tracked {
+			t.Errorf("metric %s is not tracked", name)
+		}
+		if got.Value != want {
+			t.Errorf("%s = %v, want %v", name, got.Value, want)
+		}
+	}
+	if hits, ok := r.Metric("contention/prepared_hits"); !ok || hits.Tracked ||
+		hits.Value != float64(3*contentionWorkers*rounds) {
+		t.Errorf("contention/prepared_hits = %+v (ok=%v), want untracked %d", hits, ok, 3*contentionWorkers*rounds)
+	}
 }
 
 // TestReportRoundTrip checks WriteJSON/ReadReport and the renderer.
@@ -166,7 +196,8 @@ func TestRunSingleExperiment(t *testing.T) {
 		t.Error("append experiment missing its metrics")
 	}
 	for _, m := range r.Metrics {
-		if strings.HasPrefix(m.Name, "engine/") || strings.HasPrefix(m.Name, "service/") {
+		if strings.HasPrefix(m.Name, "engine/") || strings.HasPrefix(m.Name, "service/") ||
+			strings.HasPrefix(m.Name, "contention/") {
 			t.Errorf("unexpected metric %s from unselected experiment", m.Name)
 		}
 		if strings.Contains(m.Name, "/result/") || strings.Contains(m.Name, "/structure/") {

@@ -324,7 +324,9 @@ func serviceProbe(ctx context.Context, r *Report, f *fixtures, m dpe.Measure, n,
 	if err != nil {
 		return err
 	}
-	srv := httptest.NewServer(service.NewHandler(service.NewRegistry(service.Config{Parallelism: f.cfg.Parallelism})))
+	reg := service.NewRegistry(service.Config{Parallelism: f.cfg.Parallelism})
+	defer reg.Close()
+	srv := httptest.NewServer(service.NewHandler(reg))
 	defer srv.Close()
 	client := service.NewClient(srv.URL)
 

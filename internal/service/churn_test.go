@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	dpe "repro"
+)
+
+// TestConcurrentChurnAcrossShards races create/upload/matrix/append/
+// mine/delete traffic from many goroutines against one sharded
+// registry, with the background janitor ticking the whole time. It is
+// the refactor's -race check: shard maps, the global capacity counter,
+// per-shard caches, and singleflight groups are all exercised under
+// overlapping access — private sessions churn through their whole
+// lifecycle while shared sessions absorb concurrent warm traffic on
+// the same logs.
+func TestConcurrentChurnAcrossShards(t *testing.T) {
+	reg := NewRegistry(Config{
+		Shards:          4,
+		MaxSessions:     128,
+		CacheEntries:    32,
+		JanitorInterval: time.Millisecond, // ticking, but the 1h TTL reaps nothing
+		SessionTTL:      time.Hour,
+	})
+	defer reg.Close()
+	ctx := context.Background()
+	token := dpe.MeasureToken
+
+	// Shared sessions: several goroutines hammer the same session (and
+	// the same logs), so cache gets, singleflight coalescing, and the
+	// session's own counters race.
+	const sharedSessions = 4
+	shared := make([]*session, sharedSessions)
+	sharedLog := []string{"SELECT a FROM t", "SELECT b FROM t", "SELECT a, b FROM t"}
+	for i := range shared {
+		s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddLog(sharedLog); err != nil {
+			t.Fatal(err)
+		}
+		shared[i] = s
+	}
+	sharedLogID := LogID(sharedLog)
+
+	const (
+		workers = 8
+		iters   = 6
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	fail := func(format string, args ...any) { errs <- fmt.Errorf(format, args...) }
+
+	// Private-lifecycle workers: each iteration runs a whole tenant
+	// life — create, upload, matrix, append, mine, delete — on its own
+	// session, racing other workers' lifecycles on the shard maps and
+	// the capacity counter.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+				if err != nil {
+					fail("worker %d: create: %v", w, err)
+					return
+				}
+				log := []string{
+					fmt.Sprintf("SELECT c%d FROM t%d WHERE x = %d", w, w, i),
+					fmt.Sprintf("SELECT d%d FROM t%d WHERE y = %d", w, w, i),
+					fmt.Sprintf("SELECT c%d, d%d FROM t%d", w, w, w),
+				}
+				logID, err := s.AddLog(log)
+				if err != nil {
+					fail("worker %d: upload: %v", w, err)
+					return
+				}
+				if _, err := s.Matrix(ctx, logID); err != nil {
+					fail("worker %d: matrix: %v", w, err)
+					return
+				}
+				if _, _, _, err := s.Append(ctx, logID, []string{fmt.Sprintf("SELECT e%d FROM t%d", i, w)}); err != nil {
+					fail("worker %d: append: %v", w, err)
+					return
+				}
+				if _, err := s.Mine(ctx, logID, dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 2}); err != nil {
+					fail("worker %d: mine: %v", w, err)
+					return
+				}
+				if err := reg.DeleteSession(s.ID()); err != nil {
+					fail("worker %d: delete: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Shared-traffic workers: overlapping reads on the same sessions.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := shared[w%sharedSessions]
+			for i := 0; i < iters; i++ {
+				if _, err := s.Matrix(ctx, sharedLogID); err != nil {
+					fail("shared %d: matrix: %v", w, err)
+					return
+				}
+				if _, err := s.Distances(ctx, sharedLogID, i%len(sharedLog)); err != nil {
+					fail("shared %d: distances: %v", w, err)
+					return
+				}
+				s.Stats()
+			}
+		}(w)
+	}
+
+	// A stats poller: aggregation must never block or race tenant work.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < workers*iters; i++ {
+			if got := reg.Stats(); got.Shards != 4 {
+				fail("stats: shards = %d, want 4", got.Shards)
+				return
+			}
+			reg.ShardStats()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the churn, exactly the shared sessions remain and the
+	// capacity counter agrees with the maps.
+	stats := reg.Stats()
+	if stats.Sessions != sharedSessions {
+		t.Errorf("sessions after churn = %d, want %d (private ones all deleted)", stats.Sessions, sharedSessions)
+	}
+	if live := int(reg.live.Load()); live != sharedSessions {
+		t.Errorf("capacity counter = %d, want %d", live, sharedSessions)
+	}
+	for _, s := range shared {
+		if _, err := reg.Session(s.ID()); err != nil {
+			t.Errorf("shared session %s vanished: %v", s.ID(), err)
+		}
+	}
+}
+
+// TestCreateDeleteCapacityRace pins the lock-free capacity budget: with
+// MaxSessions=4 and many goroutines churning create/delete, the live
+// count never exceeds the budget and ends exactly balanced.
+func TestCreateDeleteCapacityRace(t *testing.T) {
+	reg := NewRegistry(Config{MaxSessions: 4, Shards: 4, JanitorInterval: -1})
+	defer reg.Close()
+	token := dpe.MeasureToken
+
+	var wg sync.WaitGroup
+	var over sync.Once
+	var overErr error
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+				if err != nil {
+					if !errors.Is(err, errTooManySessions) {
+						over.Do(func() { overErr = err })
+						return
+					}
+					continue // budget full right now — expected under contention
+				}
+				if live := reg.live.Load(); live > 4 {
+					over.Do(func() { overErr = fmt.Errorf("live sessions reached %d, budget is 4", live) })
+				}
+				if err := reg.DeleteSession(s.ID()); err != nil {
+					over.Do(func() { overErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if overErr != nil {
+		t.Fatal(overErr)
+	}
+	if live := reg.live.Load(); live != 0 {
+		t.Errorf("live = %d after balanced create/delete churn, want 0", live)
+	}
+}

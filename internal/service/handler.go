@@ -75,8 +75,20 @@ func NewHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// GET /v1/stats aggregates across shards; ?per_shard=1 (or =true)
+	// adds the per-shard breakdown without changing the aggregate
+	// fields, so existing consumers keep parsing the same shape. The
+	// breakdown and the aggregate come from one snapshot, so they
+	// always reconcile.
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, reg.Stats())
+		var stats RegistryStats
+		switch r.URL.Query().Get("per_shard") {
+		case "1", "true":
+			stats = reg.StatsPerShard()
+		default:
+			stats = reg.Stats()
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
 	mux.HandleFunc("POST /v1/sessions", h.createSession)
 	mux.HandleFunc("GET /v1/sessions/{id}", h.sessionStats)

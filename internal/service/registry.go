@@ -1,15 +1,16 @@
 package service
 
 import (
-	"context"
 	"crypto/rand"
-	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	dpe "repro"
+	"repro/internal/service/ring"
 )
 
 // notFoundError marks lookup failures (unknown session or log) so the
@@ -22,16 +23,18 @@ func (e notFoundError) NotFound() bool { return true }
 
 // Config tunes a Registry.
 type Config struct {
-	// MaxSessions bounds concurrently live sessions; 0 means 64.
+	// MaxSessions bounds concurrently live sessions across all shards;
+	// 0 means 64.
 	MaxSessions int
 	// Parallelism sizes each session provider's distance-engine worker
 	// pool; <= 1 means sequential.
 	Parallelism int
-	// CacheEntries bounds the prepared-state cache's entry count; 0
-	// means 128.
+	// CacheEntries bounds the prepared-state cache's total entry count;
+	// 0 means 128. The budget is split evenly across shards (rounded
+	// up, minimum one entry per shard).
 	CacheEntries int
 	// CacheBytes bounds the prepared-state cache's estimated total
-	// size; 0 means 64 MiB.
+	// size; 0 means 64 MiB. Split across shards like CacheEntries.
 	CacheBytes int64
 	// MaxLogsPerSession bounds distinct uploaded logs per session; 0
 	// means 64.
@@ -39,10 +42,20 @@ type Config struct {
 	// MaxLogBytesPerSession bounds the total raw bytes of a session's
 	// uploaded logs; 0 means 64 MiB.
 	MaxLogBytesPerSession int64
-	// SessionTTL is how long an idle session survives once the registry
-	// is full: at capacity, sessions untouched for longer are reaped to
-	// make room. 0 means 2 hours.
+	// SessionTTL is how long an idle session survives: the background
+	// janitor reaps sessions untouched for longer, and CreateSession
+	// reaps synchronously when the registry is full. 0 means 2 hours.
 	SessionTTL time.Duration
+	// Shards is the number of session shards — independent lock domains
+	// each owning a slice of the session map, a singleflight group, and
+	// a prepared-state LRU. 0 means DefaultShards(). 1 reproduces the
+	// historical unsharded registry exactly.
+	Shards int
+	// JanitorInterval is how often each shard's janitor scans for
+	// TTL-expired sessions. 0 means SessionTTL/4 clamped to [1s, 5m];
+	// < 0 disables the background janitor entirely (idle sessions are
+	// then reaped only when CreateSession hits capacity).
+	JanitorInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,7 +77,32 @@ func (c Config) withDefaults() Config {
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 2 * time.Hour
 	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards()
+	}
+	if c.JanitorInterval == 0 {
+		c.JanitorInterval = c.SessionTTL / 4
+		if c.JanitorInterval < time.Second {
+			c.JanitorInterval = time.Second
+		}
+		if c.JanitorInterval > 5*time.Minute {
+			c.JanitorInterval = 5 * time.Minute
+		}
+	}
 	return c
+}
+
+// DefaultShards derives a shard count from GOMAXPROCS, rounded up to
+// the next power of two and clamped to [1, 256]: enough lock domains
+// that cores rarely collide, few enough that split cache budgets stay
+// meaningful.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 256 {
+		s <<= 1
+	}
+	return s
 }
 
 // CreateSessionRequest is the wire body of POST /v1/sessions: the
@@ -94,34 +132,116 @@ type SessionStats struct {
 	CreatedAt      time.Time   `json:"created_at"`
 }
 
-// RegistryStats is the wire body of GET /v1/stats.
-type RegistryStats struct {
+// ShardStats is one shard's slice of GET /v1/stats?per_shard=1.
+type ShardStats struct {
+	Shard         int        `json:"shard"`
 	Sessions      int        `json:"sessions"`
-	MaxSessions   int        `json:"max_sessions"`
 	PreparedCache CacheStats `json:"prepared_cache"`
 }
 
-// Registry is the service's multi-tenant state: live sessions plus one
-// shared LRU cache of prepared logs. All methods are safe for concurrent
-// use.
-type Registry struct {
-	cfg    Config
-	cache  *lruCache
-	flight *flightGroup
-
-	mu       sync.Mutex
-	sessions map[string]*session
+// RegistryStats is the wire body of GET /v1/stats. The top-level fields
+// aggregate across shards (wire-compatible with the unsharded format);
+// PerShard carries the optional breakdown.
+type RegistryStats struct {
+	Sessions      int          `json:"sessions"`
+	MaxSessions   int          `json:"max_sessions"`
+	Shards        int          `json:"shards"`
+	PreparedCache CacheStats   `json:"prepared_cache"`
+	PerShard      []ShardStats `json:"per_shard,omitempty"`
 }
 
-// NewRegistry creates an empty registry.
+// Registry is the service's multi-tenant state, sharded by session id:
+// a consistent-hash ring routes every id to one of N shards, each with
+// its own mutex, session map, singleflight group, and prepared-state
+// LRU — so tenant traffic on different shards never shares a lock. All
+// methods are safe for concurrent use.
+type Registry struct {
+	cfg    Config
+	router *ring.Ring
+	shards []*shard
+
+	// live is the registry-wide session count: capacity is a global
+	// budget enforced lock-free, so MaxSessions means the same thing at
+	// every shard count.
+	live atomic.Int64
+
+	stop      chan struct{}
+	janitors  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRegistry creates an empty registry and, unless the janitor is
+// disabled, starts one background reaper goroutine per shard. Callers
+// that care about goroutine hygiene should Close it when done.
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
-	return &Registry{
-		cfg:      cfg,
-		cache:    newLRU(cfg.CacheEntries, cfg.CacheBytes),
-		flight:   newFlightGroup(),
-		sessions: make(map[string]*session),
+	r := &Registry{
+		cfg:    cfg,
+		router: ring.New(cfg.Shards),
+		shards: make([]*shard, cfg.Shards),
+		stop:   make(chan struct{}),
 	}
+	entries := splitEntries(cfg.CacheEntries, cfg.Shards)
+	bytes := splitBytes(cfg.CacheBytes, cfg.Shards)
+	for i := range r.shards {
+		r.shards[i] = newShard(entries, bytes)
+	}
+	if cfg.JanitorInterval > 0 {
+		for _, sh := range r.shards {
+			r.janitors.Add(1)
+			go r.janitor(sh)
+		}
+	}
+	return r
+}
+
+// Close stops the background janitors. The registry itself remains
+// usable (sessions, lookups, caches all keep working); only the
+// periodic TTL reaping stops. Safe to call more than once.
+func (r *Registry) Close() {
+	r.closeOnce.Do(func() { close(r.stop) })
+	r.janitors.Wait()
+}
+
+// janitor periodically reaps one shard's TTL-expired sessions, so
+// abandoned tenants are reclaimed even when no CreateSession pressure
+// ever hits capacity. Each shard gets its own ticker: a slow scan of
+// one shard never delays the others.
+func (r *Registry) janitor(sh *shard) {
+	defer r.janitors.Done()
+	t := time.NewTicker(r.cfg.JanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.reapShard(sh, now)
+		}
+	}
+}
+
+// reapShard removes one shard's idle sessions and releases everything
+// they held: the capacity slot and the cached prepared state.
+func (r *Registry) reapShard(sh *shard, now time.Time) {
+	for _, id := range sh.reapIdle(now, r.cfg.SessionTTL) {
+		r.live.Add(-1)
+		sh.cache.removePrefix(id + "\x00")
+	}
+}
+
+// reapIdle sweeps every shard; called when CreateSession is at capacity.
+func (r *Registry) reapIdle(now time.Time) {
+	for _, sh := range r.shards {
+		r.reapShard(sh, now)
+	}
+}
+
+// shardFor routes a session id to its shard. The ring makes the mapping
+// stable across processes, so a future multi-node deployment can route
+// tenants with the identical function.
+func (r *Registry) shardFor(id string) *shard {
+	return r.shards[r.router.Shard(id)]
 }
 
 // newSessionID draws an unguessable session id: in a multi-tenant
@@ -140,7 +260,9 @@ func newSessionID() (string, error) {
 var errTooManySessions = fmt.Errorf("service: session limit reached")
 
 // CreateSession decodes the request's artifacts, builds the provider
-// once, and registers a session serving it.
+// once, and registers a session serving it on the shard its id hashes
+// to. Capacity is a registry-wide budget: when full, idle sessions are
+// reaped across all shards before the request is refused.
 func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 	if req.Measure == nil {
 		return nil, fmt.Errorf("service: request is missing the measure (want token|structure|result|access-area)")
@@ -184,404 +306,96 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 		return nil, err
 	}
 	now := time.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.sessions) >= r.cfg.MaxSessions {
-		r.reapIdleLocked(now)
+	if int(r.live.Load()) >= r.cfg.MaxSessions {
+		r.reapIdle(now)
 	}
-	if len(r.sessions) >= r.cfg.MaxSessions {
-		return nil, fmt.Errorf("%w (%d live)", errTooManySessions, len(r.sessions))
+	// Reserve a capacity slot with a CAS loop: concurrent creates on
+	// different shards share no lock, so the global budget must be
+	// claimed atomically.
+	for {
+		n := r.live.Load()
+		if int(n) >= r.cfg.MaxSessions {
+			return nil, fmt.Errorf("%w (%d live)", errTooManySessions, n)
+		}
+		if r.live.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
+	sh := r.shardFor(id)
 	s := &session{
 		id:       id,
 		measure:  *req.Measure,
 		provider: provider,
 		reg:      r,
+		sh:       sh,
 		logs:     make(map[string][]string),
 		created:  now,
 		lastUsed: now,
 	}
-	r.sessions[s.id] = s
+	sh.put(s)
 	return s, nil
-}
-
-// reapIdleLocked drops sessions idle longer than the TTL (and their
-// cached prepared state). Called with r.mu held, only when the registry
-// is at capacity — abandoned sessions must not squat on it forever.
-func (r *Registry) reapIdleLocked(now time.Time) {
-	for id, s := range r.sessions {
-		s.mu.Lock()
-		idle := now.Sub(s.lastUsed)
-		s.mu.Unlock()
-		if idle > r.cfg.SessionTTL {
-			delete(r.sessions, id)
-			r.cache.removePrefix(id + "\x00")
-		}
-	}
 }
 
 // Session returns a live session by id.
 func (r *Registry) Session(id string) (*session, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.sessions[id]
-	if !ok {
-		return nil, notFoundError{fmt.Errorf("service: unknown session %q", id)}
+	if s := r.shardFor(id).session(id); s != nil {
+		return s, nil
 	}
-	return s, nil
+	return nil, notFoundError{fmt.Errorf("service: unknown session %q", id)}
 }
 
 // DeleteSession removes a session and its cached prepared state.
 func (r *Registry) DeleteSession(id string) error {
-	r.mu.Lock()
-	_, ok := r.sessions[id]
-	delete(r.sessions, id)
-	r.mu.Unlock()
-	if !ok {
+	sh := r.shardFor(id)
+	if !sh.remove(id) {
 		return notFoundError{fmt.Errorf("service: unknown session %q", id)}
 	}
-	r.cache.removePrefix(id + "\x00")
+	r.live.Add(-1)
+	sh.cache.removePrefix(id + "\x00")
 	return nil
 }
 
-// Stats snapshots the registry.
+// Stats aggregates a snapshot across shards. Each shard is snapshotted
+// independently under its own briefly-held locks and summed outside any
+// of them — prepared-state sizes were charged when entries were cached,
+// so no lock is ever held while sizing, and a stats call cannot stall
+// tenant traffic on any shard.
 func (r *Registry) Stats() RegistryStats {
-	r.mu.Lock()
-	n := len(r.sessions)
-	r.mu.Unlock()
-	return RegistryStats{
-		Sessions:      n,
-		MaxSessions:   r.cfg.MaxSessions,
-		PreparedCache: r.cache.stats(),
-	}
+	return r.aggregate(r.ShardStats())
 }
 
-// session is one tenant's provider state on the server: the immutable
-// provider built from the uploaded artifacts, plus the logs uploaded so
-// far. Logs are content-addressed, so re-uploading an identical log is
-// idempotent and lands on the same cached prepared state.
-type session struct {
-	id       string
-	measure  dpe.Measure
-	provider *dpe.Provider
-	reg      *Registry
-	created  time.Time
-
-	mu       sync.Mutex
-	logs     map[string][]string
-	logBytes int64
-	lastUsed time.Time
-	hits     int64
-	misses   int64
+// StatsPerShard is Stats with the per-shard breakdown attached. Both
+// views derive from the one set of snapshots, so the aggregate fields
+// always reconcile exactly against the breakdown they ship with.
+func (r *Registry) StatsPerShard() RegistryStats {
+	snaps := r.ShardStats()
+	stats := r.aggregate(snaps)
+	stats.PerShard = snaps
+	return stats
 }
 
-// ID returns the session id.
-func (s *session) ID() string { return s.id }
-
-// touchLocked marks the session used; callers hold s.mu.
-func (s *session) touchLocked() { s.lastUsed = time.Now() }
-
-// LogID content-addresses a query log: equal logs get equal ids.
-func LogID(queries []string) string {
-	h := sha256.New()
-	for _, q := range queries {
-		fmt.Fprintf(h, "%d\n", len(q))
-		h.Write([]byte(q))
+// aggregate sums one consistent set of shard snapshots.
+func (r *Registry) aggregate(snaps []ShardStats) RegistryStats {
+	stats := RegistryStats{
+		MaxSessions: r.cfg.MaxSessions,
+		Shards:      len(r.shards),
 	}
-	return "l-" + hex.EncodeToString(h.Sum(nil))[:16]
+	for _, snap := range snaps {
+		stats.Sessions += snap.Sessions
+		stats.PreparedCache.Entries += snap.PreparedCache.Entries
+		stats.PreparedCache.Bytes += snap.PreparedCache.Bytes
+		stats.PreparedCache.Hits += snap.PreparedCache.Hits
+		stats.PreparedCache.Misses += snap.PreparedCache.Misses
+		stats.PreparedCache.Evictions += snap.PreparedCache.Evictions
+	}
+	return stats
 }
 
-// AddLog registers an uploaded log and returns its content-derived id.
-// The session's raw-log store is budgeted (entries and bytes) so one
-// tenant cannot grow server memory without bound.
-func (s *session) AddLog(queries []string) (string, error) {
-	size := int64(0)
-	for _, q := range queries {
-		size += int64(len(q))
+// ShardStats snapshots every shard — the per_shard stats breakdown.
+func (r *Registry) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.snapshot(i)
 	}
-	return s.addLogSized(queries, size)
-}
-
-// addLogSized is AddLog with the byte-budget charge made explicit: a
-// log derived from an already-stored base (the append path) shares the
-// base's string data — Go strings are immutable, so the combined slice
-// duplicates only headers — and is charged only for its new tail.
-func (s *session) addLogSized(queries []string, size int64) (string, error) {
-	if len(queries) == 0 {
-		return "", fmt.Errorf("service: empty query log")
-	}
-	id := LogID(queries)
-	cfg := s.reg.cfg
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.touchLocked()
-	if _, ok := s.logs[id]; ok {
-		return id, nil
-	}
-	if len(s.logs) >= cfg.MaxLogsPerSession {
-		return "", fmt.Errorf("service: session log limit reached (%d logs); delete the session or reuse uploaded logs", len(s.logs))
-	}
-	if s.logBytes+size > cfg.MaxLogBytesPerSession {
-		return "", fmt.Errorf("service: session log byte budget exceeded (%d + %d > %d bytes)", s.logBytes, size, cfg.MaxLogBytesPerSession)
-	}
-	s.logs[id] = append([]string(nil), queries...)
-	s.logBytes += size
-	return id, nil
-}
-
-// log returns an uploaded log by id.
-func (s *session) log(id string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.touchLocked()
-	queries, ok := s.logs[id]
-	if !ok {
-		return nil, notFoundError{fmt.Errorf("service: unknown log %q (upload it first)", id)}
-	}
-	return queries, nil
-}
-
-// preparedCost is the cache's byte accounting for one prepared log: the
-// metric's own footprint estimate when it has one (the result measure's
-// tuple sets scale with catalog rows, not with log text), the log size
-// plus a per-query overhead otherwise.
-func preparedCost(pl *dpe.PreparedLog, queries []string) int64 {
-	if size := pl.SizeBytes(); size > 0 {
-		return size
-	}
-	cost := int64(0)
-	for _, q := range queries {
-		cost += int64(2*len(q)) + 256
-	}
-	return cost
-}
-
-// flightGroup coalesces concurrent preparations of the same cache key:
-// one caller becomes the leader and runs Prepare, the rest wait for its
-// result instead of repeating the most expensive operation the service
-// has.
-type flightGroup struct {
-	mu    sync.Mutex
-	calls map[string]*flightCall
-}
-
-type flightCall struct {
-	done chan struct{}
-	pl   *dpe.PreparedLog
-	err  error
-}
-
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
-}
-
-// begin joins the in-flight call for key, or starts one; leader reports
-// which happened.
-func (g *flightGroup) begin(key string) (c *flightCall, leader bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if c, ok := g.calls[key]; ok {
-		return c, false
-	}
-	c = &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
-	return c, true
-}
-
-// finish publishes the leader's result and retires the call.
-func (g *flightGroup) finish(key string, c *flightCall, pl *dpe.PreparedLog, err error) {
-	c.pl, c.err = pl, err
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
-}
-
-// prepared returns the log's prepared state, serving repeat calls from
-// the registry-wide LRU cache (the expensive half of every distance
-// computation — tokenizing, parsing, executing — runs at most once per
-// uploaded log while the entry stays cached). Concurrent cold calls for
-// the same log collapse into a single preparation.
-func (s *session) prepared(ctx context.Context, logID string) (*dpe.PreparedLog, error) {
-	queries, err := s.log(logID)
-	if err != nil {
-		return nil, err
-	}
-	return s.preparedKeyed(ctx, logID, queries, func(ctx context.Context) (*dpe.PreparedLog, error) {
-		return s.provider.Prepare(ctx, queries)
-	})
-}
-
-// preparedKeyed serves the prepared state for one cached log id,
-// running build at most once per cold key however many callers race
-// (singleflight). Both the full-prepare path (prepared) and the
-// incremental extension path (Append) go through here, so they share
-// the cache, the coalescing, and the deleted-session rule.
-func (s *session) preparedKeyed(ctx context.Context, logID string, queries []string, build func(context.Context) (*dpe.PreparedLog, error)) (*dpe.PreparedLog, error) {
-	key := s.id + "\x00" + logID
-	for {
-		if v, ok := s.reg.cache.get(key); ok {
-			s.mu.Lock()
-			s.hits++
-			s.mu.Unlock()
-			return v.(*dpe.PreparedLog), nil
-		}
-		c, leader := s.reg.flight.begin(key)
-		if leader {
-			// Re-check under leadership: a previous leader may have added
-			// the entry between our cache miss and our begin (its add runs
-			// before its finish, so the entry is visible by now).
-			if v, ok := s.reg.cache.get(key); ok {
-				pl := v.(*dpe.PreparedLog)
-				s.reg.flight.finish(key, c, pl, nil)
-				s.mu.Lock()
-				s.hits++
-				s.mu.Unlock()
-				return pl, nil
-			}
-			pl, err := build(ctx)
-			if err == nil {
-				// Only cache for a still-live session: if the session was
-				// deleted (or reaped) mid-prepare, its removePrefix already
-				// ran and an add now would strand an unreachable entry on
-				// the shared byte budget.
-				if _, live := s.reg.Session(s.id); live == nil {
-					s.reg.cache.add(key, pl, preparedCost(pl, queries))
-				}
-				s.mu.Lock()
-				s.misses++
-				s.mu.Unlock()
-			}
-			s.reg.flight.finish(key, c, pl, err)
-			return pl, err
-		}
-		select {
-		case <-c.done:
-			if c.err == nil {
-				s.mu.Lock()
-				s.hits++
-				s.mu.Unlock()
-				return c.pl, nil
-			}
-			// The leader failed — possibly only because *its* context was
-			// cancelled. If ours is still live, retry (and likely become
-			// the new leader) rather than inherit a stranger's error.
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-}
-
-// Append is the incremental ingest path: it registers base ∘ newQueries
-// as a new content-addressed log, extends the base log's cached prepared
-// state with only the new queries, and computes only the new matrix rows
-// (n·k + k·(k−1)/2 pair computations instead of a full rebuild). It
-// returns the combined log's id, the offset n where the new rows start,
-// and the k full-width rows — what a client splices onto its old matrix.
-// The extended prepared state is cached under the combined log, so
-// follow-up matrix/row/mine calls on it are warm; concurrent identical
-// appends coalesce into one extension (the same singleflight as cold
-// prepares).
-//
-// Each append registers one more log entry (charged only for the new
-// tail's bytes — the base's string data is shared), so a long
-// one-query-at-a-time append chain runs into MaxLogsPerSession; batch
-// appends, or delete the session, when the budget error surfaces.
-//
-// An empty append is a no-op, not an error — the combined log *is* the
-// base log (content addressing collapses them) and zero rows come back
-// — matching dpe.Provider.Append, so dpe.ProviderAPI callers behave
-// identically in-process and remote.
-func (s *session) Append(ctx context.Context, baseLogID string, newQueries []string) (combinedID string, offset int, rows [][]float64, err error) {
-	base, err := s.log(baseLogID)
-	if err != nil {
-		return "", 0, nil, err
-	}
-	combined := make([]string, 0, len(base)+len(newQueries))
-	combined = append(combined, base...)
-	combined = append(combined, newQueries...)
-	tailSize := int64(0)
-	for _, q := range newQueries {
-		tailSize += int64(len(q))
-	}
-	combinedID, err = s.addLogSized(combined, tailSize)
-	if err != nil {
-		return "", 0, nil, err
-	}
-	pl, err := s.preparedKeyed(ctx, combinedID, combined, func(ctx context.Context) (*dpe.PreparedLog, error) {
-		basePL, err := s.prepared(ctx, baseLogID)
-		if err != nil {
-			return nil, err
-		}
-		return s.provider.ExtendPrepared(ctx, basePL, newQueries)
-	})
-	if err != nil {
-		return "", 0, nil, err
-	}
-	rows, err = s.provider.AppendRowsPrepared(ctx, len(base), pl)
-	if err != nil {
-		return "", 0, nil, err
-	}
-	return combinedID, len(base), rows, nil
-}
-
-// Matrix computes the full pairwise distance matrix of an uploaded log.
-func (s *session) Matrix(ctx context.Context, logID string) (dpe.Matrix, error) {
-	pl, err := s.prepared(ctx, logID)
-	if err != nil {
-		return nil, err
-	}
-	return s.provider.DistanceMatrixPrepared(ctx, pl)
-}
-
-// Distances computes one matrix row of an uploaded log.
-func (s *session) Distances(ctx context.Context, logID string, q int) ([]float64, error) {
-	pl, err := s.prepared(ctx, logID)
-	if err != nil {
-		return nil, err
-	}
-	return s.provider.DistancesPrepared(ctx, pl, q)
-}
-
-// Mine builds the matrix of an uploaded log and runs one mining
-// algorithm over it. The spec is validated before any expensive work.
-func (s *session) Mine(ctx context.Context, logID string, spec dpe.MineSpec) (*dpe.MineResult, error) {
-	queries, err := s.log(logID)
-	if err != nil {
-		return nil, err
-	}
-	if err := spec.Validate(len(queries)); err != nil {
-		return nil, err
-	}
-	pl, err := s.prepared(ctx, logID)
-	if err != nil {
-		return nil, err
-	}
-	return s.provider.MinePrepared(ctx, pl, spec)
-}
-
-// Verify runs the Definition 1 check with the session's tolerance.
-func (s *session) Verify(plain, enc dpe.Matrix) (*dpe.PreservationReport, error) {
-	s.mu.Lock()
-	s.touchLocked()
-	s.mu.Unlock()
-	return s.provider.VerifyPreservation(plain, enc)
-}
-
-// Stats snapshots the session.
-func (s *session) Stats() SessionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.touchLocked()
-	return SessionStats{
-		Session:        s.id,
-		Measure:        s.measure,
-		Logs:           len(s.logs),
-		PreparedHits:   s.hits,
-		PreparedMisses: s.misses,
-		CreatedAt:      s.created,
-	}
+	return out
 }

@@ -1,0 +1,109 @@
+// Package ring is a consistent-hash router from string keys to numbered
+// shards. It exists as its own package because the same abstraction has
+// two lives: today it routes session ids onto the in-process shard array
+// of internal/service's registry, and a multi-node deployment can reuse
+// it unchanged to route tenants across dpeserver instances (the shard
+// number becomes a node index).
+//
+// The mapping is *stable*: it depends only on (key, shards, replicas) —
+// FNV-1a over fixed labels, no process seed, no map iteration — so two
+// processes built at different times agree on every key. It is also
+// *consistent* in the classic sense: growing an N-shard ring to N+1
+// moves only the keys that land on the new shard; no key moves between
+// two old shards.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per shard. 64 points per
+// shard keeps the worst shard within a few percent of the mean for the
+// shard counts a single process uses (≤ 256).
+const DefaultReplicas = 64
+
+// Ring routes keys to one of a fixed number of shards. It is immutable
+// after construction and therefore safe for concurrent use.
+type Ring struct {
+	shards int
+	points []point // sorted by (hash, shard)
+}
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by a shard.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// New creates a router over `shards` shards with DefaultReplicas virtual
+// nodes each. shards must be >= 1.
+func New(shards int) *Ring { return NewWithReplicas(shards, DefaultReplicas) }
+
+// NewWithReplicas is New with an explicit virtual-node count (>= 1).
+func NewWithReplicas(shards, replicas int) *Ring {
+	if shards < 1 {
+		panic(fmt.Sprintf("ring: shards must be >= 1, got %d", shards))
+	}
+	if replicas < 1 {
+		panic(fmt.Sprintf("ring: replicas must be >= 1, got %d", replicas))
+	}
+	r := &Ring{shards: shards, points: make([]point, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			// The label fixes the mapping forever: changing it would
+			// silently reshuffle every deployment's key placement.
+			r.points = append(r.points, point{hash: hashString(fmt.Sprintf("shard-%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count the ring routes over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard owning key: the first virtual node at or
+// clockwise after the key's hash on the circle.
+func (r *Ring) Shard(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return r.points[i].shard
+}
+
+// hashString is FNV-1a(64) pushed through a splitmix64-style finalizer.
+// FNV alone is stable but serial: keys differing only in their last
+// byte land within a narrow arc of each other (the final xor-multiply
+// shifts the hash by at most ~1.5% of the circle), which clumps
+// sequential ids. The finalizer's avalanche breaks that correlation
+// while staying a pure function — stable across processes and Go
+// versions, unlike maphash or any seeded hash.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.): full avalanche,
+// bijective, no state.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

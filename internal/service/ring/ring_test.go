@@ -1,0 +1,134 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardStability pins the key→shard mapping to golden values: the
+// mapping is part of the deployment contract (a different build routing
+// the same session id to a different shard would strand its state), so
+// any change here is a breaking change and must be deliberate.
+func TestShardStability(t *testing.T) {
+	r8 := New(8)
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"s-00000000000000000000000000000000", 2},
+		{"s-deadbeefdeadbeefdeadbeefdeadbeef", 3},
+		{"s-0123456789abcdef0123456789abcdef", 6},
+		{"alpha", 5},
+		{"beta", 7},
+		{"gamma", 7},
+		{"delta", 3},
+		{"epsilon", 3},
+	}
+	for _, c := range cases {
+		if got := r8.Shard(c.key); got != c.want {
+			t.Errorf("New(8).Shard(%q) = %d, want %d (the mapping must never drift)", c.key, got, c.want)
+		}
+	}
+	r16 := New(16)
+	for _, c := range []struct {
+		key  string
+		want int
+	}{{"alpha", 11}, {"beta", 7}, {"gamma", 11}} {
+		if got := r16.Shard(c.key); got != c.want {
+			t.Errorf("New(16).Shard(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+// TestTwoRingsAgree checks determinism across independently-built rings
+// with the same shape: no hidden seed, no construction-order dependence.
+func TestTwoRingsAgree(t *testing.T) {
+	a, b := New(8), New(8)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("s-%032x", i*0x9e3779b9)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("two New(8) rings disagree on %q: %d vs %d", k, a.Shard(k), b.Shard(k))
+		}
+	}
+}
+
+// TestSingleShard pins the degenerate ring: everything routes to 0.
+func TestSingleShard(t *testing.T) {
+	r := New(1)
+	for _, k := range []string{"", "a", "s-deadbeef", "anything at all"} {
+		if got := r.Shard(k); got != 0 {
+			t.Errorf("New(1).Shard(%q) = %d, want 0", k, got)
+		}
+	}
+	if r.Shards() != 1 {
+		t.Errorf("Shards() = %d, want 1", r.Shards())
+	}
+}
+
+// TestRangeAndBalance checks every shard index is in range and the load
+// spread over many keys is within a loose factor of uniform — the
+// virtual nodes must actually interleave.
+func TestRangeAndBalance(t *testing.T) {
+	const shards, keys = 8, 10000
+	r := New(shards)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		s := r.Shard(fmt.Sprintf("key-%d", i))
+		if s < 0 || s >= shards {
+			t.Fatalf("Shard returned %d, outside [0,%d)", s, shards)
+		}
+		counts[s]++
+	}
+	mean := keys / shards
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %d holds %d of %d keys (mean %d): distribution too skewed", s, c, keys, mean)
+		}
+	}
+}
+
+// TestConsistency is the property that earns the name: growing N shards
+// to N+1 may move keys only TO the new shard — no key hops between two
+// old shards, so a scale-out invalidates the minimum amount of routed
+// state.
+func TestConsistency(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{2, 4, 8} {
+		old, grown := New(n), New(n+1)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			a, b := old.Shard(k), grown.Shard(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != n {
+				t.Fatalf("N=%d→%d: key %q moved shard %d → %d, but only moves to the new shard %d are allowed", n, n+1, k, a, b, n)
+			}
+		}
+		// Ideally keys/(n+1) keys move; allow generous slack for the
+		// virtual-node approximation, but a rebuild-everything hash
+		// (moved ≈ keys·n/(n+1)) must fail loudly.
+		if ideal := keys / (n + 1); moved > 2*ideal {
+			t.Errorf("N=%d→%d moved %d keys, want ≈%d (consistent hashing, not rehash-everything)", n, n+1, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d→%d moved no keys: the new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestBadArguments pins the constructor contract.
+func TestBadArguments(t *testing.T) {
+	for _, c := range []struct{ shards, replicas int }{{0, 64}, {-1, 64}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithReplicas(%d, %d) did not panic", c.shards, c.replicas)
+				}
+			}()
+			NewWithReplicas(c.shards, c.replicas)
+		}()
+	}
+}

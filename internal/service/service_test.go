@@ -65,7 +65,9 @@ func (f *fixture) measureSetup(t *testing.T, m dpe.Measure) (encLog []string, lo
 
 func startServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(NewHandler(NewRegistry(cfg)))
+	reg := NewRegistry(cfg)
+	t.Cleanup(reg.Close)
+	srv := httptest.NewServer(NewHandler(reg))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -74,11 +76,15 @@ func startServer(t *testing.T, cfg Config) *httptest.Server {
 // measure, the matrix, row, and mining results served over HTTP are
 // entry-wise identical to the in-process Provider on the same encrypted
 // log — and the second matrix call is served from the prepared-state
-// cache (observable via the session stats endpoint).
+// cache (observable via the session stats endpoint). The whole check
+// runs against a 1-shard and a 16-shard server: shard count must be
+// invisible in every result.
 func TestRemoteLocalParity(t *testing.T) {
 	f := newFixture(t)
-	srv := startServer(t, Config{})
-	client := NewClient(srv.URL)
+	clients := map[string]*Client{
+		"shards=1":  NewClient(startServer(t, Config{Shards: 1}).URL),
+		"shards=16": NewClient(startServer(t, Config{Shards: 16}).URL),
+	}
 	ctx := context.Background()
 
 	measures := []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea}
@@ -86,87 +92,89 @@ func TestRemoteLocalParity(t *testing.T) {
 		measures = measures[:2] // skip the Paillier-heavy artifact encryptions
 	}
 	for _, m := range measures {
-		t.Run(m.String(), func(t *testing.T) {
-			encLog, local, remoteOpts := f.measureSetup(t, m)
-			sess, err := client.NewSession(ctx, m, remoteOpts...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if sess.Measure() != m {
-				t.Errorf("session measure = %v, want %v", sess.Measure(), m)
-			}
-
-			want, err := local.DistanceMatrix(ctx, encLog)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := sess.DistanceMatrix(ctx, encLog)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatal("remote matrix differs from in-process matrix")
-			}
-
-			// Row access parity (first and last query).
-			for _, q := range []int{0, len(encLog) - 1} {
-				wantRow, err := local.Distances(ctx, encLog, q)
+		encLog, local, remoteOpts := f.measureSetup(t, m)
+		for name, client := range clients {
+			t.Run(m.String()+"/"+name, func(t *testing.T) {
+				sess, err := client.NewSession(ctx, m, remoteOpts...)
 				if err != nil {
 					t.Fatal(err)
 				}
-				gotRow, err := sess.Distances(ctx, encLog, q)
+				if sess.Measure() != m {
+					t.Errorf("session measure = %v, want %v", sess.Measure(), m)
+				}
+
+				want, err := local.DistanceMatrix(ctx, encLog)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(gotRow, wantRow) {
-					t.Errorf("remote row %d differs from in-process row", q)
+				got, err := sess.DistanceMatrix(ctx, encLog)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatal("remote matrix differs from in-process matrix")
+				}
 
-			// Mining parity.
-			spec := dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 3}
-			wantMine, err := local.Mine(ctx, encLog, spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			gotMine, err := sess.Mine(ctx, encLog, spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(gotMine, wantMine) {
-				t.Error("remote mining result differs from in-process result")
-			}
+				// Row access parity (first and last query).
+				for _, q := range []int{0, len(encLog) - 1} {
+					wantRow, err := local.Distances(ctx, encLog, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotRow, err := sess.Distances(ctx, encLog, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotRow, wantRow) {
+						t.Errorf("remote row %d differs from in-process row", q)
+					}
+				}
 
-			// Remote Definition 1 check against the owner's plaintext matrix.
-			plainProvider := plainSide(t, f, m)
-			plain, err := plainProvider.DistanceMatrix(ctx, f.w.Queries)
-			if err != nil {
-				t.Fatal(err)
-			}
-			rep, err := sess.VerifyPreservation(plain, got)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !rep.Preserved {
-				t.Errorf("measure %v not preserved over the wire: max |Δd| = %g", m, rep.MaxAbsError)
-			}
+				// Mining parity.
+				spec := dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 3}
+				wantMine, err := local.Mine(ctx, encLog, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotMine, err := sess.Mine(ctx, encLog, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotMine, wantMine) {
+					t.Error("remote mining result differs from in-process result")
+				}
 
-			// The repeat calls above must have hit the prepared cache: only
-			// the very first call on the uploaded log may miss.
-			stats, err := sess.Stats(ctx)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if stats.Logs != 1 {
-				t.Errorf("stats.Logs = %d, want 1 (content-addressed upload)", stats.Logs)
-			}
-			// One miss (the first matrix call) and a hit for each of the two
-			// row calls and the mine call.
-			if stats.PreparedMisses != 1 || stats.PreparedHits != 3 {
-				t.Errorf("prepared cache: hits %d misses %d, want exactly 1 miss and 3 hits",
-					stats.PreparedHits, stats.PreparedMisses)
-			}
-		})
+				// Remote Definition 1 check against the owner's plaintext matrix.
+				plainProvider := plainSide(t, f, m)
+				plain, err := plainProvider.DistanceMatrix(ctx, f.w.Queries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := sess.VerifyPreservation(plain, got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Preserved {
+					t.Errorf("measure %v not preserved over the wire: max |Δd| = %g", m, rep.MaxAbsError)
+				}
+
+				// The repeat calls above must have hit the prepared cache: only
+				// the very first call on the uploaded log may miss.
+				stats, err := sess.Stats(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Logs != 1 {
+					t.Errorf("stats.Logs = %d, want 1 (content-addressed upload)", stats.Logs)
+				}
+				// One miss (the first matrix call) and a hit for each of the two
+				// row calls and the mine call.
+				if stats.PreparedMisses != 1 || stats.PreparedHits != 3 {
+					t.Errorf("prepared cache: hits %d misses %d, want exactly 1 miss and 3 hits",
+						stats.PreparedHits, stats.PreparedMisses)
+				}
+			})
+		}
 	}
 }
 
@@ -193,6 +201,7 @@ func plainSide(t *testing.T, f *fixture, m dpe.Measure) *dpe.Provider {
 // the context's error instead of running to completion.
 func TestHandlerCancellation(t *testing.T) {
 	reg := NewRegistry(Config{})
+	defer reg.Close()
 	h := NewHandler(reg)
 
 	token := dpe.MeasureToken
@@ -567,7 +576,8 @@ func TestSessionLogBudgets(t *testing.T) {
 // the TTL are reaped so new tenants are not locked out forever by
 // abandoned ones.
 func TestIdleSessionReaping(t *testing.T) {
-	reg := NewRegistry(Config{MaxSessions: 1, SessionTTL: time.Nanosecond})
+	reg := NewRegistry(Config{MaxSessions: 1, SessionTTL: time.Nanosecond, JanitorInterval: -1})
+	defer reg.Close()
 	token := dpe.MeasureToken
 	old, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
 	if err != nil {

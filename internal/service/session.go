@@ -1,0 +1,306 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	dpe "repro"
+)
+
+// session is one tenant's provider state on the server: the immutable
+// provider built from the uploaded artifacts, plus the logs uploaded so
+// far. Logs are content-addressed, so re-uploading an identical log is
+// idempotent and lands on the same cached prepared state. A session is
+// pinned to one registry shard for its whole life — its cache entries,
+// in-flight preparations, and map entry all live there.
+type session struct {
+	id       string
+	measure  dpe.Measure
+	provider *dpe.Provider
+	reg      *Registry
+	sh       *shard
+	created  time.Time
+
+	mu       sync.Mutex
+	logs     map[string][]string
+	logBytes int64
+	lastUsed time.Time
+	hits     int64
+	misses   int64
+}
+
+// ID returns the session id.
+func (s *session) ID() string { return s.id }
+
+// touchLocked marks the session used; callers hold s.mu.
+func (s *session) touchLocked() { s.lastUsed = time.Now() }
+
+// LogID content-addresses a query log: equal logs get equal ids.
+func LogID(queries []string) string {
+	h := sha256.New()
+	for _, q := range queries {
+		fmt.Fprintf(h, "%d\n", len(q))
+		h.Write([]byte(q))
+	}
+	return "l-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// AddLog registers an uploaded log and returns its content-derived id.
+// The session's raw-log store is budgeted (entries and bytes) so one
+// tenant cannot grow server memory without bound.
+func (s *session) AddLog(queries []string) (string, error) {
+	size := int64(0)
+	for _, q := range queries {
+		size += int64(len(q))
+	}
+	return s.addLogSized(queries, size)
+}
+
+// addLogSized is AddLog with the byte-budget charge made explicit: a
+// log derived from an already-stored base (the append path) shares the
+// base's string data — Go strings are immutable, so the combined slice
+// duplicates only headers — and is charged only for its new tail.
+func (s *session) addLogSized(queries []string, size int64) (string, error) {
+	if len(queries) == 0 {
+		return "", fmt.Errorf("service: empty query log")
+	}
+	id := LogID(queries)
+	cfg := s.reg.cfg
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	if _, ok := s.logs[id]; ok {
+		return id, nil
+	}
+	if len(s.logs) >= cfg.MaxLogsPerSession {
+		return "", fmt.Errorf("service: session log limit reached (%d logs); delete the session or reuse uploaded logs", len(s.logs))
+	}
+	if s.logBytes+size > cfg.MaxLogBytesPerSession {
+		return "", fmt.Errorf("service: session log byte budget exceeded (%d + %d > %d bytes)", s.logBytes, size, cfg.MaxLogBytesPerSession)
+	}
+	s.logs[id] = append([]string(nil), queries...)
+	s.logBytes += size
+	return id, nil
+}
+
+// log returns an uploaded log by id.
+func (s *session) log(id string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	queries, ok := s.logs[id]
+	if !ok {
+		return nil, notFoundError{fmt.Errorf("service: unknown log %q (upload it first)", id)}
+	}
+	return queries, nil
+}
+
+// preparedCost is the cache's byte accounting for one prepared log: the
+// metric's own footprint estimate when it has one (the result measure's
+// tuple sets scale with catalog rows, not with log text), the log size
+// plus a per-query overhead otherwise.
+func preparedCost(pl *dpe.PreparedLog, queries []string) int64 {
+	if size := pl.SizeBytes(); size > 0 {
+		return size
+	}
+	cost := int64(0)
+	for _, q := range queries {
+		cost += int64(2*len(q)) + 256
+	}
+	return cost
+}
+
+// prepared returns the log's prepared state, serving repeat calls from
+// the session's shard-local LRU cache (the expensive half of every
+// distance computation — tokenizing, parsing, executing — runs at most
+// once per uploaded log while the entry stays cached). Concurrent cold
+// calls for the same log collapse into a single preparation.
+func (s *session) prepared(ctx context.Context, logID string) (*dpe.PreparedLog, error) {
+	queries, err := s.log(logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.preparedKeyed(ctx, logID, queries, func(ctx context.Context) (*dpe.PreparedLog, error) {
+		return s.provider.Prepare(ctx, queries)
+	})
+}
+
+// preparedKeyed serves the prepared state for one cached log id,
+// running build at most once per cold key however many callers race
+// (singleflight). Both the full-prepare path (prepared) and the
+// incremental extension path (Append) go through here, so they share
+// the shard's cache, its coalescing, and the deleted-session rule.
+func (s *session) preparedKeyed(ctx context.Context, logID string, queries []string, build func(context.Context) (*dpe.PreparedLog, error)) (*dpe.PreparedLog, error) {
+	key := s.id + "\x00" + logID
+	for {
+		if v, ok := s.sh.cache.get(key); ok {
+			s.mu.Lock()
+			s.hits++
+			s.mu.Unlock()
+			return v.(*dpe.PreparedLog), nil
+		}
+		c, leader := s.sh.flight.begin(key)
+		if leader {
+			// Re-check under leadership: a previous leader may have added
+			// the entry between our cache miss and our begin (its add runs
+			// before its finish, so the entry is visible by now).
+			if v, ok := s.sh.cache.get(key); ok {
+				pl := v.(*dpe.PreparedLog)
+				s.sh.flight.finish(key, c, pl, nil)
+				s.mu.Lock()
+				s.hits++
+				s.mu.Unlock()
+				return pl, nil
+			}
+			pl, err := build(ctx)
+			if err == nil {
+				// Only cache for a still-live session: if the session was
+				// deleted (or reaped) mid-prepare, its removePrefix already
+				// ran and an add now would strand an unreachable entry on
+				// the shard's byte budget. The session is pinned to s.sh,
+				// so its own shard map is the liveness authority — no need
+				// to re-route the id through the ring.
+				if s.sh.session(s.id) != nil {
+					s.sh.cache.add(key, pl, preparedCost(pl, queries))
+				}
+				s.mu.Lock()
+				s.misses++
+				s.mu.Unlock()
+			}
+			s.sh.flight.finish(key, c, pl, err)
+			return pl, err
+		}
+		select {
+		case <-c.done:
+			if c.err == nil {
+				s.mu.Lock()
+				s.hits++
+				s.mu.Unlock()
+				return c.pl, nil
+			}
+			// The leader failed — possibly only because *its* context was
+			// cancelled. If ours is still live, retry (and likely become
+			// the new leader) rather than inherit a stranger's error.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Append is the incremental ingest path: it registers base ∘ newQueries
+// as a new content-addressed log, extends the base log's cached prepared
+// state with only the new queries, and computes only the new matrix rows
+// (n·k + k·(k−1)/2 pair computations instead of a full rebuild). It
+// returns the combined log's id, the offset n where the new rows start,
+// and the k full-width rows — what a client splices onto its old matrix.
+// The extended prepared state is cached under the combined log, so
+// follow-up matrix/row/mine calls on it are warm; concurrent identical
+// appends coalesce into one extension (the same singleflight as cold
+// prepares).
+//
+// Each append registers one more log entry (charged only for the new
+// tail's bytes — the base's string data is shared), so a long
+// one-query-at-a-time append chain runs into MaxLogsPerSession; batch
+// appends, or delete the session, when the budget error surfaces.
+//
+// An empty append is a no-op, not an error — the combined log *is* the
+// base log (content addressing collapses them) and zero rows come back
+// — matching dpe.Provider.Append, so dpe.ProviderAPI callers behave
+// identically in-process and remote.
+func (s *session) Append(ctx context.Context, baseLogID string, newQueries []string) (combinedID string, offset int, rows [][]float64, err error) {
+	base, err := s.log(baseLogID)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	combined := make([]string, 0, len(base)+len(newQueries))
+	combined = append(combined, base...)
+	combined = append(combined, newQueries...)
+	tailSize := int64(0)
+	for _, q := range newQueries {
+		tailSize += int64(len(q))
+	}
+	combinedID, err = s.addLogSized(combined, tailSize)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	pl, err := s.preparedKeyed(ctx, combinedID, combined, func(ctx context.Context) (*dpe.PreparedLog, error) {
+		basePL, err := s.prepared(ctx, baseLogID)
+		if err != nil {
+			return nil, err
+		}
+		return s.provider.ExtendPrepared(ctx, basePL, newQueries)
+	})
+	if err != nil {
+		return "", 0, nil, err
+	}
+	rows, err = s.provider.AppendRowsPrepared(ctx, len(base), pl)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return combinedID, len(base), rows, nil
+}
+
+// Matrix computes the full pairwise distance matrix of an uploaded log.
+func (s *session) Matrix(ctx context.Context, logID string) (dpe.Matrix, error) {
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.DistanceMatrixPrepared(ctx, pl)
+}
+
+// Distances computes one matrix row of an uploaded log.
+func (s *session) Distances(ctx context.Context, logID string, q int) ([]float64, error) {
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.DistancesPrepared(ctx, pl, q)
+}
+
+// Mine builds the matrix of an uploaded log and runs one mining
+// algorithm over it. The spec is validated before any expensive work.
+func (s *session) Mine(ctx context.Context, logID string, spec dpe.MineSpec) (*dpe.MineResult, error) {
+	queries, err := s.log(logID)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(len(queries)); err != nil {
+		return nil, err
+	}
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.MinePrepared(ctx, pl, spec)
+}
+
+// Verify runs the Definition 1 check with the session's tolerance.
+func (s *session) Verify(plain, enc dpe.Matrix) (*dpe.PreservationReport, error) {
+	s.mu.Lock()
+	s.touchLocked()
+	s.mu.Unlock()
+	return s.provider.VerifyPreservation(plain, enc)
+}
+
+// Stats snapshots the session.
+func (s *session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	return SessionStats{
+		Session:        s.id,
+		Measure:        s.measure,
+		Logs:           len(s.logs),
+		PreparedHits:   s.hits,
+		PreparedMisses: s.misses,
+		CreatedAt:      s.created,
+	}
+}

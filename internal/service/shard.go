@@ -1,0 +1,151 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	dpe "repro"
+)
+
+// shard is one slice of the registry's multi-tenant state: a session
+// map under its own mutex, its own singleflight group, and its own
+// size-aware prepared-state LRU. A session's id routes it to exactly
+// one shard (see Registry.shardFor), so everything the session owns —
+// map entry, in-flight preparations, cached prepared state — lives
+// together and never contends with other shards' locks.
+type shard struct {
+	cache  *lruCache
+	flight *flightGroup
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newShard(cacheEntries int, cacheBytes int64) *shard {
+	return &shard{
+		cache:    newLRU(cacheEntries, cacheBytes),
+		flight:   newFlightGroup(),
+		sessions: make(map[string]*session),
+	}
+}
+
+// session returns a live session by id, or nil.
+func (sh *shard) session(id string) *session {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessions[id]
+}
+
+// put registers a session; the caller has already reserved capacity.
+func (sh *shard) put(s *session) {
+	sh.mu.Lock()
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
+}
+
+// remove drops a session from the map, reporting whether it was live.
+// The caller releases capacity and purges the cache.
+func (sh *shard) remove(id string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
+		return false
+	}
+	delete(sh.sessions, id)
+	return true
+}
+
+// reapIdle removes sessions idle longer than ttl and returns their ids.
+// The session clocks are read under each session's own mutex while the
+// shard lock is held — the same lock order CreateSession-era code used
+// (shard before session), so the two cannot deadlock.
+func (sh *shard) reapIdle(now time.Time, ttl time.Duration) []string {
+	var reaped []string
+	sh.mu.Lock()
+	for id, s := range sh.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > ttl {
+			delete(sh.sessions, id)
+			reaped = append(reaped, id)
+		}
+	}
+	sh.mu.Unlock()
+	return reaped
+}
+
+// snapshot reads the shard's counters for stats. The shard lock guards
+// only the map length; the cache snapshots under its own brief mutex —
+// no lock is ever held while sizing prepared state (costs were charged
+// at insert time), so a stats call cannot stall tenant traffic.
+func (sh *shard) snapshot(index int) ShardStats {
+	sh.mu.Lock()
+	n := len(sh.sessions)
+	sh.mu.Unlock()
+	return ShardStats{Shard: index, Sessions: n, PreparedCache: sh.cache.stats()}
+}
+
+// splitEntries divides a registry-wide entry budget across n shards,
+// rounding up so the aggregate never shrinks below the configured total
+// and every shard keeps at least one slot. With n = 1 the budget is
+// exactly the configured value — a single-shard registry behaves like
+// the historical unsharded one.
+func splitEntries(total, n int) int {
+	per := (total + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// splitBytes is splitEntries for byte budgets.
+func splitBytes(total int64, n int) int64 {
+	per := (total + int64(n) - 1) / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// flightGroup coalesces concurrent preparations of the same cache key:
+// one caller becomes the leader and runs Prepare, the rest wait for its
+// result instead of repeating the most expensive operation the service
+// has. Each shard owns one group — keys embed the session id, and a
+// session never changes shards.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	pl   *dpe.PreparedLog
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// begin joins the in-flight call for key, or starts one; leader reports
+// which happened.
+func (g *flightGroup) begin(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and retires the call.
+func (g *flightGroup) finish(key string, c *flightCall, pl *dpe.PreparedLog, err error) {
+	c.pl, c.err = pl, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
