@@ -3,12 +3,19 @@
 // artifacts to it over HTTP, uploads encrypted query logs into a
 // session, and mines on ciphertext remotely:
 //
-//	dpeserver -addr :8433 -par 8 -max-sessions 256 -shards 16
+//	dpeserver -addr :8433 -par 8 -max-sessions 256 -shards 16 -data-dir /var/lib/dpe
 //
 // Multi-tenant state is sharded by session id over a consistent-hash
 // ring (-shards, default GOMAXPROCS rounded to a power of two): each
 // shard owns its own lock, singleflight group, and slice of the
 // prepared-state cache, so tenants on different shards never contend.
+//
+// With -data-dir, every shard journals its sessions, uploaded logs,
+// and prepared-state snapshots to an append-only segment file there; a
+// restarted dpeserver replays the journals, so tenants resume without
+// re-uploading artifacts and the first request after a restart hits
+// the warm prepared cache. Each shard's janitor compacts its journal
+// every -compact-interval, dropping deleted sessions' records.
 //
 // The API lives under /v1 (see internal/service):
 //
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // serverConfig is the fully-validated outcome of flag parsing — what
@@ -51,6 +59,7 @@ import (
 type serverConfig struct {
 	addr    string
 	grace   time.Duration
+	dataDir string
 	service service.Config
 }
 
@@ -69,6 +78,8 @@ func parseConfig(args []string) (*serverConfig, error) {
 	maxLogBytes := fs.Int64("max-log-bytes", 64<<20, "max total raw log bytes per session")
 	sessionTTL := fs.Duration("session-ttl", 2*time.Hour, "idle time after which a session may be reaped at capacity")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	dataDir := fs.String("data-dir", "", "persist sessions, logs, and prepared state to per-shard journals in this directory ('' = in-memory only)")
+	compactInterval := fs.Duration("compact-interval", 10*time.Minute, "how often each shard's janitor compacts its journal (requires -data-dir; <= 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -104,9 +115,13 @@ func parseConfig(args []string) (*serverConfig, error) {
 	if *grace < 0 {
 		return nil, fmt.Errorf("-shutdown-grace must not be negative, got %v", *grace)
 	}
+	if *compactInterval <= 0 {
+		*compactInterval = -1 // Config semantics: negative disables, 0 means the default
+	}
 	return &serverConfig{
-		addr:  *addr,
-		grace: *grace,
+		addr:    *addr,
+		grace:   *grace,
+		dataDir: *dataDir,
 		service: service.Config{
 			MaxSessions:           *maxSessions,
 			Parallelism:           *par,
@@ -116,6 +131,7 @@ func parseConfig(args []string) (*serverConfig, error) {
 			MaxLogBytesPerSession: *maxLogBytes,
 			SessionTTL:            *sessionTTL,
 			Shards:                *shards,
+			CompactEvery:          *compactInterval,
 		},
 	}, nil
 }
@@ -126,15 +142,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpeserver:", err)
 		os.Exit(2)
 	}
-	if err := run(sc.addr, sc.service, sc.grace); err != nil {
+	if err := run(sc); err != nil {
 		fmt.Fprintln(os.Stderr, "dpeserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, grace time.Duration) error {
-	reg := service.NewRegistry(cfg)
-	defer reg.Close() // stop the per-shard janitors on the way out
+func run(sc *serverConfig) error {
+	addr, cfg, grace := sc.addr, sc.service, sc.grace
+	if sc.dataDir != "" {
+		st, err := store.OpenDir(sc.dataDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	}
+	reg, err := service.OpenRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	defer reg.Close() // stop the janitors and sync the journals on the way out
+	if sc.dataDir != "" {
+		rec := reg.Recovery()
+		log.Printf("dpeserver: recovered from %s: %d sessions, %d logs, %d prepared snapshots (%d tombstones, %d skipped records)",
+			sc.dataDir, rec.Sessions, rec.Logs, rec.Snapshots, rec.Tombstones, rec.Skipped)
+	}
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           service.NewHandler(reg),

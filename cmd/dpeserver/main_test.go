@@ -35,6 +35,38 @@ func TestParseConfigDefaults(t *testing.T) {
 	if s := cfg.Shards; s&(s-1) != 0 || s < 1 {
 		t.Errorf("default shards = %d, want a power of two", s)
 	}
+	if sc.dataDir != "" {
+		t.Errorf("data dir = %q, want in-memory by default", sc.dataDir)
+	}
+	if cfg.CompactEvery != 10*time.Minute {
+		t.Errorf("compact interval = %v, want 10m", cfg.CompactEvery)
+	}
+}
+
+// TestParseConfigPersistenceFlags pins the -data-dir / -compact-interval
+// wiring: the directory passes through verbatim (run opens it), and a
+// non-positive interval disables periodic compaction (the registry's
+// negative sentinel) instead of silently meaning "use the default".
+func TestParseConfigPersistenceFlags(t *testing.T) {
+	sc, err := parseConfig([]string{"-data-dir", "/tmp/dpe-data", "-compact-interval", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.dataDir != "/tmp/dpe-data" {
+		t.Errorf("data dir = %q, want /tmp/dpe-data", sc.dataDir)
+	}
+	if sc.service.CompactEvery != 30*time.Second {
+		t.Errorf("compact interval = %v, want 30s", sc.service.CompactEvery)
+	}
+	for _, v := range []string{"0s", "-5m"} {
+		sc, err := parseConfig([]string{"-compact-interval", v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.service.CompactEvery >= 0 {
+			t.Errorf("-compact-interval %s mapped to %v, want a negative disable sentinel", v, sc.service.CompactEvery)
+		}
+	}
 }
 
 func TestParseConfigOverrides(t *testing.T) {

@@ -438,6 +438,34 @@ func (pl *PreparedLog) SizeBytes() int64 {
 	return 0
 }
 
+// MarshalPreparedLog serializes a prepared log's state for persistence
+// (the service's prepared-state snapshots). The encoding is
+// deterministic and exact: UnmarshalPreparedLog returns a state whose
+// distances are entry-wise identical. The snapshot is only meaningful
+// to a Provider constructed with the same measure and artifacts.
+func (p *Provider) MarshalPreparedLog(pl *PreparedLog) ([]byte, error) {
+	s, ok := p.metric.(distance.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("dpe: measure %s does not support prepared-state snapshots", p.measure)
+	}
+	return s.MarshalPrepared(pl.prep)
+}
+
+// UnmarshalPreparedLog is the inverse of MarshalPreparedLog: it
+// restores a prepared log from a snapshot without re-running any
+// per-query work (no tokenizing, parsing, or query execution).
+func (p *Provider) UnmarshalPreparedLog(data []byte) (*PreparedLog, error) {
+	s, ok := p.metric.(distance.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("dpe: measure %s does not support prepared-state snapshots", p.measure)
+	}
+	prep, err := s.UnmarshalPrepared(data)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedLog{prep: prep}, nil
+}
+
 // Prepare runs the metric's per-query work for a log once, honoring ctx
 // cancellation. The heavy lifting of DistanceMatrix, Distances, and Mine
 // is split in two halves — preparation and pairwise fan-out — and this

@@ -1,10 +1,11 @@
 // Package bench is the reproducible benchmark harness: it runs
 // paper-style performance experiments against deterministic synthetic
 // workloads and emits a versioned machine-readable report
-// (BENCH_PR4.json) that CI gates against a committed baseline.
+// (BENCH_PR5.json) that CI gates against a committed baseline.
 //
-// Four experiments; the first three run across the configured measures
-// (all four of Table I by default) on encrypted artifacts:
+// Five experiments; engine, append, service, and recovery run across
+// the configured measures (all four of Table I by default) on encrypted
+// artifacts:
 //
 //   - engine:  full distance-matrix builds, sequential vs the worker
 //     pool, with an entry-computation counter pinning the upper-triangle
@@ -21,6 +22,12 @@
 //     registry. Operation and cache-hit/miss totals are deterministic
 //     and tracked; throughput is recorded untracked — the number that
 //     shows the sharding win on multi-core hardware.
+//   - recovery: a persistent multi-shard registry is populated (one
+//     tenant per measure with warm prepared state), closed, and
+//     reopened from its journals. The replayed-record counts, the
+//     post-restart cache misses (zero), and the matrix mismatches
+//     (zero) are tracked; the cold vs warm-recovered first-request
+//     latencies are recorded untracked.
 //
 // Wall-clock metrics are recorded but never gated (they vary across
 // machines); only deterministic counters are marked Tracked and
@@ -100,7 +107,9 @@ func ShortConfig() Config {
 }
 
 // Experiments lists the harness experiments in run order.
-func Experiments() []string { return []string{"engine", "append", "service", "contention"} }
+func Experiments() []string {
+	return []string{"engine", "append", "service", "contention", "recovery"}
+}
 
 // Run executes the named experiments ("all" or nil means every one) and
 // returns the report. The context cancels mid-experiment work.
@@ -118,11 +127,12 @@ func Run(ctx context.Context, names []string, cfg Config) (*Report, error) {
 		"append":     runAppend,
 		"service":    runService,
 		"contention": runContention,
+		"recovery":   runRecovery,
 	}
 	for n := range selected {
 		if n != "all" {
 			if _, ok := known[n]; !ok {
-				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|service|contention|all)", n)
+				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|service|contention|recovery|all)", n)
 			}
 		}
 	}

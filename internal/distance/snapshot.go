@@ -1,0 +1,515 @@
+package distance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/accessarea"
+	"repro/internal/sqlfeature"
+	"repro/internal/value"
+)
+
+// Snapshotter is optionally implemented by metrics whose prepared state
+// can be serialized and restored — the codec behind the service's
+// persistent prepared-state snapshots. The contract is exactness:
+// UnmarshalPrepared(MarshalPrepared(p)) must return a state whose
+// Distance is entry-wise identical to p's, so a recovered cache serves
+// the same matrices the pre-restart one did. All four built-in metrics
+// implement it.
+type Snapshotter interface {
+	// MarshalPrepared serializes a prepared state produced by this
+	// metric's Prepare or Extend. The encoding is deterministic: equal
+	// states marshal to equal bytes.
+	MarshalPrepared(p Prepared) ([]byte, error)
+	// UnmarshalPrepared is the inverse of MarshalPrepared.
+	UnmarshalPrepared(data []byte) (Prepared, error)
+}
+
+// Snapshot framing: a 4-byte magic ("DPS" + version) and a payload tag,
+// then the tag-specific body. All integers are varints; floats are
+// 8-byte little-endian IEEE 754 bit patterns (exact round trip).
+var snapshotMagic = [4]byte{'D', 'P', 'S', '1'}
+
+const (
+	snapStringSets  byte = 1 // setPrepared[string]: token and result metrics
+	snapFeatureSets byte = 2 // setPrepared[sqlfeature.Feature]: structure metric
+	snapAccessArea  byte = 3 // aaPrepared: access-area metric
+)
+
+// snapWriter builds a snapshot buffer.
+type snapWriter struct{ buf []byte }
+
+func newSnapWriter(tag byte) *snapWriter {
+	w := &snapWriter{buf: make([]byte, 0, 256)}
+	w.buf = append(w.buf, snapshotMagic[:]...)
+	w.buf = append(w.buf, tag)
+	return w
+}
+
+func (w *snapWriter) uvarint(n uint64) { w.buf = binary.AppendUvarint(w.buf, n) }
+func (w *snapWriter) varint(n int64)   { w.buf = binary.AppendVarint(w.buf, n) }
+func (w *snapWriter) byteVal(b byte)   { w.buf = append(w.buf, b) }
+func (w *snapWriter) float(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+func (w *snapWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *snapWriter) bytes(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// snapReader consumes a snapshot buffer, validating the frame.
+type snapReader struct {
+	buf []byte
+	off int
+}
+
+func newSnapReader(data []byte, wantTag byte) (*snapReader, error) {
+	if len(data) < len(snapshotMagic)+1 {
+		return nil, fmt.Errorf("distance: snapshot of %d bytes is shorter than its header", len(data))
+	}
+	for i, b := range snapshotMagic {
+		if data[i] != b {
+			return nil, fmt.Errorf("distance: snapshot has bad magic %q", data[:len(snapshotMagic)])
+		}
+	}
+	if tag := data[len(snapshotMagic)]; tag != wantTag {
+		return nil, fmt.Errorf("distance: snapshot payload tag %d, want %d (snapshot from a different measure?)", tag, wantTag)
+	}
+	return &snapReader{buf: data, off: len(snapshotMagic) + 1}, nil
+}
+
+func (r *snapReader) uvarint() (uint64, error) {
+	n, sz := binary.Uvarint(r.buf[r.off:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("distance: truncated snapshot varint at offset %d", r.off)
+	}
+	r.off += sz
+	return n, nil
+}
+
+func (r *snapReader) varint() (int64, error) {
+	n, sz := binary.Varint(r.buf[r.off:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("distance: truncated snapshot varint at offset %d", r.off)
+	}
+	r.off += sz
+	return n, nil
+}
+
+func (r *snapReader) byteVal() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("distance: truncated snapshot at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *snapReader) float() (float64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, fmt.Errorf("distance: truncated snapshot float at offset %d", r.off)
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return f, nil
+}
+
+func (r *snapReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		return "", fmt.Errorf("distance: truncated snapshot string at offset %d", r.off)
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *snapReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		return nil, fmt.Errorf("distance: truncated snapshot bytes at offset %d", r.off)
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *snapReader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("distance: %d trailing snapshot bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// --- string sets (token, result) ---
+
+func marshalStringSets(p Prepared) ([]byte, error) {
+	sets, ok := p.(setPrepared[string])
+	if !ok {
+		return nil, fmt.Errorf("distance: cannot snapshot prepared state %T as string sets", p)
+	}
+	w := newSnapWriter(snapStringSets)
+	w.uvarint(uint64(len(sets)))
+	for _, set := range sets {
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			w.str(k)
+		}
+	}
+	return w.buf, nil
+}
+
+func unmarshalStringSets(data []byte) (Prepared, error) {
+	r, err := newSnapReader(data, snapStringSets)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	sets := make(setPrepared[string], n)
+	for i := range sets {
+		k, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool, k)
+		for j := uint64(0); j < k; j++ {
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			set[s] = true
+		}
+		sets[i] = set
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// MarshalPrepared implements Snapshotter over token sets.
+func (tokenMetric) MarshalPrepared(p Prepared) ([]byte, error) { return marshalStringSets(p) }
+
+// UnmarshalPrepared implements Snapshotter over token sets.
+func (tokenMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
+	return unmarshalStringSets(data)
+}
+
+// MarshalPrepared implements Snapshotter over result tuple sets. The
+// snapshot carries the materialized tuple-set keys, so restoring it
+// re-executes no queries — the whole point of persisting the result
+// measure's expensive prepared state.
+func (*resultMetric) MarshalPrepared(p Prepared) ([]byte, error) { return marshalStringSets(p) }
+
+// UnmarshalPrepared implements Snapshotter over result tuple sets.
+func (*resultMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
+	return unmarshalStringSets(data)
+}
+
+// --- feature sets (structure) ---
+
+// MarshalPrepared implements Snapshotter over SnipSuggest feature sets.
+func (structureMetric) MarshalPrepared(p Prepared) ([]byte, error) {
+	sets, ok := p.(setPrepared[sqlfeature.Feature])
+	if !ok {
+		return nil, fmt.Errorf("distance: cannot snapshot prepared state %T as feature sets", p)
+	}
+	w := newSnapWriter(snapFeatureSets)
+	w.uvarint(uint64(len(sets)))
+	for _, set := range sets {
+		feats := make([]sqlfeature.Feature, 0, len(set))
+		for f := range set {
+			feats = append(feats, f)
+		}
+		sort.Slice(feats, func(i, j int) bool {
+			if feats[i].Clause != feats[j].Clause {
+				return feats[i].Clause < feats[j].Clause
+			}
+			return feats[i].Item < feats[j].Item
+		})
+		w.uvarint(uint64(len(feats)))
+		for _, f := range feats {
+			w.str(string(f.Clause))
+			w.str(f.Item)
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalPrepared implements Snapshotter over feature sets.
+func (structureMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
+	r, err := newSnapReader(data, snapFeatureSets)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	sets := make(setPrepared[sqlfeature.Feature], n)
+	for i := range sets {
+		k, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[sqlfeature.Feature]bool, k)
+		for j := uint64(0); j < k; j++ {
+			clause, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			item, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			set[sqlfeature.Feature{Clause: sqlfeature.Clause(clause), Item: item}] = true
+		}
+		sets[i] = set
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// --- access areas ---
+
+// Value kind bytes in access-area snapshots.
+const (
+	snapValNull   byte = 0
+	snapValInt    byte = 1
+	snapValFloat  byte = 2
+	snapValString byte = 3
+	snapValBytes  byte = 4
+)
+
+func writeValue(w *snapWriter, v value.Value) error {
+	switch v.Kind() {
+	case value.KindNull:
+		w.byteVal(snapValNull)
+	case value.KindInt:
+		w.byteVal(snapValInt)
+		w.varint(v.AsInt())
+	case value.KindFloat:
+		w.byteVal(snapValFloat)
+		w.float(v.AsFloat())
+	case value.KindString:
+		w.byteVal(snapValString)
+		w.str(v.AsString())
+	case value.KindBytes:
+		w.byteVal(snapValBytes)
+		w.bytes(v.AsBytes())
+	default:
+		return fmt.Errorf("distance: cannot snapshot value kind %v", v.Kind())
+	}
+	return nil
+}
+
+func readValue(r *snapReader) (value.Value, error) {
+	kind, err := r.byteVal()
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch kind {
+	case snapValNull:
+		return value.Null(), nil
+	case snapValInt:
+		i, err := r.varint()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Int(i), nil
+	case snapValFloat:
+		f, err := r.float()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Float(f), nil
+	case snapValString:
+		s, err := r.str()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Str(s), nil
+	case snapValBytes:
+		b, err := r.bytes()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Bytes(b), nil
+	default:
+		return value.Value{}, fmt.Errorf("distance: unknown snapshot value kind %d", kind)
+	}
+}
+
+func writeArea(w *snapWriter, a accessarea.Area) error {
+	ivs := a.Intervals()
+	w.uvarint(uint64(len(ivs)))
+	for _, iv := range ivs {
+		if err := writeValue(w, iv.Lo.V); err != nil {
+			return err
+		}
+		w.byteVal(boolByte(iv.Lo.Open))
+		if err := writeValue(w, iv.Hi.V); err != nil {
+			return err
+		}
+		w.byteVal(boolByte(iv.Hi.Open))
+	}
+	return nil
+}
+
+func readArea(r *snapReader) (accessarea.Area, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return accessarea.Area{}, err
+	}
+	ivs := make([]accessarea.Interval, n)
+	for i := range ivs {
+		lo, err := readValue(r)
+		if err != nil {
+			return accessarea.Area{}, err
+		}
+		loOpen, err := r.byteVal()
+		if err != nil {
+			return accessarea.Area{}, err
+		}
+		hi, err := readValue(r)
+		if err != nil {
+			return accessarea.Area{}, err
+		}
+		hiOpen, err := r.byteVal()
+		if err != nil {
+			return accessarea.Area{}, err
+		}
+		ivs[i] = accessarea.Interval{
+			Lo: accessarea.Endpoint{V: lo, Open: loOpen != 0},
+			Hi: accessarea.Endpoint{V: hi, Open: hiOpen != 0},
+		}
+	}
+	// NewArea re-normalizes; the input was already normalized, so this
+	// is the identity and Equal/Overlaps behave exactly as before.
+	return accessarea.NewArea(ivs...), nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MarshalPrepared implements Snapshotter over precomputed access areas.
+func (*accessAreaMetric) MarshalPrepared(p Prepared) ([]byte, error) {
+	aa, ok := p.(*aaPrepared)
+	if !ok {
+		return nil, fmt.Errorf("distance: cannot snapshot prepared state %T as access areas", p)
+	}
+	w := newSnapWriter(snapAccessArea)
+	w.float(aa.x)
+	w.uvarint(uint64(len(aa.queries)))
+	for _, q := range aa.queries {
+		attrs := make([]string, 0, len(q.attrs))
+		for a := range q.attrs {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		w.uvarint(uint64(len(attrs)))
+		for _, a := range attrs {
+			w.str(a)
+		}
+		areas := make([]string, 0, len(q.areas))
+		for a := range q.areas {
+			areas = append(areas, a)
+		}
+		sort.Strings(areas)
+		w.uvarint(uint64(len(areas)))
+		for _, a := range areas {
+			w.str(a)
+			if err := writeArea(w, q.areas[a]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalPrepared implements Snapshotter over precomputed access
+// areas.
+func (*accessAreaMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
+	r, err := newSnapReader(data, snapAccessArea)
+	if err != nil {
+		return nil, err
+	}
+	x, err := r.float()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := &aaPrepared{x: x, queries: make([]aaQuery, n)}
+	for i := range out.queries {
+		nAttrs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		attrs := make(map[string]bool, nAttrs)
+		for j := uint64(0); j < nAttrs; j++ {
+			a, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			attrs[a] = true
+		}
+		nAreas, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		areas := make(map[string]accessarea.Area, nAreas)
+		for j := uint64(0); j < nAreas; j++ {
+			a, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			area, err := readArea(r)
+			if err != nil {
+				return nil, err
+			}
+			areas[a] = area
+		}
+		out.queries[i] = aaQuery{attrs: attrs, areas: areas}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Interface checks: all four built-in metrics snapshot.
+var (
+	_ Snapshotter = tokenMetric{}
+	_ Snapshotter = structureMetric{}
+	_ Snapshotter = (*resultMetric)(nil)
+	_ Snapshotter = (*accessAreaMetric)(nil)
+)

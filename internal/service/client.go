@@ -84,6 +84,22 @@ func WithTolerance(t float64) SessionOption {
 	return SessionOption{apply: func(req *CreateSessionRequest) { req.Tolerance = t }}
 }
 
+// BuildCreateSessionRequest assembles the wire body of POST
+// /v1/sessions from a measure and session options — the same request
+// Client.NewSession sends, exposed so in-process callers (tests, the
+// benchmark harness) can drive Registry.CreateSession through the
+// identical encode path.
+func BuildCreateSessionRequest(m dpe.Measure, opts ...SessionOption) (*CreateSessionRequest, error) {
+	req := &CreateSessionRequest{Measure: &m}
+	for _, opt := range opts {
+		if opt.err != nil {
+			return nil, opt.err
+		}
+		opt.apply(req)
+	}
+	return req, nil
+}
+
 // NewSession creates a provider session on the server from a measure
 // plus shared artifacts and returns the handle for it. The returned
 // Session implements dpe.ProviderAPI: code written against that
@@ -91,15 +107,12 @@ func WithTolerance(t float64) SessionOption {
 // results are entry-wise identical — that is the wire format's
 // preservation property).
 func (c *Client) NewSession(ctx context.Context, m dpe.Measure, opts ...SessionOption) (*Session, error) {
-	req := CreateSessionRequest{Measure: &m}
-	for _, opt := range opts {
-		if opt.err != nil {
-			return nil, opt.err
-		}
-		opt.apply(&req)
+	req, err := BuildCreateSessionRequest(m, opts...)
+	if err != nil {
+		return nil, err
 	}
 	var resp CreateSessionResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions", &req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
 		return nil, err
 	}
 	return &Session{c: c, id: resp.Session, measure: m, logIDs: make(map[string]string)}, nil

@@ -62,6 +62,19 @@ func (c *lruCache) get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// peek returns the cached value without counting a hit or miss and
+// without disturbing the recency order — the observation compaction
+// uses to serialize what is cached without changing what is cached.
+func (c *lruCache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
+}
+
 // add inserts (or refreshes) a value with the given cost, evicting from
 // the LRU end until both budgets hold again.
 func (c *lruCache) add(key string, val any, cost int64) {

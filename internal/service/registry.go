@@ -3,14 +3,17 @@ package service
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	dpe "repro"
 	"repro/internal/service/ring"
+	"repro/internal/store"
 )
 
 // notFoundError marks lookup failures (unknown session or log) so the
@@ -56,6 +59,18 @@ type Config struct {
 	// < 0 disables the background janitor entirely (idle sessions are
 	// then reaped only when CreateSession hits capacity).
 	JanitorInterval time.Duration
+	// Store is the persistence seam: session creations/deletions, log
+	// uploads, and prepared-state snapshots are journaled to one
+	// store.Log per shard, and OpenRegistry replays them so a restart
+	// loses no tenant state. nil means store.Null{} — the historical
+	// in-memory registry.
+	Store store.Store
+	// CompactEvery is how often each shard's janitor additionally
+	// rewrites the shard's journal down to its live records (dropping
+	// tombstoned sessions and superseded snapshots). 0 means 10
+	// minutes; < 0 disables periodic compaction. Ignored without a
+	// persistent Store.
+	CompactEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +104,12 @@ func (c Config) withDefaults() Config {
 			c.JanitorInterval = 5 * time.Minute
 		}
 	}
+	if c.Store == nil {
+		c.Store = store.Null{}
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 10 * time.Minute
+	}
 	return c
 }
 
@@ -120,6 +141,15 @@ type CreateSessionRequest struct {
 	Tolerance     float64               `json:"tolerance,omitempty"`
 }
 
+// persistedSession is the JSON payload of a store.KindSession record:
+// everything needed to rebuild the session's provider after a restart.
+// The create request is stored verbatim — the wire codecs are exact, so
+// the rebuilt provider computes bit-identical distances.
+type persistedSession struct {
+	Created time.Time             `json:"created"`
+	Req     *CreateSessionRequest `json:"req"`
+}
+
 // SessionStats is the wire body of GET /v1/sessions/{id}: what a tenant
 // can observe about its session, including whether its calls are being
 // served from the prepared-state cache.
@@ -139,41 +169,99 @@ type ShardStats struct {
 	PreparedCache CacheStats `json:"prepared_cache"`
 }
 
+// RecoveryStats counts what OpenRegistry replayed from a persistent
+// store — the observable proof that a restart recovered tenant state
+// instead of starting cold.
+type RecoveryStats struct {
+	// Sessions, Logs, and Snapshots count the live records restored.
+	Sessions  int `json:"sessions"`
+	Logs      int `json:"logs"`
+	Snapshots int `json:"snapshots"`
+	// Tombstones counts replayed deletions (sessions journaled and
+	// later removed; startup compaction drops them from the journal).
+	Tombstones int `json:"tombstones"`
+	// Skipped counts records that could not be applied: unknown kinds
+	// from newer binaries, orphaned logs/snapshots of tombstoned
+	// sessions, or undecodable payloads.
+	Skipped int `json:"skipped"`
+}
+
+// total is the number of applied-or-seen records — used to decide
+// whether a startup compaction is worth doing.
+func (rs RecoveryStats) total() int {
+	return rs.Sessions + rs.Logs + rs.Snapshots + rs.Tombstones + rs.Skipped
+}
+
 // RegistryStats is the wire body of GET /v1/stats. The top-level fields
 // aggregate across shards (wire-compatible with the unsharded format);
-// PerShard carries the optional breakdown.
+// PerShard carries the optional breakdown, and Recovered appears only
+// on registries opened from a persistent store.
 type RegistryStats struct {
-	Sessions      int          `json:"sessions"`
-	MaxSessions   int          `json:"max_sessions"`
-	Shards        int          `json:"shards"`
-	PreparedCache CacheStats   `json:"prepared_cache"`
-	PerShard      []ShardStats `json:"per_shard,omitempty"`
+	Sessions      int            `json:"sessions"`
+	MaxSessions   int            `json:"max_sessions"`
+	Shards        int            `json:"shards"`
+	PreparedCache CacheStats     `json:"prepared_cache"`
+	Recovered     *RecoveryStats `json:"recovered,omitempty"`
+	PerShard      []ShardStats   `json:"per_shard,omitempty"`
 }
 
 // Registry is the service's multi-tenant state, sharded by session id:
 // a consistent-hash ring routes every id to one of N shards, each with
-// its own mutex, session map, singleflight group, and prepared-state
-// LRU — so tenant traffic on different shards never shares a lock. All
-// methods are safe for concurrent use.
+// its own mutex, session map, singleflight group, prepared-state LRU,
+// and (when persistent) journal — so tenant traffic on different shards
+// never shares a lock. All methods are safe for concurrent use.
 type Registry struct {
 	cfg    Config
 	router *ring.Ring
 	shards []*shard
+
+	// persistent is true when cfg.Store journals for real (not Null):
+	// the write-through hooks and the janitor's compaction activate
+	// only then.
+	persistent bool
+	recovered  RecoveryStats
+	// replayDeleted remembers every tombstoned id seen during replay,
+	// including deletes whose create record has not been replayed yet
+	// (journals replay in file order, and a re-homed session's create
+	// can live in a later journal than its tombstone). A create for a
+	// remembered id is stale — session ids are random and never reused
+	// — and must not resurrect. Only used inside OpenRegistry; nil
+	// afterwards.
+	replayDeleted map[string]bool
 
 	// live is the registry-wide session count: capacity is a global
 	// budget enforced lock-free, so MaxSessions means the same thing at
 	// every shard count.
 	live atomic.Int64
 
-	stop      chan struct{}
-	janitors  sync.WaitGroup
-	closeOnce sync.Once
+	stop        chan struct{}
+	janitors    sync.WaitGroup
+	closeOnce   sync.Once
+	journalOnce sync.Once
 }
 
-// NewRegistry creates an empty registry and, unless the janitor is
-// disabled, starts one background reaper goroutine per shard. Callers
-// that care about goroutine hygiene should Close it when done.
+// NewRegistry creates an empty in-memory registry and, unless the
+// janitor is disabled, starts one background reaper goroutine per
+// shard. Callers that care about goroutine hygiene should Close it when
+// done. It panics if a persistent Store is configured and fails to open
+// or replay — callers wiring real persistence should use OpenRegistry
+// and handle the error.
 func NewRegistry(cfg Config) *Registry {
+	r, err := OpenRegistry(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service: NewRegistry with a failing store: %v", err))
+	}
+	return r
+}
+
+// OpenRegistry creates a registry and, when cfg.Store persists, replays
+// every shard's journal so the process resumes exactly where its
+// predecessor stopped: sessions route to the same shards (the ring's
+// key→shard map is stable), uploaded logs are servable, and replayed
+// prepared-state snapshots make the first post-restart request a cache
+// hit. After a successful replay the journals are compacted once,
+// dropping tombstones and re-homing records if the shard count changed.
+func OpenRegistry(cfg Config) (*Registry, error) {
 	cfg = cfg.withDefaults()
 	r := &Registry{
 		cfg:    cfg,
@@ -181,10 +269,55 @@ func NewRegistry(cfg Config) *Registry {
 		shards: make([]*shard, cfg.Shards),
 		stop:   make(chan struct{}),
 	}
+	_, isNull := cfg.Store.(store.Null)
+	r.persistent = !isNull
 	entries := splitEntries(cfg.CacheEntries, cfg.Shards)
 	bytes := splitBytes(cfg.CacheBytes, cfg.Shards)
 	for i := range r.shards {
-		r.shards[i] = newShard(entries, bytes)
+		journal, err := cfg.Store.Open(i)
+		if err != nil {
+			r.closeJournals()
+			return nil, fmt.Errorf("service: opening shard %d journal: %w", i, err)
+		}
+		r.shards[i] = newShard(entries, bytes, journal)
+	}
+	if r.persistent {
+		r.replayDeleted = make(map[string]bool)
+		if err := r.replay(); err != nil {
+			r.closeJournals()
+			return nil, err
+		}
+		// A previous run may have used more shards: replay the extra
+		// journals too (records route by id, so sessions land on their
+		// new owning shard) and retire them once the owning shards'
+		// compaction has re-homed every record.
+		orphans, err := r.replayOrphans()
+		if err != nil {
+			for _, orphan := range orphans {
+				orphan.Close()
+			}
+			r.closeJournals()
+			return nil, err
+		}
+		if r.recovered.total() > 0 {
+			// Normalize after recovery: tombstones drop, duplicate records
+			// collapse, and a session whose id now routes elsewhere (the
+			// operator changed -shards) moves to its owning shard's journal.
+			for _, sh := range r.shards {
+				if err := r.compactShard(sh); err != nil {
+					r.closeJournals()
+					return nil, fmt.Errorf("service: startup compaction: %w", err)
+				}
+			}
+		}
+		for _, orphan := range orphans {
+			// Best-effort: a failed retirement means the orphan is
+			// re-replayed next boot — harmless, because duplicates are
+			// idempotent and replayDeleted blocks stale creates.
+			orphan.Compact(nil)
+			orphan.Close()
+		}
+		r.replayDeleted = nil
 	}
 	if cfg.JanitorInterval > 0 {
 		for _, sh := range r.shards {
@@ -192,41 +325,229 @@ func NewRegistry(cfg Config) *Registry {
 			go r.janitor(sh)
 		}
 	}
-	return r
+	return r, nil
 }
 
-// Close stops the background janitors. The registry itself remains
-// usable (sessions, lookups, caches all keep working); only the
-// periodic TTL reaping stops. Safe to call more than once.
+// replay streams every shard's journal back into memory. Records are
+// routed by session id through the ring — not by which file they were
+// found in — so a journal written under a different shard count still
+// recovers completely.
+func (r *Registry) replay() error {
+	for i, sh := range r.shards {
+		err := sh.journal.Replay(func(rec store.Record) error {
+			r.applyRecord(rec)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("service: replaying shard %d journal: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// replayOrphans replays journals of shards beyond the configured count
+// and returns their handles so the caller can retire them after the
+// live shards' compaction has re-homed the records.
+func (r *Registry) replayOrphans() ([]store.Log, error) {
+	indexes, err := r.cfg.Store.List()
+	if err != nil {
+		return nil, fmt.Errorf("service: listing journals: %w", err)
+	}
+	var orphans []store.Log
+	for _, idx := range indexes {
+		if idx < r.cfg.Shards {
+			continue // owned by a live shard, already replayed
+		}
+		journal, err := r.cfg.Store.Open(idx)
+		if err != nil {
+			return orphans, fmt.Errorf("service: opening orphan journal %d: %w", idx, err)
+		}
+		if err := journal.Replay(func(rec store.Record) error {
+			r.applyRecord(rec)
+			return nil
+		}); err != nil {
+			journal.Close()
+			return orphans, fmt.Errorf("service: replaying orphan journal %d: %w", idx, err)
+		}
+		orphans = append(orphans, journal)
+	}
+	return orphans, nil
+}
+
+// applyRecord applies one journaled event during replay. Replay is
+// idempotent (duplicate records are harmless) and tolerant: a record it
+// cannot apply is counted in Skipped, never fatal — the journal is a
+// recovery aid, and partial recovery beats refusing to start.
+func (r *Registry) applyRecord(rec store.Record) {
+	switch rec.Kind {
+	case store.KindSession:
+		r.restoreSession(rec)
+	case store.KindDelete:
+		if rec.Session == "" {
+			r.recovered.Skipped++
+			return
+		}
+		// Remember the tombstone even when the session is not (yet)
+		// live: its create record may still be waiting in a later
+		// journal, and replaying it then must not resurrect the tenant.
+		r.replayDeleted[rec.Session] = true
+		sh := r.shardFor(rec.Session)
+		if sh.remove(rec.Session) {
+			r.live.Add(-1)
+			sh.cache.removePrefix(rec.Session + "\x00")
+		}
+		r.recovered.Tombstones++
+	case store.KindLog:
+		s := r.replaySession(rec.Session)
+		if s == nil {
+			r.recovered.Skipped++
+			return
+		}
+		var queries []string
+		if err := json.Unmarshal(rec.Data, &queries); err != nil || rec.Log == "" || len(queries) == 0 {
+			r.recovered.Skipped++
+			return
+		}
+		if s.restoreLog(rec.Log, queries) {
+			r.recovered.Logs++
+		}
+	case store.KindSnapshot:
+		s := r.replaySession(rec.Session)
+		if s == nil {
+			r.recovered.Skipped++
+			return
+		}
+		s.mu.Lock()
+		queries, ok := s.logs[rec.Log]
+		s.mu.Unlock()
+		if !ok {
+			r.recovered.Skipped++
+			return
+		}
+		pl, err := s.provider.UnmarshalPreparedLog(rec.Blob)
+		if err != nil {
+			r.recovered.Skipped++
+			return
+		}
+		s.sh.cache.add(s.id+"\x00"+rec.Log, pl, preparedCost(pl, queries))
+		r.recovered.Snapshots++
+	default:
+		r.recovered.Skipped++
+	}
+}
+
+// replaySession resolves a record's session during replay, or nil.
+func (r *Registry) replaySession(id string) *session {
+	if id == "" {
+		return nil
+	}
+	return r.shardFor(id).session(id)
+}
+
+// restoreSession rebuilds one session from its journaled create
+// request. The session's idle clock restarts at recovery time: its
+// tenant gets a full TTL to come back, rather than being reaped for
+// idleness accrued while the server was down.
+func (r *Registry) restoreSession(rec store.Record) {
+	var ps persistedSession
+	if err := json.Unmarshal(rec.Data, &ps); err != nil || ps.Req == nil || ps.Req.Measure == nil || rec.Session == "" {
+		r.recovered.Skipped++
+		return
+	}
+	if r.replayDeleted[rec.Session] {
+		r.recovered.Skipped++ // stale create of an already-tombstoned id
+		return
+	}
+	sh := r.shardFor(rec.Session)
+	if sh.session(rec.Session) != nil {
+		return // duplicate record (e.g. compaction raced an append)
+	}
+	provider, err := buildProvider(ps.Req, r.cfg.Parallelism)
+	if err != nil {
+		r.recovered.Skipped++
+		return
+	}
+	now := time.Now()
+	s := &session{
+		id:          rec.Session,
+		measure:     *ps.Req.Measure,
+		provider:    provider,
+		reg:         r,
+		sh:          sh,
+		logs:        make(map[string][]string),
+		created:     ps.Created,
+		lastUsed:    now,
+		persistData: rec.Data,
+	}
+	sh.put(s)
+	r.live.Add(1)
+	r.recovered.Sessions++
+}
+
+// Recovery reports what this registry replayed at open time (all zeros
+// for in-memory registries).
+func (r *Registry) Recovery() RecoveryStats { return r.recovered }
+
+// closeJournals closes every opened shard journal and the store.
+func (r *Registry) closeJournals() {
+	r.journalOnce.Do(func() {
+		for _, sh := range r.shards {
+			if sh != nil && sh.journal != nil {
+				sh.journal.Close()
+			}
+		}
+		r.cfg.Store.Close()
+	})
+}
+
+// Close stops the background janitors and syncs and closes the shard
+// journals. The registry's in-memory state remains usable (sessions,
+// lookups, caches all keep working); only the periodic TTL reaping and
+// — for persistent registries — journaling stop. Safe to call more
+// than once.
 func (r *Registry) Close() {
 	r.closeOnce.Do(func() { close(r.stop) })
 	r.janitors.Wait()
+	r.closeJournals()
 }
 
 // janitor periodically reaps one shard's TTL-expired sessions, so
 // abandoned tenants are reclaimed even when no CreateSession pressure
-// ever hits capacity. Each shard gets its own ticker: a slow scan of
-// one shard never delays the others.
+// ever hits capacity, and — on persistent registries — periodically
+// compacts the shard's journal. Each shard gets its own ticker: a slow
+// scan of one shard never delays the others.
 func (r *Registry) janitor(sh *shard) {
 	defer r.janitors.Done()
 	t := time.NewTicker(r.cfg.JanitorInterval)
 	defer t.Stop()
+	lastCompact := time.Now()
 	for {
 		select {
 		case <-r.stop:
 			return
 		case now := <-t.C:
 			r.reapShard(sh, now)
+			if r.persistent && r.cfg.CompactEvery > 0 && now.Sub(lastCompact) >= r.cfg.CompactEvery {
+				lastCompact = now
+				// Best-effort: a failed compaction leaves the previous
+				// journal intact, and the next tick retries.
+				r.compactShard(sh)
+			}
 		}
 	}
 }
 
 // reapShard removes one shard's idle sessions and releases everything
-// they held: the capacity slot and the cached prepared state.
+// they held: the capacity slot, the cached prepared state, and — via a
+// tombstone — the journaled records (dropped for good at the next
+// compaction).
 func (r *Registry) reapShard(sh *shard, now time.Time) {
 	for _, id := range sh.reapIdle(now, r.cfg.SessionTTL) {
 		r.live.Add(-1)
 		sh.cache.removePrefix(id + "\x00")
+		if r.persistent {
+			sh.appendRecord(store.Record{Kind: store.KindDelete, Session: id})
+		}
 	}
 }
 
@@ -237,9 +558,80 @@ func (r *Registry) reapIdle(now time.Time) {
 	}
 }
 
+// compactShard rewrites one shard's journal down to its live state:
+// one session record per live session, its logs, and the prepared-state
+// snapshots currently cached. journalMu is taken first and held across
+// the collect + rewrite, so no append can slip between what was
+// collected and what the rewritten journal holds (appenders never hold
+// session or shard locks while journaling, keeping the order acyclic).
+// Holding journalMu for the whole rewrite is deliberate: collecting
+// outside it would let a racing create's record be overwritten away.
+// The cost is that tenant writes on this shard queue behind the
+// compaction — acceptable while compaction stays rare (-compact-
+// interval) relative to the write rate.
+func (r *Registry) compactShard(sh *shard) error {
+	sh.journalMu.Lock()
+	defer sh.journalMu.Unlock()
+
+	sessions := sh.list()
+	sort.Slice(sessions, func(i, j int) bool {
+		if !sessions[i].created.Equal(sessions[j].created) {
+			return sessions[i].created.Before(sessions[j].created)
+		}
+		return sessions[i].id < sessions[j].id
+	})
+	var recs []store.Record
+	for _, s := range sessions {
+		if len(s.persistData) == 0 {
+			continue // never journaled (registry was opened in-memory)
+		}
+		recs = append(recs, store.Record{Kind: store.KindSession, Session: s.id, Data: s.persistData})
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.logs))
+		for id := range s.logs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		logs := make(map[string][]string, len(ids))
+		for _, id := range ids {
+			logs[id] = s.logs[id]
+		}
+		s.mu.Unlock()
+		for _, id := range ids {
+			data, err := json.Marshal(logs[id])
+			if err != nil {
+				continue
+			}
+			recs = append(recs, store.Record{Kind: store.KindLog, Session: s.id, Log: id, Data: data})
+			if v, ok := sh.cache.peek(s.id + "\x00" + id); ok {
+				if blob, err := s.provider.MarshalPreparedLog(v.(*dpe.PreparedLog)); err == nil {
+					recs = append(recs, store.Record{Kind: store.KindSnapshot, Session: s.id, Log: id, Blob: blob})
+				}
+			}
+		}
+	}
+	return sh.journal.Compact(recs)
+}
+
+// CompactAll synchronously compacts every shard's journal — an
+// operational hook (tests, shutdown scripts); the janitor does this
+// periodically on its own.
+func (r *Registry) CompactAll() error {
+	if !r.persistent {
+		return nil
+	}
+	for i, sh := range r.shards {
+		if err := r.compactShard(sh); err != nil {
+			return fmt.Errorf("service: compacting shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // shardFor routes a session id to its shard. The ring makes the mapping
 // stable across processes, so a future multi-node deployment can route
-// tenants with the identical function.
+// tenants with the identical function — and a restarted one reloads
+// each session into the same shard.
 func (r *Registry) shardFor(id string) *shard {
 	return r.shards[r.router.Shard(id)]
 }
@@ -259,15 +651,11 @@ func newSessionID() (string, error) {
 // requests (400).
 var errTooManySessions = fmt.Errorf("service: session limit reached")
 
-// CreateSession decodes the request's artifacts, builds the provider
-// once, and registers a session serving it on the shard its id hashes
-// to. Capacity is a registry-wide budget: when full, idle sessions are
-// reaped across all shards before the request is refused.
-func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
-	if req.Measure == nil {
-		return nil, fmt.Errorf("service: request is missing the measure (want token|structure|result|access-area)")
-	}
-	opts := []dpe.ProviderOption{dpe.WithParallelism(r.cfg.Parallelism)}
+// buildProvider decodes a create request's artifacts and constructs the
+// provider — shared by CreateSession and journal replay, so a rebuilt
+// session is byte-for-byte the session that was journaled.
+func buildProvider(req *CreateSessionRequest, parallelism int) (*dpe.Provider, error) {
+	opts := []dpe.ProviderOption{dpe.WithParallelism(parallelism)}
 	if req.Catalog != nil {
 		cat, err := req.Catalog.Decode()
 		if err != nil {
@@ -296,7 +684,19 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 	if req.Tolerance != 0 {
 		opts = append(opts, dpe.WithTolerance(req.Tolerance))
 	}
-	provider, err := dpe.NewProvider(*req.Measure, opts...)
+	return dpe.NewProvider(*req.Measure, opts...)
+}
+
+// CreateSession decodes the request's artifacts, builds the provider
+// once, registers a session serving it on the shard its id hashes to,
+// and — on persistent registries — journals the creation. Capacity is
+// a registry-wide budget: when full, idle sessions are reaped across
+// all shards before the request is refused.
+func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
+	if req.Measure == nil {
+		return nil, fmt.Errorf("service: request is missing the measure (want token|structure|result|access-area)")
+	}
+	provider, err := buildProvider(req, r.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -306,6 +706,13 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 		return nil, err
 	}
 	now := time.Now()
+	var persistData []byte
+	if r.persistent {
+		persistData, err = json.Marshal(persistedSession{Created: now, Req: req})
+		if err != nil {
+			return nil, fmt.Errorf("service: encoding session record: %w", err)
+		}
+	}
 	if int(r.live.Load()) >= r.cfg.MaxSessions {
 		r.reapIdle(now)
 	}
@@ -323,16 +730,24 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 	}
 	sh := r.shardFor(id)
 	s := &session{
-		id:       id,
-		measure:  *req.Measure,
-		provider: provider,
-		reg:      r,
-		sh:       sh,
-		logs:     make(map[string][]string),
-		created:  now,
-		lastUsed: now,
+		id:          id,
+		measure:     *req.Measure,
+		provider:    provider,
+		reg:         r,
+		sh:          sh,
+		logs:        make(map[string][]string),
+		created:     now,
+		lastUsed:    now,
+		persistData: persistData,
 	}
 	sh.put(s)
+	if r.persistent {
+		if err := sh.appendRecord(store.Record{Kind: store.KindSession, Session: id, Data: persistData}); err != nil {
+			sh.remove(id)
+			r.live.Add(-1)
+			return nil, fmt.Errorf("service: journaling session create: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -344,7 +759,9 @@ func (r *Registry) Session(id string) (*session, error) {
 	return nil, notFoundError{fmt.Errorf("service: unknown session %q", id)}
 }
 
-// DeleteSession removes a session and its cached prepared state.
+// DeleteSession removes a session and its cached prepared state, and
+// journals a tombstone on persistent registries (the records vanish for
+// good at the next compaction).
 func (r *Registry) DeleteSession(id string) error {
 	sh := r.shardFor(id)
 	if !sh.remove(id) {
@@ -352,6 +769,13 @@ func (r *Registry) DeleteSession(id string) error {
 	}
 	r.live.Add(-1)
 	sh.cache.removePrefix(id + "\x00")
+	if r.persistent {
+		if err := sh.appendRecord(store.Record{Kind: store.KindDelete, Session: id}); err != nil {
+			// The in-memory delete already happened; surface the journal
+			// problem so the operator knows a restart could resurrect it.
+			return fmt.Errorf("service: journaling session delete: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -379,6 +803,10 @@ func (r *Registry) aggregate(snaps []ShardStats) RegistryStats {
 	stats := RegistryStats{
 		MaxSessions: r.cfg.MaxSessions,
 		Shards:      len(r.shards),
+	}
+	if r.persistent {
+		recovered := r.recovered
+		stats.Recovered = &recovered
 	}
 	for _, snap := range snaps {
 		stats.Sessions += snap.Sessions

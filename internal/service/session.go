@@ -4,11 +4,13 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	dpe "repro"
+	"repro/internal/store"
 )
 
 // session is one tenant's provider state on the server: the immutable
@@ -16,7 +18,8 @@ import (
 // far. Logs are content-addressed, so re-uploading an identical log is
 // idempotent and lands on the same cached prepared state. A session is
 // pinned to one registry shard for its whole life — its cache entries,
-// in-flight preparations, and map entry all live there.
+// in-flight preparations, journal records, and map entry all live
+// there.
 type session struct {
 	id       string
 	measure  dpe.Measure
@@ -25,10 +28,24 @@ type session struct {
 	sh       *shard
 	created  time.Time
 
+	// persistData is the journaled session-create payload (the encoded
+	// CreateSessionRequest plus metadata), kept so compaction can
+	// rewrite the record without re-encoding artifacts. Deliberate
+	// trade-off: the encoded request stays resident alongside the
+	// decoded provider for the session's lifetime — roughly doubling
+	// artifact memory for catalog-heavy tenants — until compaction
+	// learns to source create records from the journal itself.
+	persistData []byte
+
 	mu       sync.Mutex
 	logs     map[string][]string
 	logBytes int64
 	lastUsed time.Time
+	// inflight counts leader Prepare builds currently running for this
+	// session. The janitor never reaps a session with inflight > 0: a
+	// reap mid-build would discard the most expensive work the service
+	// does and churn the cache byte budget.
+	inflight int
 	hits     int64
 	misses   int64
 }
@@ -39,14 +56,18 @@ func (s *session) ID() string { return s.id }
 // touchLocked marks the session used; callers hold s.mu.
 func (s *session) touchLocked() { s.lastUsed = time.Now() }
 
-// LogID content-addresses a query log: equal logs get equal ids.
+// LogID content-addresses a query log: equal logs get equal ids. The
+// id carries the full SHA-256 digest — a truncated content address
+// would let two different logs inside one session silently share
+// prepared state and matrices on a 64-bit collision; at 256 bits a
+// collision is cryptographically out of reach.
 func LogID(queries []string) string {
 	h := sha256.New()
 	for _, q := range queries {
 		fmt.Fprintf(h, "%d\n", len(q))
 		h.Write([]byte(q))
 	}
-	return "l-" + hex.EncodeToString(h.Sum(nil))[:16]
+	return "l-" + hex.EncodeToString(h.Sum(nil))
 }
 
 // AddLog registers an uploaded log and returns its content-derived id.
@@ -71,20 +92,71 @@ func (s *session) addLogSized(queries []string, size int64) (string, error) {
 	id := LogID(queries)
 	cfg := s.reg.cfg
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.touchLocked()
 	if _, ok := s.logs[id]; ok {
+		s.mu.Unlock()
 		return id, nil
 	}
 	if len(s.logs) >= cfg.MaxLogsPerSession {
-		return "", fmt.Errorf("service: session log limit reached (%d logs); delete the session or reuse uploaded logs", len(s.logs))
+		n := len(s.logs)
+		s.mu.Unlock()
+		return "", fmt.Errorf("service: session log limit reached (%d logs); delete the session or reuse uploaded logs", n)
 	}
 	if s.logBytes+size > cfg.MaxLogBytesPerSession {
-		return "", fmt.Errorf("service: session log byte budget exceeded (%d + %d > %d bytes)", s.logBytes, size, cfg.MaxLogBytesPerSession)
+		have := s.logBytes
+		s.mu.Unlock()
+		return "", fmt.Errorf("service: session log byte budget exceeded (%d + %d > %d bytes)", have, size, cfg.MaxLogBytesPerSession)
 	}
-	s.logs[id] = append([]string(nil), queries...)
+	stored := append([]string(nil), queries...)
+	s.logs[id] = stored
 	s.logBytes += size
+	s.mu.Unlock()
+
+	// Journal outside s.mu (see shard.appendRecord's lock-order rule).
+	// A concurrent compaction between the map update and this append
+	// either already snapshotted the new log (fine: the append is a
+	// harmless duplicate for replay) or will be followed by it.
+	if err := s.journalLog(id, stored); err != nil {
+		s.mu.Lock()
+		delete(s.logs, id)
+		s.logBytes -= size
+		s.mu.Unlock()
+		return "", err
+	}
 	return id, nil
+}
+
+// journalLog writes a log-upload record for a persistent registry.
+func (s *session) journalLog(id string, queries []string) error {
+	if !s.reg.persistent {
+		return nil
+	}
+	data, err := json.Marshal(queries)
+	if err != nil {
+		return fmt.Errorf("service: encoding log record: %w", err)
+	}
+	if err := s.sh.appendRecord(store.Record{Kind: store.KindLog, Session: s.id, Log: id, Data: data}); err != nil {
+		return fmt.Errorf("service: journaling log upload: %w", err)
+	}
+	return nil
+}
+
+// restoreLog is the replay-side inverse of journalLog: it trusts the
+// recorded id (pre-restart references must stay valid even across LogID
+// algorithm changes) and is idempotent.
+func (s *session) restoreLog(id string, queries []string) bool {
+	size := int64(0)
+	for _, q := range queries {
+		size += int64(len(q))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.logs[id]; ok {
+		return false
+	}
+	s.logs[id] = queries
+	s.logBytes += size
+	return true
 }
 
 // log returns an uploaded log by id.
@@ -156,20 +228,38 @@ func (s *session) preparedKeyed(ctx context.Context, logID string, queries []str
 				s.mu.Unlock()
 				return pl, nil
 			}
+			// Pin the session for the build's duration: a cold Prepare can
+			// outlast the idle TTL, and reaping mid-build would discard the
+			// result (see shard.reapIdle).
+			s.mu.Lock()
+			s.inflight++
+			s.mu.Unlock()
 			pl, err := build(ctx)
+			cached := false
 			if err == nil {
 				// Only cache for a still-live session: if the session was
-				// deleted (or reaped) mid-prepare, its removePrefix already
-				// ran and an add now would strand an unreachable entry on
-				// the shard's byte budget. The session is pinned to s.sh,
-				// so its own shard map is the liveness authority — no need
-				// to re-route the id through the ring.
+				// deleted mid-prepare, its removePrefix already ran and an
+				// add now would strand an unreachable entry on the shard's
+				// byte budget. The session is pinned to s.sh, so its own
+				// shard map is the liveness authority — no need to re-route
+				// the id through the ring.
 				if s.sh.session(s.id) != nil {
 					s.sh.cache.add(key, pl, preparedCost(pl, queries))
+					cached = true
 				}
-				s.mu.Lock()
+			}
+			// Completing the build is a use: the idle clock restarts now,
+			// so a tenant whose cold Prepare took most of a TTL is not
+			// reaped out from under its follow-up requests.
+			s.mu.Lock()
+			s.inflight--
+			s.touchLocked()
+			if err == nil {
 				s.misses++
-				s.mu.Unlock()
+			}
+			s.mu.Unlock()
+			if cached {
+				s.persistSnapshot(logID, pl)
 			}
 			s.sh.flight.finish(key, c, pl, err)
 			return pl, err
@@ -192,6 +282,21 @@ func (s *session) preparedKeyed(ctx context.Context, logID string, queries []str
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// persistSnapshot journals the serialized prepared state under the
+// content-addressed log id, best-effort: the snapshot is a cache (the
+// registry can always re-prepare from the journaled log), so a codec or
+// IO failure here must not fail the tenant's request.
+func (s *session) persistSnapshot(logID string, pl *dpe.PreparedLog) {
+	if !s.reg.persistent {
+		return
+	}
+	blob, err := s.provider.MarshalPreparedLog(pl)
+	if err != nil {
+		return
+	}
+	s.sh.appendRecord(store.Record{Kind: store.KindSnapshot, Session: s.id, Log: logID, Blob: blob})
 }
 
 // Append is the incremental ingest path: it registers base ∘ newQueries
@@ -290,11 +395,13 @@ func (s *session) Verify(plain, enc dpe.Matrix) (*dpe.PreservationReport, error)
 	return s.provider.VerifyPreservation(plain, enc)
 }
 
-// Stats snapshots the session.
+// Stats snapshots the session. Observing a session is deliberately not
+// a use: a monitoring poller hitting GET /v1/sessions/{id} must not
+// reset the idle clock, or the TTL janitor could never reap a session
+// that is merely being watched.
 func (s *session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.touchLocked()
 	return SessionStats{
 		Session:        s.id,
 		Measure:        s.measure,

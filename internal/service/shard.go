@@ -5,28 +5,46 @@ import (
 	"time"
 
 	dpe "repro"
+	"repro/internal/store"
 )
 
 // shard is one slice of the registry's multi-tenant state: a session
-// map under its own mutex, its own singleflight group, and its own
-// size-aware prepared-state LRU. A session's id routes it to exactly
+// map under its own mutex, its own singleflight group, its own
+// size-aware prepared-state LRU, and — when the registry is persistent
+// — its own append-only journal. A session's id routes it to exactly
 // one shard (see Registry.shardFor), so everything the session owns —
-// map entry, in-flight preparations, cached prepared state — lives
-// together and never contends with other shards' locks.
+// map entry, in-flight preparations, cached prepared state, journal
+// records — lives together and never contends with other shards' locks.
 type shard struct {
 	cache  *lruCache
 	flight *flightGroup
+
+	// journal is the shard's store.Log. journalMu serializes appends
+	// against compaction (which atomically rewrites the whole file);
+	// it is never taken while holding sh.mu or a session's mu, so the
+	// shard/session lock order stays acyclic.
+	journal   store.Log
+	journalMu sync.Mutex
 
 	mu       sync.Mutex
 	sessions map[string]*session
 }
 
-func newShard(cacheEntries int, cacheBytes int64) *shard {
+func newShard(cacheEntries int, cacheBytes int64, journal store.Log) *shard {
 	return &shard{
 		cache:    newLRU(cacheEntries, cacheBytes),
 		flight:   newFlightGroup(),
+		journal:  journal,
 		sessions: make(map[string]*session),
 	}
+}
+
+// appendRecord journals one record. Callers must not hold sh.mu or any
+// session's mu (the compactor takes journalMu first, then those locks).
+func (sh *shard) appendRecord(rec store.Record) error {
+	sh.journalMu.Lock()
+	defer sh.journalMu.Unlock()
+	return sh.journal.Append(rec)
 }
 
 // session returns a live session by id, or nil.
@@ -55,18 +73,33 @@ func (sh *shard) remove(id string) bool {
 	return true
 }
 
+// list snapshots the shard's live sessions (for compaction).
+func (sh *shard) list() []*session {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]*session, 0, len(sh.sessions))
+	for _, s := range sh.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
 // reapIdle removes sessions idle longer than ttl and returns their ids.
 // The session clocks are read under each session's own mutex while the
 // shard lock is held — the same lock order CreateSession-era code used
-// (shard before session), so the two cannot deadlock.
+// (shard before session), so the two cannot deadlock. A session whose
+// leader is mid-Prepare (inflight > 0) is never reaped: discarding a
+// build that is still being paid for would churn the byte budget and
+// throw the result away.
 func (sh *shard) reapIdle(now time.Time, ttl time.Duration) []string {
 	var reaped []string
 	sh.mu.Lock()
 	for id, s := range sh.sessions {
 		s.mu.Lock()
 		idle := now.Sub(s.lastUsed)
+		busy := s.inflight > 0
 		s.mu.Unlock()
-		if idle > ttl {
+		if idle > ttl && !busy {
 			delete(sh.sessions, id)
 			reaped = append(reaped, id)
 		}

@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -37,6 +40,14 @@ func TestBudgetSplitting(t *testing.T) {
 		{1, 8, 1},
 		{7, 2, 4},
 		{256, 256, 1},
+		// Fewer entries than shards: every shard still gets one slot
+		// (the aggregate grows above the configured total — cacheable
+		// beats configured-exactly here).
+		{3, 8, 1},
+		{1, 256, 1},
+		// Exact division: no rounding slack in either direction.
+		{64, 8, 8},
+		{12, 4, 3},
 	}
 	for _, c := range entryCases {
 		if got := splitEntries(c.total, c.shards); got != c.want {
@@ -52,6 +63,9 @@ func TestBudgetSplitting(t *testing.T) {
 		{64 << 20, 16, 4 << 20},
 		{10, 4, 3},
 		{1, 8, 1},
+		// Fewer bytes than shards and exact division, as above.
+		{3, 8, 1},
+		{1 << 20, 16, 1 << 16},
 	}
 	for _, c := range byteCases {
 		if got := splitBytes(c.total, c.n); got != c.want {
@@ -179,6 +193,83 @@ func TestCloseStopsJanitor(t *testing.T) {
 		t.Errorf("session reaped after Close: %v", err)
 	}
 	reg.Close() // idempotent
+}
+
+// TestCloseThenContinuedTraffic pins Registry.Close's contract: the
+// janitor goroutines retire (no leak — this test runs under -race in
+// CI), but the in-memory registry keeps serving — existing sessions
+// answer matrix calls from the warm cache, new logs and sessions and
+// deletes all still work. Concurrent traffic across the Close makes
+// the handoff itself race-checked.
+func TestCloseThenContinuedTraffic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := NewRegistry(Config{Shards: 4, JanitorInterval: time.Millisecond, SessionTTL: time.Hour})
+	ctx := context.Background()
+	token := dpe.MeasureToken
+	s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := []string{"SELECT a FROM t", "SELECT b FROM t"}
+	logID, err := s.AddLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Matrix(ctx, logID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic racing the Close: the janitor shutdown must not disturb
+	// in-flight tenant calls.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := s.Matrix(ctx, logID); err != nil {
+					t.Errorf("matrix during close: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	reg.Close()
+	wg.Wait()
+
+	// After Close: warm reads, new writes, and lifecycle calls all work.
+	got, err := s.Matrix(ctx, logID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("matrix changed across Close")
+	}
+	if stats := s.Stats(); stats.PreparedMisses != 1 {
+		t.Errorf("post-Close matrix misses = %d, want 1 (cache still warm)", stats.PreparedMisses)
+	}
+	if _, err := s.AddLog([]string{"SELECT c FROM t"}); err != nil {
+		t.Errorf("AddLog after Close: %v", err)
+	}
+	s2, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatalf("CreateSession after Close: %v", err)
+	}
+	if err := reg.DeleteSession(s2.ID()); err != nil {
+		t.Errorf("DeleteSession after Close: %v", err)
+	}
+	reg.Close() // idempotent
+
+	// The janitors are gone: the goroutine count settles back to (at
+	// most) where it started.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after Close = %d, started with %d (janitor leak)", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // TestStatsPerShard checks the wire behavior of GET /v1/stats: the

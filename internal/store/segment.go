@@ -1,0 +1,270 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Segment-file record framing. Each record is
+//
+//	u32-le payload length | u32-le CRC-32 (IEEE) of payload | payload
+//
+// where the payload is the JSON encoding of a Record. The frame makes
+// torn tails detectable: a crash mid-append leaves either a short
+// header, a short payload, or a CRC mismatch, and replay truncates the
+// file back to the last intact record instead of refusing to start.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds one record's payload (a corrupt length header
+// must not provoke a giant allocation). 1 GiB comfortably exceeds any
+// legitimate catalog upload (the HTTP layer caps request bodies at
+// 256 MiB).
+const maxRecordSize = 1 << 30
+
+// Dir is a Store backed by one directory holding one append-only
+// segment file per shard (segment-NNNN.log).
+type Dir struct {
+	path string
+}
+
+// OpenDir creates (if needed) and opens a store directory.
+func OpenDir(path string) (*Dir, error) {
+	if path == "" {
+		return nil, fmt.Errorf("store: empty directory path")
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the store's directory.
+func (d *Dir) Path() string { return d.path }
+
+// Open opens shard i's segment file, creating it when absent.
+func (d *Dir) Open(shard int) (Log, error) {
+	if shard < 0 {
+		return nil, fmt.Errorf("store: negative shard %d", shard)
+	}
+	name := filepath.Join(d.path, fmt.Sprintf("segment-%04d.log", shard))
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", name, err)
+	}
+	return &segment{name: name, f: f}, nil
+}
+
+// List returns the shard indexes with existing segment files, sorted.
+func (d *Dir) List() ([]int, error) {
+	matches, err := filepath.Glob(filepath.Join(d.path, "segment-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", d.path, err)
+	}
+	var out []int
+	for _, m := range matches {
+		var shard int
+		if _, err := fmt.Sscanf(filepath.Base(m), "segment-%d.log", &shard); err == nil {
+			out = append(out, shard)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Close releases the directory handle (a no-op: shard segments own all
+// file descriptors).
+func (d *Dir) Close() error { return nil }
+
+// segment is one shard's on-disk journal.
+type segment struct {
+	mu   sync.Mutex
+	name string
+	f    *os.File
+}
+
+var errClosed = errors.New("store: segment is closed")
+
+// Append frames and writes one record at the end of the segment.
+func (s *segment) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("store: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxRecordSize)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: seeking %s: %w", s.name, err)
+	}
+	// One Write for the whole frame: either the kernel gets the full
+	// record or the torn tail is caught by Replay's CRC check.
+	buf := make([]byte, 0, frameHeaderSize+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.name, err)
+	}
+	// Sync before acknowledging: an appended record (a tenant's upload,
+	// or a delete tombstone) must survive power loss, not just a
+	// process crash. Journaled events are low-rate (session lifecycle
+	// and first-prepare, never the per-request hot path), so the fsync
+	// cost stays off the serving path.
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", s.name, err)
+	}
+	return nil
+}
+
+// Replay streams the segment's records in write order. On the first
+// frame that is short, oversized, or CRC-mismatched — a torn write from
+// a crash — the file is truncated back to the last intact record and
+// the replay ends without error.
+func (s *segment) Replay(fn func(rec Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking %s: %w", s.name, err)
+	}
+	r := bufio.NewReader(s.f)
+	var good int64 // offset just past the last intact record
+	for {
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end
+			}
+			return s.truncateLocked(good) // short header: torn tail
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordSize {
+			return s.truncateLocked(good) // corrupt length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return s.truncateLocked(good) // short payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return s.truncateLocked(good) // bit rot or torn write
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return s.truncateLocked(good) // framed but not decodable
+		}
+		good += frameHeaderSize + int64(n)
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// truncateLocked cuts the segment back to off, discarding a damaged
+// tail; callers hold s.mu.
+func (s *segment) truncateLocked(off int64) error {
+	if err := s.f.Truncate(off); err != nil {
+		return fmt.Errorf("store: truncating damaged tail of %s: %w", s.name, err)
+	}
+	return nil
+}
+
+// Compact atomically replaces the segment's contents with recs: the
+// rewrite lands in a temp file in the same directory, is synced, and
+// renamed over the segment, so a crash mid-compaction leaves either the
+// old journal or the new one — never a mix.
+func (s *segment) Compact(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.name), filepath.Base(s.name)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: creating compaction temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	w := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: encoding record: %w", err)
+		}
+		var hdr [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(hdr[:]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: writing compaction temp: %w", err)
+		}
+		if _, err := w.Write(payload); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: writing compaction temp: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: flushing compaction temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing compaction temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing compaction temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.name); err != nil {
+		return fmt.Errorf("store: swapping compacted segment: %w", err)
+	}
+	// Sync the directory so the rename itself survives power loss —
+	// without it a crash can serve the pre-compaction journal back.
+	if dir, err := os.Open(filepath.Dir(s.name)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	// The old descriptor now points at an unlinked inode; reopen the
+	// new file under the same name.
+	old := s.f
+	f, err := os.OpenFile(s.name, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening compacted %s: %w", s.name, err)
+	}
+	old.Close()
+	s.f = f
+	return nil
+}
+
+// Close syncs and releases the segment file. Safe to call twice.
+func (s *segment) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
