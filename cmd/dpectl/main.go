@@ -4,6 +4,7 @@
 //	dpectl encrypt  -measure token -queries 20  # encrypt the log, print it
 //	dpectl distance -measure token -queries 20  # pairwise distance matrix
 //	dpectl mine     -measure token -k 4         # cluster the encrypted log
+//	dpectl neighbors -query 3 -k 5              # sublinear top-K neighbors
 //	dpectl verify   -measure token              # check Definition 1
 //
 // Everything is deterministic in -seed; the master key comes from
@@ -39,13 +40,15 @@ type cliConfig struct {
 	rows    int
 	measure dpe.Measure
 	k       int
+	query   int
 	par     int
 	remote  string
 }
 
 // commands are the valid subcommands.
 var commands = map[string]bool{
-	"gen": true, "encrypt": true, "distance": true, "mine": true, "verify": true,
+	"gen": true, "encrypt": true, "distance": true, "mine": true,
+	"neighbors": true, "verify": true,
 }
 
 // parseConfig parses and validates `dpectl <cmd> [flags]` without
@@ -65,7 +68,8 @@ func parseConfig(args []string) (*cliConfig, error) {
 	queries := fs.Int("queries", 20, "queries in the log")
 	rowsN := fs.Int("rows", 80, "rows per table")
 	measureName := fs.String("measure", "token", "measure: token|structure|result|access-area")
-	k := fs.Int("k", 4, "clusters for mine")
+	k := fs.Int("k", 4, "clusters for mine / neighbors for neighbors")
+	query := fs.Int("query", 0, "query index neighbors searches around")
 	par := fs.Int("par", 0, "distance-engine parallelism (0 = all cores)")
 	remote := fs.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -87,6 +91,9 @@ func parseConfig(args []string) (*cliConfig, error) {
 	if *k <= 0 {
 		return nil, fmt.Errorf("-k must be positive, got %d", *k)
 	}
+	if *query < 0 || *query >= *queries {
+		return nil, fmt.Errorf("-query must index the log: got %d with %d queries", *query, *queries)
+	}
 	if *master == "" {
 		return nil, fmt.Errorf("-master must not be empty")
 	}
@@ -94,11 +101,11 @@ func parseConfig(args []string) (*cliConfig, error) {
 		*par = runtime.NumCPU()
 	}
 	c.seed, c.master, c.queries, c.rows = *seed, *master, *queries, *rowsN
-	c.measure, c.k, c.par, c.remote = m, *k, *par, *remote
+	c.measure, c.k, c.query, c.par, c.remote = m, *k, *query, *par, *remote
 	return c, nil
 }
 
-const usageLine = "usage: dpectl <gen|encrypt|distance|mine|verify> [flags]"
+const usageLine = "usage: dpectl <gen|encrypt|distance|mine|neighbors|verify> [flags]"
 
 func main() {
 	c, err := parseConfig(os.Args[1:])
@@ -231,6 +238,27 @@ func run(c *cliConfig) error {
 				}
 			}
 		}
+		return nil
+
+	case "neighbors":
+		encLog, err := owner.EncryptLog(w.Queries, m)
+		if err != nil {
+			return err
+		}
+		_, provider, err := providers(ctx, w, owner, m, par, remote)
+		if err != nil {
+			return err
+		}
+		res, err := provider.Neighbors(ctx, encLog, c.query, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("top-%d neighbors of query %d over the ENCRYPTED log (measure %s):\n", k, c.query, m)
+		fmt.Printf("   q    %s\n", w.Queries[c.query])
+		for _, nb := range res.Neighbors {
+			fmt.Printf("%4d  d=%.3f  %s\n", nb.Index, nb.Distance, w.Queries[nb.Index])
+		}
+		fmt.Printf("scored %d of %d possible candidates (LSH pair budget)\n", res.Candidates, res.N-1)
 		return nil
 
 	case "verify":

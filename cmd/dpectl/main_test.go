@@ -27,7 +27,7 @@ func TestParseConfigDefaults(t *testing.T) {
 }
 
 func TestParseConfigAllCommands(t *testing.T) {
-	for _, cmd := range []string{"gen", "encrypt", "distance", "mine", "verify"} {
+	for _, cmd := range []string{"gen", "encrypt", "distance", "mine", "neighbors", "verify"} {
 		if _, err := parseConfig([]string{cmd}); err != nil {
 			t.Errorf("command %q: %v", cmd, err)
 		}
@@ -50,6 +50,31 @@ func TestParseConfigOverrides(t *testing.T) {
 	}
 }
 
+// TestParseConfigNeighbors pins the neighbors subcommand's flag
+// surface: -query and -k select the search, and -remote points it at a
+// dpeserver exactly like the other subcommands.
+func TestParseConfigNeighbors(t *testing.T) {
+	c, err := parseConfig([]string{
+		"neighbors", "-query", "7", "-k", "5", "-measure", "structure",
+		"-remote", "http://localhost:8433",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cmd != "neighbors" || c.query != 7 || c.k != 5 ||
+		c.measure != dpe.MeasureStructure || c.remote != "http://localhost:8433" {
+		t.Errorf("parsed = %+v", c)
+	}
+	// The default query index is the first log entry.
+	c, err = parseConfig([]string{"neighbors"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.query != 0 {
+		t.Errorf("default query = %d, want 0", c.query)
+	}
+}
+
 func TestParseConfigErrors(t *testing.T) {
 	cases := []struct {
 		args []string
@@ -61,6 +86,9 @@ func TestParseConfigErrors(t *testing.T) {
 		{[]string{"gen", "-queries", "1"}, "-queries"},
 		{[]string{"gen", "-rows", "0"}, "-rows"},
 		{[]string{"mine", "-k", "0"}, "-k"},
+		{[]string{"neighbors", "-k", "0"}, "-k"},
+		{[]string{"neighbors", "-query", "-1"}, "-query"},
+		{[]string{"neighbors", "-query", "20", "-queries", "20"}, "-query"},
 		{[]string{"gen", "-master", ""}, "-master"},
 		{[]string{"gen", "-no-such"}, "not defined"},
 		{[]string{"gen", "stray"}, "unexpected arguments"},

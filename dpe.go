@@ -623,6 +623,13 @@ type MineSpec struct {
 	P, D float64
 	// Query is the query index kNN searches around.
 	Query int
+	// Approximate runs the algorithm over LSH candidate pairs instead
+	// of the full distance matrix (MineResult.Matrix stays nil and
+	// CandidatePairs reports the pair budget). Only algorithms whose
+	// access pattern is local support it — DBSCAN and kNN; the
+	// K-cluster and outlier algorithms need the full matrix and are
+	// rejected by Validate. Requires a set-based measure.
+	Approximate bool
 }
 
 // Validate checks the spec's parameters against a log of n queries
@@ -667,10 +674,18 @@ func (s MineSpec) Validate(n int) error {
 	default:
 		return fmt.Errorf("dpe: unknown mining algorithm %d", int(s.Algorithm))
 	}
+	if s.Approximate {
+		switch s.Algorithm {
+		case MineDBSCAN, MineKNN:
+		default:
+			return fmt.Errorf("dpe: %s needs the full distance matrix and cannot run approximately (only dbscan and knn support Approximate)", s.Algorithm)
+		}
+	}
 	return nil
 }
 
-// MineResult holds the output of Provider.Mine. Matrix is always set;
+// MineResult holds the output of Provider.Mine. Matrix is set for
+// exact runs and nil for approximate ones (which never build it);
 // exactly one algorithm-specific field is non-zero, matching the spec.
 type MineResult struct {
 	Matrix Matrix
@@ -683,6 +698,10 @@ type MineResult struct {
 	Outliers []bool
 	// Neighbors are the nearest-neighbor indices (MineKNN).
 	Neighbors []int
+	// CandidatePairs is the number of exact pair evaluations an
+	// approximate run performed — the sublinear budget, versus the
+	// n·(n−1)/2 triangle an exact run computes. 0 for exact runs.
+	CandidatePairs int
 }
 
 // Mine builds the distance matrix of the log and runs one mining
@@ -704,6 +723,13 @@ func (p *Provider) Mine(ctx context.Context, log []string, spec MineSpec) (*Mine
 func (p *Provider) MinePrepared(ctx context.Context, pl *PreparedLog, spec MineSpec) (*MineResult, error) {
 	if err := spec.Validate(pl.Len()); err != nil {
 		return nil, err
+	}
+	if spec.Approximate {
+		idx, err := p.BuildApproxIndex(pl)
+		if err != nil {
+			return nil, err
+		}
+		return p.MinePreparedIndexed(ctx, pl, idx, spec)
 	}
 	m, err := p.DistanceMatrixPrepared(ctx, pl)
 	if err != nil {
@@ -747,6 +773,10 @@ type ProviderAPI interface {
 	Distances(ctx context.Context, log []string, q int) ([]float64, error)
 	// Mine builds the matrix and runs one mining algorithm over it.
 	Mine(ctx context.Context, log []string, spec MineSpec) (*MineResult, error)
+	// Neighbors returns the top-k approximate nearest neighbors of
+	// query q, re-ranked with the exact metric — the sublinear path
+	// that never materializes the matrix triangle.
+	Neighbors(ctx context.Context, log []string, q, k int) (*NeighborsResult, error)
 	// VerifyPreservation checks Definition 1 on two matrices.
 	VerifyPreservation(plain, enc Matrix) (*PreservationReport, error)
 }

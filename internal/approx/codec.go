@@ -1,0 +1,79 @@
+package approx
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// codecMagic heads every serialized index, versioning the layout the
+// way the prepared-state snapshots do ("DPS1"): magic, params, count,
+// then raw signatures. Buckets are not persisted — they are a pure
+// function of the signatures and are rebuilt on decode, which keeps
+// the journal small and makes round-trip determinism trivial.
+const codecMagic = "DPA1"
+
+// MarshalBinary serializes the index for the journal.
+func (x *Index) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+3*binary.MaxVarintLen64+8+len(x.sigs)*x.p.Hashes*8)
+	buf = append(buf, codecMagic...)
+	buf = binary.AppendUvarint(buf, uint64(x.p.Hashes))
+	buf = binary.AppendUvarint(buf, uint64(x.p.Bands))
+	buf = binary.LittleEndian.AppendUint64(buf, x.p.Seed)
+	buf = binary.AppendUvarint(buf, uint64(len(x.sigs)))
+	for _, sig := range x.sigs {
+		for _, v := range sig {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal reconstructs an index serialized by MarshalBinary. The
+// result is bucket-for-bucket identical to the original: signatures
+// are restored verbatim and re-banded in order.
+func Unmarshal(data []byte) (*Index, error) {
+	if len(data) < len(codecMagic) || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("approx: not an index snapshot (bad magic)")
+	}
+	data = data[len(codecMagic):]
+	hashes, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		return nil, fmt.Errorf("approx: truncated hashes field")
+	}
+	data = data[n1:]
+	bands, n2 := binary.Uvarint(data)
+	if n2 <= 0 {
+		return nil, fmt.Errorf("approx: truncated bands field")
+	}
+	data = data[n2:]
+	if len(data) < 8 {
+		return nil, fmt.Errorf("approx: truncated seed field")
+	}
+	seed := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	count, n3 := binary.Uvarint(data)
+	if n3 <= 0 {
+		return nil, fmt.Errorf("approx: truncated count field")
+	}
+	data = data[n3:]
+	if hashes > 1<<20 || count > 1<<32 {
+		return nil, fmt.Errorf("approx: implausible snapshot dimensions")
+	}
+	x, err := New(Params{Hashes: int(hashes), Bands: int(bands), Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	want := int(count) * int(hashes) * 8
+	if len(data) != want {
+		return nil, fmt.Errorf("approx: signature payload %d bytes, want %d", len(data), want)
+	}
+	for i := 0; i < int(count); i++ {
+		sig := make([]uint64, hashes)
+		for k := range sig {
+			sig[k] = binary.LittleEndian.Uint64(data)
+			data = data[8:]
+		}
+		x.addSignature(sig)
+	}
+	return x, nil
+}

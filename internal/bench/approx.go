@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	dpe "repro"
+)
+
+// runApprox measures the MinHash/LSH neighbor engine against the exact
+// matrix per set-based measure (access-area has no element sets and is
+// skipped). The tracked counters are the subsystem's acceptance check,
+// all lower-is-better so the gate's regression direction is uniform:
+//
+//   - recall_loss_at_k: 1 − mean recall@K of the sparse top-K search
+//     against the exact matrix's top-K, over every query. The truth
+//     set keeps only genuine neighbors — distance exactly 1 means the
+//     element sets are disjoint, and which disjoint queries tie into
+//     the exact top-K is an index-order artifact no candidate engine
+//     can (or should) reproduce.
+//   - candidate_pairs: distinct pairs the LSH buckets admit — the
+//     budget approximate mining pays, gated against the ceiling the
+//     baseline pins (exact_pairs = n·(n−1)/2 is recorded alongside for
+//     the comparison).
+//   - dbscan_label_mismatches: queries whose approximate DBSCAN label
+//     (candidate pairs only) differs from the exact matrix's, after
+//     canonical relabeling of both sides.
+//
+// Index build and per-query search latency are recorded untracked.
+func runApprox(ctx context.Context, r *Report, f *fixtures) error {
+	n := f.cfg.Queries
+	k := 10
+	if k > n-1 {
+		k = n - 1
+	}
+	for _, m := range f.cfg.Measures {
+		if m == dpe.MeasureAccessArea {
+			continue
+		}
+		fx, err := f.measure(m)
+		if err != nil {
+			return err
+		}
+		p, err := dpe.NewProvider(m, append([]dpe.ProviderOption{dpe.WithParallelism(f.cfg.Parallelism)}, fx.localOpts...)...)
+		if err != nil {
+			return err
+		}
+		pl, err := p.Prepare(ctx, fx.encLog[:n])
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		idx, err := p.BuildApproxIndex(pl)
+		if err != nil {
+			return err
+		}
+		buildNs := float64(time.Since(start).Nanoseconds())
+		mat, err := p.DistanceMatrixPrepared(ctx, pl)
+		if err != nil {
+			return err
+		}
+
+		var recallSum float64
+		start = time.Now()
+		for q := 0; q < n; q++ {
+			res, err := p.NeighborsPrepared(ctx, pl, idx, q, k)
+			if err != nil {
+				return err
+			}
+			truth := topK(mat, q, k)
+			if len(truth) == 0 {
+				recallSum++ // no genuine neighbors to find
+				continue
+			}
+			hit := 0
+			for _, nb := range res.Neighbors {
+				if truth[nb.Index] {
+					hit++
+				}
+			}
+			recallSum += float64(hit) / float64(len(truth))
+		}
+		searchNs := float64(time.Since(start).Nanoseconds()) / float64(n)
+
+		// DBSCAN agreement at a deterministic, workload-derived eps: the
+		// 10th percentile of off-diagonal distances, clamped into
+		// [0.05, 0.5]. The floor keeps the spec valid when tiny
+		// workloads hold duplicate queries (percentile 0); the cap
+		// matters because density connectivity through pairs that share
+		// fewer than half their elements is below the LSH curve's
+		// reliable zone — mining at such a radius is exactly the
+		// full-matrix territory MineSpec.Validate fences off for the
+		// global algorithms.
+		eps := percentileOffDiagonal(mat, 0.10)
+		if eps < 0.05 {
+			eps = 0.05
+		}
+		if eps > 0.5 {
+			eps = 0.5
+		}
+		spec := dpe.MineSpec{Algorithm: dpe.MineDBSCAN, Eps: eps, MinPts: 3}
+		exact, err := p.MinePrepared(ctx, pl, spec)
+		if err != nil {
+			return err
+		}
+		spec.Approximate = true
+		approxRes, err := p.MinePreparedIndexed(ctx, pl, idx, spec)
+		if err != nil {
+			return err
+		}
+		mismatches := labelMismatches(exact.Labels, approxRes.Labels)
+
+		pfx := "approx/" + m.String()
+		r.add(pfx+"/recall_loss_at_k", "loss", 1-recallSum/float64(n), true)
+		r.add(pfx+"/candidate_pairs", "pairs", float64(approxRes.CandidatePairs), true)
+		r.add(pfx+"/exact_pairs", "pairs", float64(n*(n-1)/2), true)
+		r.add(pfx+"/dbscan_label_mismatches", "count", float64(mismatches), true)
+		r.add(pfx+"/index_build", "ns", buildNs, false)
+		r.add(pfx+"/neighbors", "ns/op", searchNs, false)
+		r.add(pfx+"/pair_budget", "ratio", float64(approxRes.CandidatePairs)/float64(n*(n-1)/2), false)
+	}
+	return nil
+}
+
+// topK returns the exact top-k genuine-neighbor set of query q: the k
+// other indexes with the smallest distance (ties broken by index, the
+// same order NeighborsPrepared uses), excluding maximally-distant ones
+// (distance 1 = disjoint element sets), which are not neighbors at all.
+func topK(mat dpe.Matrix, q, k int) map[int]bool {
+	order := make([]int, 0, len(mat)-1)
+	for i := range mat {
+		if i != q && mat[q][i] < 1 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if mat[q][order[a]] != mat[q][order[b]] {
+			return mat[q][order[a]] < mat[q][order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if len(order) > k {
+		order = order[:k]
+	}
+	out := make(map[int]bool, len(order))
+	for _, i := range order {
+		out[i] = true
+	}
+	return out
+}
+
+// percentileOffDiagonal returns the p-quantile of the matrix's upper
+// triangle.
+func percentileOffDiagonal(mat dpe.Matrix, p float64) float64 {
+	var ds []float64
+	for i := range mat {
+		for j := i + 1; j < len(mat); j++ {
+			ds = append(ds, mat[i][j])
+		}
+	}
+	sort.Float64s(ds)
+	i := int(p * float64(len(ds)-1))
+	return ds[i]
+}
+
+// labelMismatches counts positions where two clusterings disagree after
+// canonically renumbering each side's clusters by first appearance
+// (noise labels, < 0, are kept as-is): cluster ids are BFS-discovery
+// artifacts, and a pure renumbering should count as zero disagreement.
+func labelMismatches(a, b []int) int {
+	ca, cb := canonicalLabels(a), canonicalLabels(b)
+	miss := 0
+	for i := range ca {
+		if ca[i] != cb[i] {
+			miss++
+		}
+	}
+	return miss
+}
+
+func canonicalLabels(labels []int) []int {
+	next := 0
+	remap := map[int]int{}
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		if l < 0 {
+			out[i] = l
+			continue
+		}
+		if _, ok := remap[l]; !ok {
+			remap[l] = next
+			next++
+		}
+		out[i] = remap[l]
+	}
+	return out
+}

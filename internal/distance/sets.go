@@ -1,0 +1,58 @@
+package distance
+
+import (
+	"hash/fnv"
+
+	"repro/internal/sqlfeature"
+)
+
+// SetSource is the seam between the exact metrics and the approximate
+// neighbor engine (internal/approx): it is implemented by prepared
+// states whose characteristic is one element set per query compared by
+// Jaccard distance — today the token, structure, and result measures.
+// MinHash signatures are computed from the element hashes it exposes,
+// so candidate generation rides the exact same precomputed state the
+// matrix build uses; no second per-query pass ever runs.
+//
+// The access-area measure deliberately does not implement SetSource:
+// its distance is an interval-overlap mean, not a set resemblance, so
+// MinHash estimates would be meaningless for it.
+type SetSource interface {
+	Prepared
+	// AppendElementHashes appends query i's element hashes to dst and
+	// returns the extended slice. Order is unspecified (MinHash is
+	// order-independent), but the hash of any given element is stable
+	// across processes, restarts, and appends — signatures journaled by
+	// one server must agree with ones recomputed by another.
+	AppendElementHashes(dst []uint64, i int) []uint64
+}
+
+// AppendElementHashes implements SetSource for the set-based prepared
+// states.
+func (p setPrepared[K]) AppendElementHashes(dst []uint64, i int) []uint64 {
+	for k := range p[i] {
+		dst = append(dst, elementHash(k))
+	}
+	return dst
+}
+
+// elementHash maps one set element to a stable 64-bit hash: FNV-1a over
+// a canonical byte encoding. Tokens and tuple keys hash their text;
+// features hash clause and item with a separator no SQL token contains,
+// so ("WHERE","a") and ("WHER","Ea") cannot collide.
+func elementHash(k any) uint64 {
+	h := fnv.New64a()
+	switch v := k.(type) {
+	case string:
+		h.Write([]byte(v))
+	case sqlfeature.Feature:
+		h.Write([]byte(v.Clause))
+		h.Write([]byte{0x1f})
+		h.Write([]byte(v.Item))
+	default:
+		// Unreachable for the built-in metrics; a zero hash keeps the
+		// estimate degraded rather than wrong.
+		return 0
+	}
+	return h.Sum64()
+}

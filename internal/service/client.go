@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 
@@ -284,6 +285,23 @@ func (s *Session) Distances(ctx context.Context, log []string, q int) ([]float64
 		return nil, err
 	}
 	return resp.Distances, nil
+}
+
+// Neighbors asks the server for q's k nearest neighbors in log, ranked
+// by the exact metric over the session's LSH candidate set. Only the
+// top-k entries cross the wire — never a matrix row, let alone the
+// triangle.
+func (s *Session) Neighbors(ctx context.Context, log []string, q, k int) (*dpe.NeighborsResult, error) {
+	id, err := s.UploadLog(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	path := s.path(fmt.Sprintf("/neighbors?log=%s&query=%d&k=%d", url.QueryEscape(id), q, k))
+	var resp NeighborsResponse
+	if err := s.c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &dpe.NeighborsResult{Neighbors: resp.Neighbors, Candidates: resp.Candidates, N: resp.N}, nil
 }
 
 // Mine builds the matrix on the server and runs one mining algorithm

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	dpe "repro"
 )
@@ -60,6 +61,15 @@ type (
 		Plain [][]float64 `json:"plain"`
 		Enc   [][]float64 `json:"enc"`
 	}
+	// NeighborsResponse answers GET /v1/sessions/{id}/neighbors: the
+	// top-k exact-ranked neighbors of one query, plus the number of LSH
+	// candidates the server actually scored (the sublinear pair budget —
+	// compare against n-1, the exhaustive row).
+	NeighborsResponse struct {
+		Neighbors  []dpe.Neighbor `json:"neighbors"`
+		Candidates int            `json:"candidates"`
+		N          int            `json:"n"`
+	}
 	// errorResponse is every non-2xx body.
 	errorResponse struct {
 		Error string `json:"error"`
@@ -98,6 +108,7 @@ func NewHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/matrix", h.matrix)
 	mux.HandleFunc("POST /v1/sessions/{id}/distances", h.distances)
 	mux.HandleFunc("POST /v1/sessions/{id}/mine", h.mine)
+	mux.HandleFunc("GET /v1/sessions/{id}/neighbors", h.neighbors)
 	mux.HandleFunc("POST /v1/sessions/{id}/verify", h.verify)
 	return mux
 }
@@ -285,6 +296,42 @@ func (h *handler) mine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EncodeMineResult(res))
+}
+
+// neighbors serves the sparse top-K API: GET with query parameters
+// log (required, server-side log id), query (required, row index) and
+// k (optional, default 10). The response never includes the matrix —
+// only the k exact-ranked neighbors and the candidate count.
+func (h *handler) neighbors(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	qp := r.URL.Query()
+	logID := qp.Get("log")
+	if logID == "" {
+		writeError(w, r, fmt.Errorf("service: neighbors needs a log query parameter"))
+		return
+	}
+	q, err := strconv.Atoi(qp.Get("query"))
+	if err != nil {
+		writeError(w, r, fmt.Errorf("service: neighbors needs an integer query parameter: %w", err))
+		return
+	}
+	k := 10
+	if raw := qp.Get("k"); raw != "" {
+		if k, err = strconv.Atoi(raw); err != nil {
+			writeError(w, r, fmt.Errorf("service: neighbors k parameter: %w", err))
+			return
+		}
+	}
+	res, err := s.Neighbors(r.Context(), logID, q, k)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NeighborsResponse{Neighbors: res.Neighbors, Candidates: res.Candidates, N: res.N})
 }
 
 func (h *handler) verify(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,374 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	dpe "repro"
+)
+
+// clusteredLog mirrors the facade tests' shape: three interleaved
+// groups of near-duplicate queries, so LSH reliably recovers the
+// within-group pairs.
+func clusteredLog() []string {
+	groups := [][]string{
+		{
+			"SELECT name, age, city FROM users WHERE age > 30",
+			"SELECT name, age, city FROM users WHERE age > 40",
+			"SELECT name, age, city FROM users WHERE age > 50",
+			"SELECT name, age, city FROM users WHERE age > 60",
+		},
+		{
+			"SELECT product, price FROM items WHERE price < 10 ORDER BY price",
+			"SELECT product, price FROM items WHERE price < 20 ORDER BY price",
+			"SELECT product, price FROM items WHERE price < 30 ORDER BY price",
+			"SELECT product, price FROM items WHERE price < 40 ORDER BY price",
+		},
+		{
+			"SELECT count(id) FROM orders GROUP BY region",
+			"SELECT count(id) FROM orders GROUP BY status",
+			"SELECT count(id) FROM orders GROUP BY vendor",
+			"SELECT count(id) FROM orders GROUP BY channel",
+		},
+	}
+	var log []string
+	for i := 0; i < len(groups[0]); i++ {
+		for _, g := range groups {
+			log = append(log, g[i])
+		}
+	}
+	return log
+}
+
+// TestNeighborsRemoteLocalParity is the acceptance check for the top-K
+// API: at 1 and 16 shards, the neighbors served over HTTP are
+// entry-wise identical to the in-process provider on the same encrypted
+// log, and the second call for the same log hits the index cache.
+func TestNeighborsRemoteLocalParity(t *testing.T) {
+	f := newFixture(t)
+	clients := map[string]*Client{
+		"shards=1":  NewClient(startServer(t, Config{Shards: 1}).URL),
+		"shards=16": NewClient(startServer(t, Config{Shards: 16}).URL),
+	}
+	ctx := context.Background()
+	for _, m := range []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure} {
+		encLog, local, remoteOpts := f.measureSetup(t, m)
+		for name, client := range clients {
+			t.Run(m.String()+"/"+name, func(t *testing.T) {
+				sess, err := client.NewSession(ctx, m, remoteOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range []int{0, len(encLog) / 2, len(encLog) - 1} {
+					want, err := local.Neighbors(ctx, encLog, q, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sess.Neighbors(ctx, encLog, q, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("q=%d: remote neighbors %+v != local %+v", q, got, want)
+					}
+					// Sublinearity of the candidate budget is a bench
+					// property (internal/bench's approx experiment gates
+					// it at n=48); on a 12-query fixture whose queries
+					// share a schema, buckets legitimately cover most
+					// pairs.
+				}
+				stats, err := sess.Stats(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Three queries on one log: one cold index build, then hits.
+				if stats.ApproxMisses != 1 || stats.ApproxHits != 2 {
+					t.Errorf("approx hits/misses = %d/%d, want 2/1", stats.ApproxHits, stats.ApproxMisses)
+				}
+			})
+		}
+	}
+}
+
+// TestApproximateMineRemote checks the Approximate flag crosses the
+// wire intact: an approximate DBSCAN served remotely matches the
+// in-process result (labels, no matrix, same pair budget), and a
+// whole-matrix algorithm with Approximate set is a clean 400, not a
+// silent exact fallback.
+func TestApproximateMineRemote(t *testing.T) {
+	srv := startServer(t, Config{Shards: 4})
+	ctx := context.Background()
+	sess, err := NewClient(srv.URL).NewSession(ctx, dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := dpe.NewProvider(dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := clusteredLog()
+	spec := dpe.MineSpec{Algorithm: dpe.MineDBSCAN, Eps: 0.5, MinPts: 3, Approximate: true}
+	want, err := local.Mine(ctx, log, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Mine(ctx, log, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matrix != nil {
+		t.Error("approximate mining must not ship a matrix")
+	}
+	if !reflect.DeepEqual(got.Labels, want.Labels) || got.CandidatePairs != want.CandidatePairs {
+		t.Errorf("remote approximate DBSCAN = %v (%d pairs), local = %v (%d pairs)",
+			got.Labels, got.CandidatePairs, want.Labels, want.CandidatePairs)
+	}
+
+	bad := dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: 2, Approximate: true}
+	_, err = sess.Mine(ctx, log, bad)
+	if err == nil || !strings.Contains(err.Error(), "cannot run approximately") ||
+		!strings.Contains(err.Error(), "HTTP 400") {
+		t.Errorf("approximate k-medoids = %v, want HTTP 400 rejection", err)
+	}
+}
+
+// TestApproxIndexEvictedWithSession is the satellite-6 regression: both
+// the delete path and the janitor's TTL reap must evict a session's
+// cached approx index along with its prepared state, leaving the
+// shard's byte accounting at zero — no orphaned index bytes.
+func TestApproxIndexEvictedWithSession(t *testing.T) {
+	for _, path := range []string{"delete", "reap"} {
+		t.Run(path, func(t *testing.T) {
+			reg := NewRegistry(Config{SessionTTL: time.Nanosecond, JanitorInterval: -1})
+			defer reg.Close()
+			token := dpe.MeasureToken
+			s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+			if err != nil {
+				t.Fatal(err)
+			}
+			logID, err := s.AddLog(clusteredLog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := s.Neighbors(ctx, logID, 0, 3); err != nil {
+				t.Fatal(err)
+			}
+			sh := reg.shardFor(s.ID())
+			if st := sh.cache.stats(); st.Entries < 2 || st.Bytes <= 0 {
+				t.Fatalf("after neighbors: cache %d entries / %d bytes, want prepared state AND index", st.Entries, st.Bytes)
+			}
+			switch path {
+			case "delete":
+				if err := reg.DeleteSession(s.ID()); err != nil {
+					t.Fatal(err)
+				}
+			case "reap":
+				time.Sleep(time.Millisecond) // idle past the 1ns TTL
+				reg.reapIdle(time.Now())
+				if _, err := reg.Session(s.ID()); err == nil {
+					t.Fatal("session should have been reaped")
+				}
+			}
+			if st := sh.cache.stats(); st.Entries != 0 || st.Bytes != 0 {
+				t.Errorf("after %s: cache %d entries / %d bytes, want 0/0", path, st.Entries, st.Bytes)
+			}
+		})
+	}
+}
+
+// TestNeighborsSurviveRestart is the persistence acceptance check: a
+// journaled index is recovered on restart, so the first neighbors call
+// of the new process is an index-cache hit with identical results.
+func TestNeighborsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(persistentConfig(t, dir, 4))
+	ctx := context.Background()
+	token := dpe.MeasureToken
+	s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logID, err := s.AddLog(clusteredLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Neighbors(ctx, logID, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID()
+	reg.Close()
+
+	reg2, err := OpenRegistry(persistentConfig(t, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	if rec := reg2.Recovery(); rec.ApproxIndexes != 1 {
+		t.Fatalf("recovery replayed %d approx indexes, want 1 (%+v)", rec.ApproxIndexes, rec)
+	}
+	s2, err := reg2.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Neighbors(ctx, logID, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-restart neighbors %+v != pre-restart %+v", got, want)
+	}
+	stats := s2.Stats()
+	if stats.ApproxHits != 1 || stats.ApproxMisses != 0 {
+		t.Errorf("post-restart approx hits/misses = %d/%d, want 1/0 (index recovered from journal)",
+			stats.ApproxHits, stats.ApproxMisses)
+	}
+}
+
+// TestAppendExtendsApproxIndex checks the incremental path: after an
+// append, the combined log's index is already warm (extended from the
+// base's, not rebuilt), and its answers match a from-scratch provider
+// on the combined log.
+func TestAppendExtendsApproxIndex(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	ctx := context.Background()
+	token := dpe.MeasureToken
+	s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := clusteredLog()
+	base, tail := log[:8], log[8:]
+	baseID, err := s.AddLog(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Neighbors(ctx, baseID, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	combinedID, _, _, err := s.Append(ctx, baseID, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Neighbors(ctx, combinedID, len(log)-1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.ApproxMisses != 1 {
+		t.Errorf("approx misses = %d, want 1 (append should extend the cached index, not rebuild)", stats.ApproxMisses)
+	}
+	local, err := dpe.NewProvider(dpe.MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Neighbors(ctx, log, len(log)-1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extended-index neighbors %+v != from-scratch %+v", got, want)
+	}
+}
+
+// TestApproxChurn races neighbors traffic, appends, and session
+// deletes across a sharded registry — the -race check for the index
+// cache, its singleflight builds, and the eviction sweeps.
+func TestApproxChurn(t *testing.T) {
+	reg := NewRegistry(Config{
+		Shards:          4,
+		MaxSessions:     64,
+		CacheEntries:    16,
+		JanitorInterval: time.Millisecond,
+		SessionTTL:      time.Hour,
+	})
+	defer reg.Close()
+	ctx := context.Background()
+	token := dpe.MeasureToken
+	log := clusteredLog()
+
+	// Shared sessions: concurrent neighbors on the same log race the
+	// index singleflight and the hit counters.
+	const sharedSessions = 3
+	shared := make([]*session, sharedSessions)
+	for i := range shared {
+		s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddLog(log); err != nil {
+			t.Fatal(err)
+		}
+		shared[i] = s
+	}
+	logID := LogID(log)
+
+	const (
+		workers = 8
+		iters   = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	fail := func(format string, args ...any) { errs <- fmt.Errorf(format, args...) }
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := shared[(w+i)%sharedSessions]
+				if _, err := s.Neighbors(ctx, logID, (w+i)%len(log), 3); err != nil {
+					fail("shared neighbors: %v", err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Private lifecycle: create, neighbors, append, neighbors
+				// on the grown log, delete — racing the janitor ticks.
+				s, err := reg.CreateSession(&CreateSessionRequest{Measure: &token})
+				if err != nil {
+					fail("create: %v", err)
+					return
+				}
+				baseID, err := s.AddLog(log[:6])
+				if err != nil {
+					fail("add log: %v", err)
+					return
+				}
+				if _, err := s.Neighbors(ctx, baseID, 0, 2); err != nil {
+					fail("neighbors: %v", err)
+					return
+				}
+				combinedID, _, _, err := s.Append(ctx, baseID, []string{fmt.Sprintf("SELECT w%d, i%d FROM churn", w, i)})
+				if err != nil {
+					fail("append: %v", err)
+					return
+				}
+				if _, err := s.Neighbors(ctx, combinedID, 6, 2); err != nil {
+					fail("neighbors after append: %v", err)
+					return
+				}
+				if err := reg.DeleteSession(s.ID()); err != nil {
+					fail("delete: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -159,7 +159,13 @@ type SessionStats struct {
 	Logs           int         `json:"logs"`
 	PreparedHits   int64       `json:"prepared_hits"`
 	PreparedMisses int64       `json:"prepared_misses"`
-	CreatedAt      time.Time   `json:"created_at"`
+	// ApproxHits/ApproxMisses count approx-index cache outcomes for the
+	// neighbors and approximate-mining paths. A restart that recovered
+	// the index from the journal shows a hit (and no miss) on the first
+	// post-restart call.
+	ApproxHits   int64     `json:"approx_hits"`
+	ApproxMisses int64     `json:"approx_misses"`
+	CreatedAt    time.Time `json:"created_at"`
 }
 
 // ShardStats is one shard's slice of GET /v1/stats?per_shard=1.
@@ -173,10 +179,12 @@ type ShardStats struct {
 // store — the observable proof that a restart recovered tenant state
 // instead of starting cold.
 type RecoveryStats struct {
-	// Sessions, Logs, and Snapshots count the live records restored.
-	Sessions  int `json:"sessions"`
-	Logs      int `json:"logs"`
-	Snapshots int `json:"snapshots"`
+	// Sessions, Logs, Snapshots, and ApproxIndexes count the live
+	// records restored.
+	Sessions      int `json:"sessions"`
+	Logs          int `json:"logs"`
+	Snapshots     int `json:"snapshots"`
+	ApproxIndexes int `json:"approx_indexes"`
 	// Tombstones counts replayed deletions (sessions journaled and
 	// later removed; startup compaction drops them from the journal).
 	Tombstones int `json:"tombstones"`
@@ -189,7 +197,7 @@ type RecoveryStats struct {
 // total is the number of applied-or-seen records — used to decide
 // whether a startup compaction is worth doing.
 func (rs RecoveryStats) total() int {
-	return rs.Sessions + rs.Logs + rs.Snapshots + rs.Tombstones + rs.Skipped
+	return rs.Sessions + rs.Logs + rs.Snapshots + rs.ApproxIndexes + rs.Tombstones + rs.Skipped
 }
 
 // RegistryStats is the wire body of GET /v1/stats. The top-level fields
@@ -431,6 +439,26 @@ func (r *Registry) applyRecord(rec store.Record) {
 		}
 		s.sh.cache.add(s.id+"\x00"+rec.Log, pl, preparedCost(pl, queries))
 		r.recovered.Snapshots++
+	case store.KindApprox:
+		s := r.replaySession(rec.Session)
+		if s == nil {
+			r.recovered.Skipped++
+			return
+		}
+		s.mu.Lock()
+		queries, ok := s.logs[rec.Log]
+		s.mu.Unlock()
+		if !ok {
+			r.recovered.Skipped++
+			return
+		}
+		idx, err := dpe.UnmarshalApproxIndex(rec.Blob)
+		if err != nil || idx.Len() != len(queries) {
+			r.recovered.Skipped++
+			return
+		}
+		s.sh.cache.add(s.approxKey(rec.Log), idx, idx.SizeBytes())
+		r.recovered.ApproxIndexes++
 	default:
 		r.recovered.Skipped++
 	}
@@ -606,6 +634,11 @@ func (r *Registry) compactShard(sh *shard) error {
 			if v, ok := sh.cache.peek(s.id + "\x00" + id); ok {
 				if blob, err := s.provider.MarshalPreparedLog(v.(*dpe.PreparedLog)); err == nil {
 					recs = append(recs, store.Record{Kind: store.KindSnapshot, Session: s.id, Log: id, Blob: blob})
+				}
+			}
+			if v, ok := sh.cache.peek(s.approxKey(id)); ok {
+				if blob, err := v.(*dpe.ApproxIndex).MarshalBinary(); err == nil {
+					recs = append(recs, store.Record{Kind: store.KindApprox, Session: s.id, Log: id, Blob: blob})
 				}
 			}
 		}

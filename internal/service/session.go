@@ -48,6 +48,12 @@ type session struct {
 	inflight int
 	hits     int64
 	misses   int64
+	// approxHits/approxMisses count approx-index cache outcomes the way
+	// hits/misses count prepared-state ones — the observable signal that
+	// a restart recovered the index from the journal (first neighbors
+	// call after replay is a hit, not a miss).
+	approxHits   int64
+	approxMisses int64
 }
 
 // ID returns the session id.
@@ -270,7 +276,7 @@ func (s *session) preparedKeyed(ctx context.Context, logID string, queries []str
 				s.mu.Lock()
 				s.hits++
 				s.mu.Unlock()
-				return c.pl, nil
+				return c.val.(*dpe.PreparedLog), nil
 			}
 			// The leader failed — possibly only because *its* context was
 			// cancelled. If ours is still live, retry (and likely become
@@ -282,6 +288,95 @@ func (s *session) preparedKeyed(ctx context.Context, logID string, queries []str
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// approxKey namespaces a session's cached approx index for one log.
+// The key keeps the s.id + "\x00" prefix every session-owned cache
+// entry carries, so the one removePrefix sweep on delete and TTL reap
+// evicts prepared state and approx indexes together — the split-budget
+// byte accounting stays truthful with no second bookkeeping path. The
+// "approx:" namespace cannot collide with prepared keys: log ids
+// always start with "l-".
+func (s *session) approxKey(logID string) string {
+	return s.id + "\x00approx:" + logID
+}
+
+// approxIndex returns the log's MinHash/LSH index, serving repeat
+// calls from the shard LRU (size-accounted via the index's own
+// estimate, alongside prepared state) and coalescing concurrent cold
+// builds through the same singleflight group prepares use. A freshly
+// built index is journaled so a restarted server recovers it instead
+// of re-signing the log.
+func (s *session) approxIndex(ctx context.Context, logID string, pl *dpe.PreparedLog) (*dpe.ApproxIndex, error) {
+	key := s.approxKey(logID)
+	for {
+		if v, ok := s.sh.cache.get(key); ok {
+			s.mu.Lock()
+			s.approxHits++
+			s.mu.Unlock()
+			return v.(*dpe.ApproxIndex), nil
+		}
+		c, leader := s.sh.flight.begin(key)
+		if leader {
+			if v, ok := s.sh.cache.get(key); ok {
+				idx := v.(*dpe.ApproxIndex)
+				s.sh.flight.finish(key, c, idx, nil)
+				s.mu.Lock()
+				s.approxHits++
+				s.mu.Unlock()
+				return idx, nil
+			}
+			idx, err := s.provider.BuildApproxIndex(pl)
+			cached := false
+			if err == nil {
+				// Same deleted-session rule as preparedKeyed: never add
+				// for a session whose removePrefix already ran.
+				if s.sh.session(s.id) != nil {
+					s.sh.cache.add(key, idx, idx.SizeBytes())
+					cached = true
+				}
+			}
+			s.mu.Lock()
+			s.touchLocked()
+			if err == nil {
+				s.approxMisses++
+			}
+			s.mu.Unlock()
+			if cached {
+				s.persistApprox(logID, idx)
+			}
+			s.sh.flight.finish(key, c, idx, err)
+			return idx, err
+		}
+		select {
+		case <-c.done:
+			if c.err == nil {
+				s.mu.Lock()
+				s.approxHits++
+				s.mu.Unlock()
+				return c.val.(*dpe.ApproxIndex), nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// persistApprox journals the serialized index, best-effort like
+// persistSnapshot: the index is a cache (the server can always rebuild
+// it from the prepared state), so a failure must not fail the request.
+func (s *session) persistApprox(logID string, idx *dpe.ApproxIndex) {
+	if !s.reg.persistent {
+		return
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		return
+	}
+	s.sh.appendRecord(store.Record{Kind: store.KindApprox, Session: s.id, Log: logID, Blob: blob})
 }
 
 // persistSnapshot journals the serialized prepared state under the
@@ -349,7 +444,53 @@ func (s *session) Append(ctx context.Context, baseLogID string, newQueries []str
 	if err != nil {
 		return "", 0, nil, err
 	}
+	// Ride the base log's approx index forward: if neighbors traffic
+	// warmed it, sign only the new queries so the combined log starts
+	// warm too. Best-effort — the index is a cache and rebuilds on
+	// demand.
+	s.extendApprox(baseLogID, combinedID, pl)
 	return combinedID, len(base), rows, nil
+}
+
+// extendApprox extends a cached base-log approx index to the combined
+// log after an append. peek (not get) keeps this opportunistic path
+// out of the hit/miss counters and the recency order.
+func (s *session) extendApprox(baseLogID, combinedID string, pl *dpe.PreparedLog) {
+	if baseLogID == combinedID {
+		return // empty append: the combined log is the base log
+	}
+	if _, ok := s.sh.cache.peek(s.approxKey(combinedID)); ok {
+		return
+	}
+	v, ok := s.sh.cache.peek(s.approxKey(baseLogID))
+	if !ok {
+		return
+	}
+	idx, err := s.provider.ExtendApproxIndex(v.(*dpe.ApproxIndex), pl)
+	if err != nil {
+		return
+	}
+	if s.sh.session(s.id) == nil {
+		return // deleted mid-append; see preparedKeyed's cache rule
+	}
+	s.sh.cache.add(s.approxKey(combinedID), idx, idx.SizeBytes())
+	s.persistApprox(combinedID, idx)
+}
+
+// Neighbors is the sublinear top-K path: the log's LSH index yields
+// candidates, the exact metric re-ranks them — no matrix row is ever
+// materialized. The index is built (or recovered from the journal)
+// once per log and cached alongside prepared state.
+func (s *session) Neighbors(ctx context.Context, logID string, q, k int) (*dpe.NeighborsResult, error) {
+	pl, err := s.prepared(ctx, logID)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := s.approxIndex(ctx, logID, pl)
+	if err != nil {
+		return nil, err
+	}
+	return s.provider.NeighborsPrepared(ctx, pl, idx, q, k)
 }
 
 // Matrix computes the full pairwise distance matrix of an uploaded log.
@@ -384,6 +525,13 @@ func (s *session) Mine(ctx context.Context, logID string, spec dpe.MineSpec) (*d
 	if err != nil {
 		return nil, err
 	}
+	if spec.Approximate {
+		idx, err := s.approxIndex(ctx, logID, pl)
+		if err != nil {
+			return nil, err
+		}
+		return s.provider.MinePreparedIndexed(ctx, pl, idx, spec)
+	}
 	return s.provider.MinePrepared(ctx, pl, spec)
 }
 
@@ -408,6 +556,8 @@ func (s *session) Stats() SessionStats {
 		Logs:           len(s.logs),
 		PreparedHits:   s.hits,
 		PreparedMisses: s.misses,
+		ApproxHits:     s.approxHits,
+		ApproxMisses:   s.approxMisses,
 		CreatedAt:      s.created,
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"sync"
 	"time"
 
-	dpe "repro"
 	"repro/internal/store"
 )
 
@@ -141,11 +140,13 @@ func splitBytes(total int64, n int) int64 {
 	return per
 }
 
-// flightGroup coalesces concurrent preparations of the same cache key:
-// one caller becomes the leader and runs Prepare, the rest wait for its
-// result instead of repeating the most expensive operation the service
-// has. Each shard owns one group — keys embed the session id, and a
-// session never changes shards.
+// flightGroup coalesces concurrent builds of the same cache key: one
+// caller becomes the leader and runs the build, the rest wait for its
+// result instead of repeating it. Prepared state and approx indexes
+// share one group (their keys never collide — the approx namespace is
+// embedded in the key), which is why the published value is untyped.
+// Each shard owns one group — keys embed the session id, and a session
+// never changes shards.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -153,7 +154,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	pl   *dpe.PreparedLog
+	val  any
 	err  error
 }
 
@@ -175,8 +176,8 @@ func (g *flightGroup) begin(key string) (c *flightCall, leader bool) {
 }
 
 // finish publishes the leader's result and retires the call.
-func (g *flightGroup) finish(key string, c *flightCall, pl *dpe.PreparedLog, err error) {
-	c.pl, c.err = pl, err
+func (g *flightGroup) finish(key string, c *flightCall, val any, err error) {
+	c.val, c.err = val, err
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()

@@ -253,19 +253,20 @@ func (w *WireAggregatorKey) Decode() (*dpe.AggregatorKey, error) {
 // and is required: a pointer so an absent (or misspelled) field is an
 // error instead of silently defaulting to k-medoids.
 type WireMineSpec struct {
-	Algorithm *dpe.MiningAlgorithm `json:"algorithm"`
-	K         int                  `json:"k,omitempty"`
-	Eps       float64              `json:"eps,omitempty"`
-	MinPts    int                  `json:"min_pts,omitempty"`
-	P         float64              `json:"p,omitempty"`
-	D         float64              `json:"d,omitempty"`
-	Query     int                  `json:"query,omitempty"`
+	Algorithm   *dpe.MiningAlgorithm `json:"algorithm"`
+	K           int                  `json:"k,omitempty"`
+	Eps         float64              `json:"eps,omitempty"`
+	MinPts      int                  `json:"min_pts,omitempty"`
+	P           float64              `json:"p,omitempty"`
+	D           float64              `json:"d,omitempty"`
+	Query       int                  `json:"query,omitempty"`
+	Approximate bool                 `json:"approximate,omitempty"`
 }
 
 // EncodeMineSpec converts a spec to wire form.
 func EncodeMineSpec(s dpe.MineSpec) WireMineSpec {
 	return WireMineSpec{Algorithm: &s.Algorithm, K: s.K, Eps: s.Eps,
-		MinPts: s.MinPts, P: s.P, D: s.D, Query: s.Query}
+		MinPts: s.MinPts, P: s.P, D: s.D, Query: s.Query, Approximate: s.Approximate}
 }
 
 // Decode converts the wire form back to a spec, rejecting a spec with
@@ -275,7 +276,7 @@ func (w WireMineSpec) Decode() (dpe.MineSpec, error) {
 		return dpe.MineSpec{}, fmt.Errorf("service: mine spec is missing the algorithm (want k-medoids|dbscan|complete-link|outliers|knn)")
 	}
 	return dpe.MineSpec{Algorithm: *w.Algorithm, K: w.K, Eps: w.Eps,
-		MinPts: w.MinPts, P: w.P, D: w.D, Query: w.Query}, nil
+		MinPts: w.MinPts, P: w.P, D: w.D, Query: w.Query, Approximate: w.Approximate}, nil
 }
 
 // WireClusters is the JSON form of a k-medoids result.
@@ -287,22 +288,26 @@ type WireClusters struct {
 }
 
 // WireMineResult is the JSON form of a mining response: the distance
-// matrix plus exactly one algorithm-specific field.
+// matrix (absent for approximate runs, which never build it) plus
+// exactly one algorithm-specific field. CandidatePairs reports an
+// approximate run's pair budget.
 type WireMineResult struct {
-	Matrix    [][]float64   `json:"matrix"`
-	Clusters  *WireClusters `json:"clusters,omitempty"`
-	Labels    []int         `json:"labels,omitempty"`
-	Outliers  []bool        `json:"outliers,omitempty"`
-	Neighbors []int         `json:"neighbors,omitempty"`
+	Matrix         [][]float64   `json:"matrix"`
+	Clusters       *WireClusters `json:"clusters,omitempty"`
+	Labels         []int         `json:"labels,omitempty"`
+	Outliers       []bool        `json:"outliers,omitempty"`
+	Neighbors      []int         `json:"neighbors,omitempty"`
+	CandidatePairs int           `json:"candidate_pairs,omitempty"`
 }
 
 // EncodeMineResult converts a mining result to wire form.
 func EncodeMineResult(r *dpe.MineResult) *WireMineResult {
 	out := &WireMineResult{
-		Matrix:    r.Matrix,
-		Labels:    r.Labels,
-		Outliers:  r.Outliers,
-		Neighbors: r.Neighbors,
+		Matrix:         r.Matrix,
+		Labels:         r.Labels,
+		Outliers:       r.Outliers,
+		Neighbors:      r.Neighbors,
+		CandidatePairs: r.CandidatePairs,
 	}
 	if r.Clusters != nil {
 		out.Clusters = &WireClusters{
@@ -318,10 +323,11 @@ func EncodeMineResult(r *dpe.MineResult) *WireMineResult {
 // Decode converts the wire form back to a mining result.
 func (w *WireMineResult) Decode() *dpe.MineResult {
 	out := &dpe.MineResult{
-		Matrix:    w.Matrix,
-		Labels:    w.Labels,
-		Outliers:  w.Outliers,
-		Neighbors: w.Neighbors,
+		Matrix:         w.Matrix,
+		Labels:         w.Labels,
+		Outliers:       w.Outliers,
+		Neighbors:      w.Neighbors,
+		CandidatePairs: w.CandidatePairs,
 	}
 	if w.Clusters != nil {
 		out.Clusters = &dpe.KMedoidsResult{

@@ -38,6 +38,9 @@ const (
 	// KindSnapshot records a serialized prepared state for one
 	// (session, log) pair; Blob carries the metric's codec output.
 	KindSnapshot Kind = "snapshot"
+	// KindApprox records a serialized MinHash/LSH index for one
+	// (session, log) pair; Blob carries internal/approx's codec output.
+	KindApprox Kind = "approx"
 )
 
 // Record is one journaled event. Session and Log are routing keys (the

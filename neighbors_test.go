@@ -1,0 +1,312 @@
+package dpe
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/mining"
+)
+
+// neighborLog is a log with deliberate cluster structure: three groups
+// of near-duplicate queries (high Jaccard inside a group, low across),
+// so LSH banding reliably recovers the within-group pairs.
+func neighborLog() []string {
+	groups := [][]string{
+		{
+			"SELECT name, age, city FROM users WHERE age > 30",
+			"SELECT name, age, city FROM users WHERE age > 40",
+			"SELECT name, age, city FROM users WHERE age > 50",
+			"SELECT name, age, city FROM users WHERE age > 60",
+		},
+		{
+			"SELECT product, price FROM items WHERE price < 10 ORDER BY price",
+			"SELECT product, price FROM items WHERE price < 20 ORDER BY price",
+			"SELECT product, price FROM items WHERE price < 30 ORDER BY price",
+			"SELECT product, price FROM items WHERE price < 40 ORDER BY price",
+		},
+		{
+			"SELECT count(id) FROM orders GROUP BY region",
+			"SELECT count(id) FROM orders GROUP BY status",
+			"SELECT count(id) FROM orders GROUP BY vendor",
+			"SELECT count(id) FROM orders GROUP BY channel",
+		},
+	}
+	var log []string
+	// Interleave groups so cluster membership is not index-adjacent.
+	for i := 0; i < len(groups[0]); i++ {
+		for _, g := range groups {
+			log = append(log, g[i])
+		}
+	}
+	return log
+}
+
+// TestNeighborsMatchesExactRerank pins the API contract: every entry of
+// Neighbors is the exact metric's distance, and the list is exactly the
+// LSH candidate set re-ranked by (distance, index) and truncated to k —
+// no approximation inside the returned entries.
+func TestNeighborsMatchesExactRerank(t *testing.T) {
+	ctx := context.Background()
+	log := neighborLog()
+	for _, m := range []Measure{MeasureToken, MeasureStructure} {
+		p, err := NewProvider(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := p.Prepare(ctx, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := p.BuildApproxIndex(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < len(log); q++ {
+			const k = 3
+			got, err := p.NeighborsPrepared(ctx, pl, idx, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row, err := p.DistancesPrepared(ctx, pl, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := idx.Candidates(q)
+			if got.Candidates != len(cands) || got.N != len(log) {
+				t.Fatalf("%s q=%d: result reports %d candidates over n=%d, want %d over %d",
+					m, q, got.Candidates, got.N, len(cands), len(log))
+			}
+			want := make([]Neighbor, 0, len(cands))
+			for _, c := range cands {
+				want = append(want, Neighbor{Index: c, Distance: row[c]})
+			}
+			sort.SliceStable(want, func(a, b int) bool {
+				if want[a].Distance != want[b].Distance {
+					return want[a].Distance < want[b].Distance
+				}
+				return want[a].Index < want[b].Index
+			})
+			if len(want) > k {
+				want = want[:k]
+			}
+			if !reflect.DeepEqual(got.Neighbors, want) {
+				t.Fatalf("%s q=%d: neighbors = %v, want exact re-rank %v", m, q, got.Neighbors, want)
+			}
+		}
+	}
+}
+
+// TestNeighborsFindsClusterMates checks the approximation quality on
+// the clustered log: each query's nearest neighbors are its group
+// mates, and the LSH buckets must surface them.
+func TestNeighborsFindsClusterMates(t *testing.T) {
+	ctx := context.Background()
+	log := neighborLog()
+	p, err := NewProvider(MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < len(log); q++ {
+		res, err := p.Neighbors(ctx, log, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) < 3 {
+			t.Fatalf("q=%d: got %d neighbors, want 3 (group mates missed by LSH)", q, len(res.Neighbors))
+		}
+		for _, nb := range res.Neighbors {
+			if nb.Index%3 != q%3 {
+				t.Errorf("q=%d: neighbor %d is from another group (distance %v)", q, nb.Index, nb.Distance)
+			}
+		}
+	}
+}
+
+// TestNeighborsValidation covers the argument checks and the
+// access-area rejection (its distance is not a set resemblance).
+func TestNeighborsValidation(t *testing.T) {
+	ctx := context.Background()
+	log := neighborLog()
+	p, err := NewProvider(MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.Prepare(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := p.BuildApproxIndex(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NeighborsPrepared(ctx, pl, idx, -1, 3); err == nil {
+		t.Error("negative query index must error")
+	}
+	if _, err := p.NeighborsPrepared(ctx, pl, idx, len(log), 3); err == nil {
+		t.Error("out-of-range query index must error")
+	}
+	if _, err := p.NeighborsPrepared(ctx, pl, idx, 0, 0); err == nil {
+		t.Error("k = 0 must error")
+	}
+	short, err := p.Prepare(ctx, log[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NeighborsPrepared(ctx, short, idx, 0, 3); err == nil {
+		t.Error("index/log length mismatch must error")
+	}
+
+	w, _ := workloadFixture(t)
+	aa, err := NewProvider(MeasureAccessArea, WithDomains(w.Domains))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aa.Neighbors(ctx, w.Queries, 0, 3); err == nil ||
+		!strings.Contains(err.Error(), "approximate") {
+		t.Errorf("access-area Neighbors = %v, want unsupported-measure error", err)
+	}
+}
+
+// TestExtendApproxIndexMatchesRebuild pins Add-then-query ≡ rebuild at
+// the facade: extending a prefix index with the full log's prepared
+// state yields an index identical to building from the full log.
+func TestExtendApproxIndexMatchesRebuild(t *testing.T) {
+	ctx := context.Background()
+	log := neighborLog()
+	p, err := NewProvider(MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Prepare(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.BuildApproxIndex(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(log) / 2, len(log)} {
+		prefix, err := p.Prepare(ctx, log[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := p.BuildApproxIndex(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.ExtendApproxIndex(base, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("cut %d: extended index covers %d, want %d", cut, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if !reflect.DeepEqual(got.Signature(i), want.Signature(i)) {
+				t.Fatalf("cut %d: signature %d differs from rebuild", cut, i)
+			}
+		}
+		if !reflect.DeepEqual(got.CandidatePairs(), want.CandidatePairs()) {
+			t.Fatalf("cut %d: candidate pairs differ from rebuild", cut)
+		}
+		if base.Len() != cut {
+			t.Fatalf("cut %d: ExtendApproxIndex mutated its input (len %d)", cut, base.Len())
+		}
+	}
+	// Shrinking is not extending.
+	if _, err := p.ExtendApproxIndex(want, mustPrepare(t, p, log[:2])); err == nil {
+		t.Error("extending a larger index onto a smaller log must error")
+	}
+}
+
+func mustPrepare(t *testing.T, p *Provider, log []string) *PreparedLog {
+	t.Helper()
+	pl, err := p.Prepare(context.Background(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestApproximateSpecValidation is the satellite check: Approximate
+// combined with a whole-matrix algorithm is rejected up front, by
+// Validate and therefore by Mine, never silently falling back to exact.
+func TestApproximateSpecValidation(t *testing.T) {
+	for _, alg := range []MiningAlgorithm{MineKMedoids, MineCompleteLink, MineOutliers} {
+		spec := MineSpec{Algorithm: alg, K: 2, P: 0.5, D: 0.5, Approximate: true}
+		if err := spec.Validate(8); err == nil || !strings.Contains(err.Error(), "cannot run approximately") {
+			t.Errorf("%s + Approximate: Validate = %v, want rejection", alg, err)
+		}
+	}
+	for _, spec := range []MineSpec{
+		{Algorithm: MineDBSCAN, Eps: 0.5, MinPts: 2, Approximate: true},
+		{Algorithm: MineKNN, K: 3, Query: 0, Approximate: true},
+	} {
+		if err := spec.Validate(8); err != nil {
+			t.Errorf("%s + Approximate: Validate = %v, want ok", spec.Algorithm, err)
+		}
+	}
+
+	p, err := NewProvider(MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Mine(context.Background(), neighborLog(),
+		MineSpec{Algorithm: MineKMedoids, K: 2, Approximate: true})
+	if err == nil || !strings.Contains(err.Error(), "cannot run approximately") {
+		t.Errorf("Mine k-medoids approximate = %v, want rejection", err)
+	}
+}
+
+// TestApproximateMiningAgreesWithExact runs DBSCAN and kNN both ways on
+// the clustered log: the candidate graph recovers every within-cluster
+// pair, so the approximate labels must match the exact ones while
+// evaluating far fewer than n(n-1)/2 pairs.
+func TestApproximateMiningAgreesWithExact(t *testing.T) {
+	ctx := context.Background()
+	log := neighborLog()
+	n := len(log)
+	p, err := NewProvider(MeasureToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbscan := MineSpec{Algorithm: MineDBSCAN, Eps: 0.5, MinPts: 3}
+	exact, err := p.Mine(ctx, log, dbscan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Matrix == nil {
+		t.Fatal("exact mining must return the matrix")
+	}
+	dbscan.Approximate = true
+	approx, err := p.Mine(ctx, log, dbscan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Matrix != nil {
+		t.Error("approximate mining must not materialize the matrix")
+	}
+	if !mining.EqualLabels(exact.Labels, approx.Labels) {
+		t.Errorf("approximate DBSCAN labels %v disagree with exact %v", approx.Labels, exact.Labels)
+	}
+	if full := n * (n - 1) / 2; approx.CandidatePairs <= 0 || approx.CandidatePairs >= full {
+		t.Errorf("approximate DBSCAN evaluated %d pairs, want within (0, %d)", approx.CandidatePairs, full)
+	}
+
+	knn := MineSpec{Algorithm: MineKNN, K: 3, Query: 4}
+	exactKNN, err := p.Mine(ctx, log, knn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn.Approximate = true
+	approxKNN, err := p.Mine(ctx, log, knn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exactKNN.Neighbors, approxKNN.Neighbors) {
+		t.Errorf("approximate kNN %v disagrees with exact %v", approxKNN.Neighbors, exactKNN.Neighbors)
+	}
+}
