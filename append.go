@@ -22,6 +22,7 @@ import (
 // identical to Prepare over the concatenated log. The input prepared
 // log is not modified and stays valid.
 func (p *Provider) ExtendPrepared(ctx context.Context, pl *PreparedLog, newQueries []string) (*PreparedLog, error) {
+	defer p.stage(ctx, "append_extend")()
 	ext, ok := p.metric.(distance.Extender)
 	if !ok {
 		return nil, fmt.Errorf("dpe: measure %s does not support incremental extension", p.measure)
@@ -43,6 +44,7 @@ func (p *Provider) AppendRowsPrepared(ctx context.Context, old int, pl *Prepared
 	if old > pl.Len() {
 		return nil, fmt.Errorf("dpe: append from %d queries onto a prepared log of %d", old, pl.Len())
 	}
+	defer p.stage(ctx, "append_rows")()
 	return distance.AppendRows(ctx, old, pl.Len(), p.parallelism, pl.prep.Distance)
 }
 

@@ -19,8 +19,9 @@
 //	dpebench -exp service     # cold/warm/append latency vs dpeserver
 //	dpebench -exp contention  # P goroutines vs one sharded registry
 //	dpebench -exp recovery    # kill-and-restart: journal replay vs cold start
+//	dpebench -exp obs         # instrumented server: /metrics vs ground truth
 //
-//	dpebench -exp all -json   # run the whole harness, write BENCH_PR6.json
+//	dpebench -exp all -json   # run the whole harness, write BENCH_PR7.json
 //	dpebench -exp all -json -short -baseline bench_baseline.json
 //	                          # CI shape: smoke sizes, fail if any tracked
 //	                          # metric regresses >30% vs the baseline
@@ -78,10 +79,10 @@ func parseOptions(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("dpebench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|all")
 	fs.BoolVar(&o.json, "json", false, "run the bench harness and write a machine-readable report")
 	fs.BoolVar(&o.short, "short", false, "CI smoke sizes (small workloads, fewer iterations)")
-	fs.StringVar(&o.out, "out", "BENCH_PR6.json", "report path for -json")
+	fs.StringVar(&o.out, "out", "BENCH_PR7.json", "report path for -json")
 	fs.StringVar(&o.baseline, "baseline", "", "committed baseline report; with -json, fail on tracked-metric regressions")
 	fs.Float64Var(&o.maxRegress, "max-regress", 0.30, "allowed tracked-metric regression vs the baseline (0.30 = +30%)")
 	fs.StringVar(&o.seed, "seed", "", "workload seed")
@@ -106,7 +107,7 @@ func parseOptions(args []string) (*options, error) {
 		return nil, err
 	}
 	if o.baseline != "" && len(harness) == 0 {
-		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|approx|service|contention|recovery|all), but -exp %s runs none", o.exp)
+		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|approx|service|contention|recovery|obs|all), but -exp %s runs none", o.exp)
 	}
 	if _, err := o.benchConfig(); err != nil {
 		return nil, err
@@ -125,18 +126,18 @@ func (o *options) selection() (paper, harness []string, err error) {
 			return nil, []string{"all"}, nil
 		}
 		return paperExps, nil, nil
-	case "engine", "append", "approx", "service", "contention", "recovery":
+	case "engine", "append", "approx", "service", "contention", "recovery", "obs":
 		return nil, []string{o.exp}, nil
 	default:
 		for _, p := range paperExps {
 			if o.exp == p {
 				if o.json {
-					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|approx|service|contention|recovery|all), not %q", o.exp)
+					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|approx|service|contention|recovery|obs|all), not %q", o.exp)
 				}
 				return []string{o.exp}, nil, nil
 			}
 		}
-		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|all)", o.exp)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|all)", o.exp)
 	}
 }
 

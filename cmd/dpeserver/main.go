@@ -30,6 +30,17 @@
 //	GET    /v1/stats                      server-wide stats
 //	GET    /v1/healthz                    liveness
 //
+// With -metrics-addr, a second listener (kept off the tenant port so an
+// operator can firewall it separately) serves GET /metrics in Prometheus
+// text format — request-latency histograms per route, per-shard cache
+// gauges, journal counters, and provider stage timings — and, with
+// -pprof, the net/http/pprof profiling endpoints under /debug/pprof/.
+// Every request carries an X-Request-Id (honored when the client sends
+// one, minted otherwise) that appears in the access log, in error
+// bodies, and in client error strings; requests slower than
+// -slow-request are logged at warning level with their per-stage span
+// breakdown.
+//
 // The server never holds key material: sessions carry only ciphertext
 // artifacts and the public aggregate-evaluation key. SIGINT/SIGTERM
 // drain in-flight requests before exit (-shutdown-grace bounds the
@@ -43,13 +54,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -57,10 +71,13 @@ import (
 // serverConfig is the fully-validated outcome of flag parsing — what
 // run needs to start serving.
 type serverConfig struct {
-	addr    string
-	grace   time.Duration
-	dataDir string
-	service service.Config
+	addr        string
+	grace       time.Duration
+	dataDir     string
+	metricsAddr string
+	pprof       bool
+	slowRequest time.Duration
+	service     service.Config
 }
 
 // parseConfig parses and validates the command line without touching
@@ -80,6 +97,9 @@ func parseConfig(args []string) (*serverConfig, error) {
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
 	dataDir := fs.String("data-dir", "", "persist sessions, logs, and prepared state to per-shard journals in this directory ('' = in-memory only)")
 	compactInterval := fs.Duration("compact-interval", 10*time.Minute, "how often each shard's janitor compacts its journal (requires -data-dir; <= 0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics (Prometheus text) on this address ('' = no metrics listener)")
+	pprofOn := fs.Bool("pprof", false, "also serve /debug/pprof/ on the metrics listener (requires -metrics-addr)")
+	slowRequest := fs.Duration("slow-request", 1*time.Second, "log requests slower than this at warning level with stage spans (<= 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -118,10 +138,19 @@ func parseConfig(args []string) (*serverConfig, error) {
 	if *compactInterval <= 0 {
 		*compactInterval = -1 // Config semantics: negative disables, 0 means the default
 	}
+	if *pprofOn && *metricsAddr == "" {
+		return nil, fmt.Errorf("-pprof requires -metrics-addr (profiling is served on the metrics listener)")
+	}
+	if *slowRequest < 0 {
+		*slowRequest = 0 // Handler semantics: 0 disables slow-request tracing
+	}
 	return &serverConfig{
-		addr:    *addr,
-		grace:   *grace,
-		dataDir: *dataDir,
+		addr:        *addr,
+		grace:       *grace,
+		dataDir:     *dataDir,
+		metricsAddr: *metricsAddr,
+		pprof:       *pprofOn,
+		slowRequest: *slowRequest,
 		service: service.Config{
 			MaxSessions:           *maxSessions,
 			Parallelism:           *par,
@@ -150,13 +179,19 @@ func main() {
 
 func run(sc *serverConfig) error {
 	addr, cfg, grace := sc.addr, sc.service, sc.grace
+	// The obs registry exists whether or not a metrics listener does:
+	// instrumentation is wired once, and -metrics-addr only decides
+	// whether anything scrapes it.
+	metrics := obs.NewRegistry()
 	if sc.dataDir != "" {
 		st, err := store.OpenDir(sc.dataDir)
 		if err != nil {
 			return err
 		}
+		st.Instrument(metrics)
 		cfg.Store = st
 	}
+	cfg.Obs = metrics
 	reg, err := service.OpenRegistry(cfg)
 	if err != nil {
 		return err
@@ -168,15 +203,46 @@ func run(sc *serverConfig) error {
 			sc.dataDir, rec.Sessions, rec.Logs, rec.Snapshots, rec.Tombstones, rec.Skipped)
 	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           service.NewHandler(reg),
+		Addr: addr,
+		Handler: service.NewHandlerWithOptions(reg, service.HandlerOptions{
+			Obs:         metrics,
+			Logger:      slog.Default(),
+			SlowRequest: sc.slowRequest,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	var metricsSrv *http.Server
+	if sc.metricsAddr != "" {
+		mmux := http.NewServeMux()
+		mmux.Handle("/metrics", metrics.Handler())
+		if sc.pprof {
+			// The default-mux registrations in net/http/pprof are side
+			// effects we skip (blank import pollutes DefaultServeMux);
+			// mount the handlers explicitly instead.
+			mmux.HandleFunc("/debug/pprof/", pprof.Index)
+			mmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		metricsSrv = &http.Server{
+			Addr:              sc.metricsAddr,
+			Handler:           mmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("dpeserver: metrics on %s (pprof %v)", sc.metricsAddr, sc.pprof)
+			if err := metricsSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("metrics listener: %w", err)
+			}
+		}()
+	}
+
 	go func() {
 		log.Printf("dpeserver: listening on %s (parallelism %d, %d shards, max %d sessions, cache %d entries / %d bytes)",
 			addr, cfg.Parallelism, cfg.Shards, cfg.MaxSessions, cfg.CacheEntries, cfg.CacheBytes)
@@ -191,6 +257,9 @@ func run(sc *serverConfig) error {
 	log.Printf("dpeserver: shutting down (draining up to %s)", grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
+	if metricsSrv != nil {
+		metricsSrv.Shutdown(shutdownCtx)
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -41,6 +41,39 @@ func TestParseConfigDefaults(t *testing.T) {
 	if cfg.CompactEvery != 10*time.Minute {
 		t.Errorf("compact interval = %v, want 10m", cfg.CompactEvery)
 	}
+	if sc.metricsAddr != "" || sc.pprof {
+		t.Errorf("metrics listener on by default: addr=%q pprof=%v", sc.metricsAddr, sc.pprof)
+	}
+	if sc.slowRequest != time.Second {
+		t.Errorf("slow-request threshold = %v, want 1s", sc.slowRequest)
+	}
+}
+
+// TestParseConfigObservabilityFlags pins the metrics/pprof/slow-request
+// wiring: pprof rides the metrics listener (so it cannot be requested
+// without one), and a non-positive slow-request threshold disables the
+// tracing instead of warning on every request.
+func TestParseConfigObservabilityFlags(t *testing.T) {
+	sc, err := parseConfig([]string{"-metrics-addr", "127.0.0.1:9100", "-pprof", "-slow-request", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.metricsAddr != "127.0.0.1:9100" || !sc.pprof {
+		t.Errorf("parsed metrics addr=%q pprof=%v", sc.metricsAddr, sc.pprof)
+	}
+	if sc.slowRequest != 250*time.Millisecond {
+		t.Errorf("slow-request = %v, want 250ms", sc.slowRequest)
+	}
+	if _, err := parseConfig([]string{"-pprof"}); err == nil || !strings.Contains(err.Error(), "-metrics-addr") {
+		t.Errorf("-pprof without -metrics-addr = %v, want an error naming -metrics-addr", err)
+	}
+	sc, err = parseConfig([]string{"-slow-request", "-1s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.slowRequest != 0 {
+		t.Errorf("-slow-request -1s mapped to %v, want the 0 disable sentinel", sc.slowRequest)
+	}
 }
 
 // TestParseConfigPersistenceFlags pins the -data-dir / -compact-interval

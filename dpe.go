@@ -41,6 +41,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/accessarea"
 	"repro/internal/core"
@@ -325,6 +326,26 @@ type providerConfig struct {
 	accessAreaX float64
 	parallelism int
 	tolerance   float64
+	observe     StageObserver
+}
+
+// StageObserver receives the wall-clock duration of one named pipeline
+// stage as it completes: "prepare" (per-query work), "matrix" (pairwise
+// fan-out), "append_extend"/"append_rows" (the incremental path),
+// "rerank" (exact re-ranking of LSH candidates), and "mine". Composite
+// calls nest — a "mine" observation covers the "matrix" build inside
+// it — so stage totals are per-stage costs, not additive request time.
+// The ctx is the request context the stage ran under, letting an
+// observer attribute the span to a request trace. Observers must be
+// safe for concurrent use and fast: they run on the request path.
+type StageObserver func(ctx context.Context, stage string, d time.Duration)
+
+// WithStageObserver wires stage timing into a provider — how the
+// service layer turns every session's pipeline stages into latency
+// histograms and slow-request traces. nil (the default) disables
+// timing entirely; no clock is read.
+func WithStageObserver(fn StageObserver) ProviderOption {
+	return func(c *providerConfig) { c.observe = fn }
 }
 
 // ProviderOption configures a Provider at construction.
@@ -377,7 +398,21 @@ type Provider struct {
 	metric      distance.Metric
 	parallelism int
 	tolerance   float64
+	observe     StageObserver
 }
+
+// stage starts timing one named pipeline stage and returns the
+// completion hook to defer. With no observer configured it is free —
+// no clock read, no allocation beyond the shared no-op closure.
+func (p *Provider) stage(ctx context.Context, name string) func() {
+	if p.observe == nil {
+		return noopStage
+	}
+	start := time.Now()
+	return func() { p.observe(ctx, name, time.Since(start)) }
+}
+
+var noopStage = func() {}
 
 // NewProvider creates a provider session for a measure. Measures that
 // need shared information beyond the log itself require the matching
@@ -406,6 +441,7 @@ func NewProvider(m Measure, opts ...ProviderOption) (*Provider, error) {
 		metric:      metric,
 		parallelism: cfg.parallelism,
 		tolerance:   cfg.tolerance,
+		observe:     cfg.observe,
 	}, nil
 }
 
@@ -472,6 +508,7 @@ func (p *Provider) UnmarshalPreparedLog(data []byte) (*PreparedLog, error) {
 // is the first half, exposed so callers (e.g. a network service) can
 // amortize it across calls.
 func (p *Provider) Prepare(ctx context.Context, log []string) (*PreparedLog, error) {
+	defer p.stage(ctx, "prepare")()
 	prep, err := p.metric.Prepare(ctx, log)
 	if err != nil {
 		return nil, err
@@ -495,6 +532,7 @@ func (p *Provider) DistanceMatrix(ctx context.Context, log []string) (Matrix, er
 // DistanceMatrixPrepared is DistanceMatrix over an already-prepared log:
 // only the pairwise fan-out runs.
 func (p *Provider) DistanceMatrixPrepared(ctx context.Context, pl *PreparedLog) (Matrix, error) {
+	defer p.stage(ctx, "matrix")()
 	return distance.BuildMatrix(ctx, pl.prep.Len(), p.parallelism, pl.prep.Distance)
 }
 
@@ -724,6 +762,7 @@ func (p *Provider) MinePrepared(ctx context.Context, pl *PreparedLog, spec MineS
 	if err := spec.Validate(pl.Len()); err != nil {
 		return nil, err
 	}
+	defer p.stage(ctx, "mine")()
 	if spec.Approximate {
 		idx, err := p.BuildApproxIndex(pl)
 		if err != nil {

@@ -1,11 +1,11 @@
 // Package bench is the reproducible benchmark harness: it runs
 // paper-style performance experiments against deterministic synthetic
 // workloads and emits a versioned machine-readable report
-// (BENCH_PR6.json) that CI gates against a committed baseline.
+// (BENCH_PR7.json) that CI gates against a committed baseline.
 //
-// Six experiments; engine, append, approx, service, and recovery run
-// across the configured measures (all four of Table I by default) on
-// encrypted artifacts:
+// Seven experiments; engine, append, approx, service, recovery, and obs
+// run across the configured measures (all four of Table I by default)
+// on encrypted artifacts:
 //
 //   - engine:  full distance-matrix builds, sequential vs the worker
 //     pool, with an entry-computation counter pinning the upper-triangle
@@ -32,6 +32,12 @@
 //     post-restart cache misses (zero), and the matrix mismatches
 //     (zero) are tracked; the cold vs warm-recovered first-request
 //     latencies are recorded untracked.
+//   - obs: a fully instrumented server (journal, registry, HTTP
+//     middleware metrics) serves a scripted workload, and the /metrics
+//     scrape is reconciled against the script and GET /v1/stats: the
+//     request count, prepare-stage samples, and journal appends are
+//     closed-form tracked counters, and the stats-vs-metrics mismatch
+//     count must be zero.
 //
 // Wall-clock metrics are recorded but never gated (they vary across
 // machines); only deterministic counters are marked Tracked and
@@ -112,7 +118,7 @@ func ShortConfig() Config {
 
 // Experiments lists the harness experiments in run order.
 func Experiments() []string {
-	return []string{"engine", "append", "approx", "service", "contention", "recovery"}
+	return []string{"engine", "append", "approx", "service", "contention", "recovery", "obs"}
 }
 
 // Run executes the named experiments ("all" or nil means every one) and
@@ -133,11 +139,12 @@ func Run(ctx context.Context, names []string, cfg Config) (*Report, error) {
 		"service":    runService,
 		"contention": runContention,
 		"recovery":   runRecovery,
+		"obs":        runObs,
 	}
 	for n := range selected {
 		if n != "all" {
 			if _, ok := known[n]; !ok {
-				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|approx|service|contention|recovery|all)", n)
+				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|approx|service|contention|recovery|obs|all)", n)
 			}
 		}
 	}

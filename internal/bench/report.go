@@ -27,7 +27,7 @@ type Metric struct {
 }
 
 // Report is the machine-readable outcome of one harness run — what
-// dpebench -json writes to BENCH_PR6.json and the CI bench job uploads
+// dpebench -json writes to BENCH_PR7.json and the CI bench job uploads
 // as an artifact.
 type Report struct {
 	Schema    int      `json:"schema"`

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WriteTo renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// HELP/TYPE header per family, histogram buckets cumulative with an
+// implicit +Inf. Func-backed readers are called here, serialized, so
+// they may take locks of their own.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	prevFamily := ""
+	r.funcMu.Lock()
+	defer r.funcMu.Unlock()
+	for _, s := range r.snapshot() {
+		if s.name != prevFamily {
+			if err := count(fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.kind)); err != nil {
+				return n, err
+			}
+			prevFamily = s.name
+		}
+		switch {
+		case s.kind == kindHistogram:
+			if err := writeHistogram(bw, count, s); err != nil {
+				return n, err
+			}
+		case s.read != nil:
+			if err := count(fmt.Fprintf(bw, "%s%s %s\n", s.name, s.labels, formatFloat(s.read()))); err != nil {
+				return n, err
+			}
+		case s.kind == kindCounter:
+			if err := count(fmt.Fprintf(bw, "%s%s %d\n", s.name, s.labels, s.counter.Value())); err != nil {
+				return n, err
+			}
+		default:
+			if err := count(fmt.Fprintf(bw, "%s%s %s\n", s.name, s.labels, formatFloat(s.gauge.Value()))); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// writeHistogram emits the cumulative _bucket lines plus _sum and
+// _count. Bucket counts are read before count/sum, so a concurrent
+// Observe can at worst make the +Inf bucket (derived from count) larger
+// than the bound buckets' total — still a valid cumulative histogram.
+func writeHistogram(bw *bufio.Writer, count func(int, error) error, s *series) error {
+	h := s.hist
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := count(fmt.Fprintf(bw, "%s_bucket%s %d\n", s.name, labelsWithLE(s.labels, formatFloat(b)), cum)); err != nil {
+			return err
+		}
+	}
+	total := h.Count()
+	if total < cum {
+		// A racing Observe bumped a bucket before the total; clamp so
+		// the cumulative invariant (every bucket ≤ +Inf) holds.
+		total = cum
+	}
+	if err := count(fmt.Fprintf(bw, "%s_bucket%s %d\n", s.name, labelsWithLE(s.labels, "+Inf"), total)); err != nil {
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "%s_sum%s %s\n", s.name, s.labels, formatFloat(h.Sum()))); err != nil {
+		return err
+	}
+	return count(fmt.Fprintf(bw, "%s_count%s %d\n", s.name, s.labels, total))
+}
+
+// labelsWithLE splices the histogram `le` label into an already
+// rendered label block.
+func labelsWithLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	// labels is `{...}` — insert before the closing brace.
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the scrape endpoint: GET (or HEAD) renders the
+// registry, anything else is 405.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one timed stage of a request: a name ("prepare",
+// "matrix", "rerank") and how long it took.
+type SpanRecord struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace accumulates the stage spans of one request so a slow-request
+// log line can say where the time went. A nil *Trace no-ops, so stage
+// hooks can call Add unconditionally.
+type Trace struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// Add appends one span.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, SpanRecord{Name: name, Duration: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in arrival order.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// String renders the spans as `name=dur name=dur ...` — the shape the
+// slow-request log line embeds.
+func (t *Trace) String() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", s.Name, s.Duration.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches a trace to ctx; stage hooks below the
+// handler find it with TraceFromContext.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFromContext returns the request's trace, or nil (which is safe
+// to Add to).
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

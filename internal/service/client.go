@@ -155,6 +155,9 @@ func (c *Client) doStream(ctx context.Context, method, path string, in any) (io.
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Mint a correlation id client-side so a failed call can be chased
+	// through the server's access log; the server honors it verbatim.
+	req.Header.Set(RequestIDHeader, newRequestID())
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -163,11 +166,28 @@ func (c *Client) doStream(ctx context.Context, method, path string, in any) (io.
 		defer resp.Body.Close()
 		var e errorResponse
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			if id := errorRequestID(&e, resp); id != "" {
+				return nil, fmt.Errorf("service: %s %s: %s (HTTP %d, request %s)", method, path, e.Error, resp.StatusCode, id)
+			}
 			return nil, fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		if id := resp.Header.Get(RequestIDHeader); id != "" {
+			return nil, fmt.Errorf("service: %s %s: HTTP %d (request %s)", method, path, resp.StatusCode, id)
 		}
 		return nil, fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	return resp.Body, nil
+}
+
+// errorRequestID picks the correlation id out of a failed response —
+// the error body's field when present, the echoed header otherwise
+// (a proxy-generated error body has no request_id, but the header may
+// survive).
+func errorRequestID(e *errorResponse, resp *http.Response) string {
+	if e.RequestID != "" {
+		return e.RequestID
+	}
+	return resp.Header.Get(RequestIDHeader)
 }
 
 // Session is a remote provider session: the client-side half of one

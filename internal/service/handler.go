@@ -70,16 +70,28 @@ type (
 		Candidates int            `json:"candidates"`
 		N          int            `json:"n"`
 	}
-	// errorResponse is every non-2xx body.
+	// errorResponse is every non-2xx body. RequestID carries the same
+	// correlation id the X-Request-Id response header does, so an error
+	// a client logs can be matched to the server's access log even when
+	// the transport stripped the headers.
 	errorResponse struct {
-		Error string `json:"error"`
+		Error     string `json:"error"`
+		RequestID string `json:"request_id,omitempty"`
 	}
 )
 
-// NewHandler exposes a registry as the dpeserver HTTP API under /v1.
-// All endpoints honor request-context cancellation: a client that goes
-// away aborts its matrix build mid-flight.
+// NewHandler exposes a registry as the dpeserver HTTP API under /v1
+// with no metrics or logging — NewHandlerWithOptions with a zero
+// options struct. Request ids are still assigned and echoed.
 func NewHandler(reg *Registry) http.Handler {
+	return NewHandlerWithOptions(reg, HandlerOptions{})
+}
+
+// NewHandlerWithOptions exposes a registry as the dpeserver HTTP API
+// under /v1, wrapped in the request-id/metrics/logging middleware (see
+// HandlerOptions). All endpoints honor request-context cancellation: a
+// client that goes away aborts its matrix build mid-flight.
+func NewHandlerWithOptions(reg *Registry, opts HandlerOptions) http.Handler {
 	h := &handler{reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -110,7 +122,12 @@ func NewHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/mine", h.mine)
 	mux.HandleFunc("GET /v1/sessions/{id}/neighbors", h.neighbors)
 	mux.HandleFunc("POST /v1/sessions/{id}/verify", h.verify)
-	return mux
+	return &instrumented{
+		mux:     mux,
+		metrics: newHTTPMetrics(opts.Obs),
+		logger:  opts.Logger,
+		slow:    opts.SlowRequest,
+	}
 }
 
 type handler struct {
@@ -143,7 +160,7 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 			status = http.StatusNotFound
 		}
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: RequestIDFromContext(r.Context())})
 }
 
 func decodeBody(r *http.Request, into any) error {

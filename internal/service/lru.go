@@ -108,10 +108,15 @@ func (c *lruCache) evictOldest() {
 }
 
 // removePrefix drops every entry whose key starts with prefix — used
-// when a session is deleted to release its prepared state.
-func (c *lruCache) removePrefix(prefix string) {
+// when a session is deleted or reaped to release its prepared state —
+// and reports how many entries went. Deliberately not counted as
+// evictions: that counter means "budget pressure pushed out someone
+// else's entry", and keeping the two causes apart is what lets the
+// per-cause metric series reconcile with CacheStats.Evictions.
+func (c *lruCache) removePrefix(prefix string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	removed := 0
 	var next *list.Element
 	for el := c.ll.Front(); el != nil; el = next {
 		next = el.Next()
@@ -120,8 +125,10 @@ func (c *lruCache) removePrefix(prefix string) {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			c.bytes -= e.cost
+			removed++
 		}
 	}
+	return removed
 }
 
 // stats snapshots the counters.

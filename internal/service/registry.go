@@ -12,6 +12,7 @@ import (
 	"time"
 
 	dpe "repro"
+	"repro/internal/obs"
 	"repro/internal/service/ring"
 	"repro/internal/store"
 )
@@ -71,6 +72,11 @@ type Config struct {
 	// minutes; < 0 disables periodic compaction. Ignored without a
 	// persistent Store.
 	CompactEvery time.Duration
+	// Obs, when set, wires the registry's instruments into a metrics
+	// registry (session lifecycle counters, cache gauges, singleflight
+	// dedups, provider stage histograms — see metrics.go). nil leaves
+	// the registry uninstrumented at zero per-request cost.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +248,10 @@ type Registry struct {
 	// every shard count.
 	live atomic.Int64
 
+	// metrics holds the obs instruments (all nil unless cfg.Obs is set
+	// — every call site tolerates that; see metrics.go).
+	metrics registryMetrics
+
 	stop        chan struct{}
 	janitors    sync.WaitGroup
 	closeOnce   sync.Once
@@ -326,6 +336,12 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 			orphan.Close()
 		}
 		r.replayDeleted = nil
+	}
+	// Wire metrics after replay (recovery never pollutes the serving
+	// counters — RecoveryStats reports it separately) and before the
+	// janitors start reading the reap counters.
+	if cfg.Obs != nil {
+		r.wireMetrics(cfg.Obs)
 	}
 	if cfg.JanitorInterval > 0 {
 		for _, sh := range r.shards {
@@ -490,7 +506,7 @@ func (r *Registry) restoreSession(rec store.Record) {
 	if sh.session(rec.Session) != nil {
 		return // duplicate record (e.g. compaction raced an append)
 	}
-	provider, err := buildProvider(ps.Req, r.cfg.Parallelism)
+	provider, err := buildProvider(ps.Req, r.cfg.Parallelism, r.observeStage)
 	if err != nil {
 		r.recovered.Skipped++
 		return
@@ -572,7 +588,8 @@ func (r *Registry) janitor(sh *shard) {
 func (r *Registry) reapShard(sh *shard, now time.Time) {
 	for _, id := range sh.reapIdle(now, r.cfg.SessionTTL) {
 		r.live.Add(-1)
-		sh.cache.removePrefix(id + "\x00")
+		r.metrics.sessionsReaped.Inc()
+		r.metrics.evictReap.Add(int64(sh.cache.removePrefix(id + "\x00")))
 		if r.persistent {
 			sh.appendRecord(store.Record{Kind: store.KindDelete, Session: id})
 		}
@@ -686,9 +703,14 @@ var errTooManySessions = fmt.Errorf("service: session limit reached")
 
 // buildProvider decodes a create request's artifacts and constructs the
 // provider — shared by CreateSession and journal replay, so a rebuilt
-// session is byte-for-byte the session that was journaled.
-func buildProvider(req *CreateSessionRequest, parallelism int) (*dpe.Provider, error) {
+// session is byte-for-byte the session that was journaled. observe, when
+// non-nil, wires the provider's pipeline-stage timings into the
+// registry's histograms and request traces.
+func buildProvider(req *CreateSessionRequest, parallelism int, observe dpe.StageObserver) (*dpe.Provider, error) {
 	opts := []dpe.ProviderOption{dpe.WithParallelism(parallelism)}
+	if observe != nil {
+		opts = append(opts, dpe.WithStageObserver(observe))
+	}
 	if req.Catalog != nil {
 		cat, err := req.Catalog.Decode()
 		if err != nil {
@@ -729,7 +751,7 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 	if req.Measure == nil {
 		return nil, fmt.Errorf("service: request is missing the measure (want token|structure|result|access-area)")
 	}
-	provider, err := buildProvider(req, r.cfg.Parallelism)
+	provider, err := buildProvider(req, r.cfg.Parallelism, r.observeStage)
 	if err != nil {
 		return nil, err
 	}
@@ -781,6 +803,7 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 			return nil, fmt.Errorf("service: journaling session create: %w", err)
 		}
 	}
+	r.metrics.sessionsCreated.Inc()
 	return s, nil
 }
 
@@ -801,7 +824,8 @@ func (r *Registry) DeleteSession(id string) error {
 		return notFoundError{fmt.Errorf("service: unknown session %q", id)}
 	}
 	r.live.Add(-1)
-	sh.cache.removePrefix(id + "\x00")
+	r.metrics.sessionsDeleted.Inc()
+	r.metrics.evictDelete.Add(int64(sh.cache.removePrefix(id + "\x00")))
 	if r.persistent {
 		if err := sh.appendRecord(store.Record{Kind: store.KindDelete, Session: id}); err != nil {
 			// The in-memory delete already happened; surface the journal

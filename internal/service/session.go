@@ -240,7 +240,9 @@ func (s *session) preparedKeyed(ctx context.Context, logID string, queries []str
 			s.mu.Lock()
 			s.inflight++
 			s.mu.Unlock()
+			s.reg.metrics.inflightBuilds.Add(1)
 			pl, err := build(ctx)
+			s.reg.metrics.inflightBuilds.Add(-1)
 			cached := false
 			if err == nil {
 				// Only cache for a still-live session: if the session was
@@ -270,6 +272,8 @@ func (s *session) preparedKeyed(ctx context.Context, logID string, queries []str
 			s.sh.flight.finish(key, c, pl, err)
 			return pl, err
 		}
+		// Not the leader: this call coalesced onto an in-flight build.
+		s.reg.metrics.flightDedups.Inc()
 		select {
 		case <-c.done:
 			if c.err == nil {
@@ -326,7 +330,13 @@ func (s *session) approxIndex(ctx context.Context, logID string, pl *dpe.Prepare
 				s.mu.Unlock()
 				return idx, nil
 			}
+			// BuildApproxIndex takes no context, so its stage is timed
+			// here rather than inside the provider like the other stages.
+			s.reg.metrics.inflightBuilds.Add(1)
+			buildStart := time.Now()
 			idx, err := s.provider.BuildApproxIndex(pl)
+			s.reg.observeStage(ctx, "approx_index", time.Since(buildStart))
+			s.reg.metrics.inflightBuilds.Add(-1)
 			cached := false
 			if err == nil {
 				// Same deleted-session rule as preparedKeyed: never add
@@ -348,6 +358,8 @@ func (s *session) approxIndex(ctx context.Context, logID string, pl *dpe.Prepare
 			s.sh.flight.finish(key, c, idx, err)
 			return idx, err
 		}
+		// Not the leader: this call coalesced onto an in-flight build.
+		s.reg.metrics.flightDedups.Inc()
 		select {
 		case <-c.done:
 			if c.err == nil {

@@ -107,6 +107,14 @@ func (sh *shard) reapIdle(now time.Time, ttl time.Duration) []string {
 	return reaped
 }
 
+// sessionCount reads the shard's live-session count (the per-shard
+// gauge).
+func (sh *shard) sessionCount() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.sessions)
+}
+
 // snapshot reads the shard's counters for stats. The shard lock guards
 // only the map length; the cache snapshots under its own brief mutex —
 // no lock is ever held while sizing prepared state (costs were charged

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// storeMetrics holds the journal instruments one Dir's segments share.
+// The struct is allocated at OpenDir time (so every segment can hold
+// the pointer) and its fields stay nil until Instrument fills them —
+// obs instruments are nil-receiver safe, so an uninstrumented store
+// pays one nil check per event.
+type storeMetrics struct {
+	written     *obs.Counter
+	replayed    *obs.Counter
+	compactions *obs.Counter
+	reclaimed   *obs.Counter
+	fsync       *obs.Histogram
+}
+
+// Instrument registers the directory store's journal metrics on r and
+// routes every segment's events to them. Call it after OpenDir and
+// before the registry opens or replays any shard journal — metric
+// fields are written without synchronization, on the assumption that
+// wiring happens before serving starts.
+func (d *Dir) Instrument(r *obs.Registry) {
+	m := d.metrics
+	m.written = r.Counter("dpe_store_records_written_total",
+		"Journal records appended (and fsynced) across all shard segments.")
+	m.replayed = r.Counter("dpe_store_records_replayed_total",
+		"Journal records decoded intact during startup replay.")
+	m.compactions = r.Counter("dpe_store_compactions_total",
+		"Segment compaction rewrites completed.")
+	m.reclaimed = r.Counter("dpe_store_compact_reclaimed_bytes_total",
+		"Bytes reclaimed by compaction (old segment size minus rewritten size).")
+	m.fsync = r.Histogram("dpe_store_fsync_seconds",
+		"Latency of the fsync acknowledging each journal append.", nil)
+}
+
+// The segment-side hooks below are nil-safe on the metrics struct
+// itself too, so a segment constructed without a Dir still works.
+
+func (m *storeMetrics) recordWritten(syncDur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.written.Inc()
+	m.fsync.Observe(syncDur.Seconds())
+}
+
+func (m *storeMetrics) recordReplayed() {
+	if m == nil {
+		return
+	}
+	m.replayed.Inc()
+}
+
+func (m *storeMetrics) recordCompaction(oldSize, newSize int64) {
+	if m == nil {
+		return
+	}
+	m.compactions.Inc()
+	if oldSize > newSize {
+		m.reclaimed.Add(oldSize - newSize)
+	}
+}

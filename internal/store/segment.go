@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Segment-file record framing. Each record is
@@ -34,6 +35,10 @@ const maxRecordSize = 1 << 30
 // segment file per shard (segment-NNNN.log).
 type Dir struct {
 	path string
+	// metrics is shared by every segment this Dir opens; see
+	// Dir.Instrument (metrics.go). Allocated eagerly so segments opened
+	// before instrumentation still pick up later-wired instruments.
+	metrics *storeMetrics
 }
 
 // OpenDir creates (if needed) and opens a store directory.
@@ -44,7 +49,7 @@ func OpenDir(path string) (*Dir, error) {
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", path, err)
 	}
-	return &Dir{path: path}, nil
+	return &Dir{path: path, metrics: &storeMetrics{}}, nil
 }
 
 // Path returns the store's directory.
@@ -60,7 +65,7 @@ func (d *Dir) Open(shard int) (Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", name, err)
 	}
-	return &segment{name: name, f: f}, nil
+	return &segment{name: name, f: f, m: d.metrics}, nil
 }
 
 // List returns the shard indexes with existing segment files, sorted.
@@ -89,6 +94,7 @@ type segment struct {
 	mu   sync.Mutex
 	name string
 	f    *os.File
+	m    *storeMetrics // nil-safe; shared across the owning Dir's segments
 }
 
 var errClosed = errors.New("store: segment is closed")
@@ -126,10 +132,13 @@ func (s *segment) Append(rec Record) error {
 	// or a delete tombstone) must survive power loss, not just a
 	// process crash. Journaled events are low-rate (session lifecycle
 	// and first-prepare, never the per-request hot path), so the fsync
-	// cost stays off the serving path.
+	// cost stays off the serving path — the fsync-latency histogram is
+	// the number that says when that assumption stops holding.
+	syncStart := time.Now()
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: syncing %s: %w", s.name, err)
 	}
+	s.m.recordWritten(time.Since(syncStart))
 	return nil
 }
 
@@ -173,6 +182,7 @@ func (s *segment) Replay(fn func(rec Record) error) error {
 			return s.truncateLocked(good) // framed but not decodable
 		}
 		good += frameHeaderSize + int64(n)
+		s.m.recordReplayed()
 		if err := fn(rec); err != nil {
 			return err
 		}
@@ -198,11 +208,16 @@ func (s *segment) Compact(recs []Record) error {
 	if s.f == nil {
 		return errClosed
 	}
+	var oldSize int64
+	if fi, err := s.f.Stat(); err == nil {
+		oldSize = fi.Size()
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.name), filepath.Base(s.name)+".compact-*")
 	if err != nil {
 		return fmt.Errorf("store: creating compaction temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	var newSize int64
 	w := bufio.NewWriter(tmp)
 	for _, rec := range recs {
 		payload, err := json.Marshal(rec)
@@ -221,6 +236,7 @@ func (s *segment) Compact(recs []Record) error {
 			tmp.Close()
 			return fmt.Errorf("store: writing compaction temp: %w", err)
 		}
+		newSize += frameHeaderSize + int64(len(payload))
 	}
 	if err := w.Flush(); err != nil {
 		tmp.Close()
@@ -251,6 +267,7 @@ func (s *segment) Compact(recs []Record) error {
 	}
 	old.Close()
 	s.f = f
+	s.m.recordCompaction(oldSize, newSize)
 	return nil
 }
 

@@ -114,6 +114,7 @@ func (p *Provider) NeighborsPrepared(ctx context.Context, pl *PreparedLog, idx *
 	if idx.Len() != n {
 		return nil, fmt.Errorf("dpe: index covers %d queries, log has %d", idx.Len(), n)
 	}
+	defer p.stage(ctx, "rerank")()
 	cands := idx.Candidates(q)
 	out := make([]Neighbor, 0, len(cands))
 	for _, c := range cands {
@@ -166,6 +167,7 @@ func (p *Provider) MinePreparedIndexed(ctx context.Context, pl *PreparedLog, idx
 	if idx.Len() != pl.Len() {
 		return nil, fmt.Errorf("dpe: index covers %d queries, log has %d", idx.Len(), pl.Len())
 	}
+	defer p.stage(ctx, "mine")()
 	n := pl.Len()
 	res := &MineResult{}
 	switch spec.Algorithm {
