@@ -20,11 +20,15 @@
 //	dpebench -exp contention  # P goroutines vs one sharded registry
 //	dpebench -exp recovery    # kill-and-restart: journal replay vs cold start
 //	dpebench -exp obs         # instrumented server: /metrics vs ground truth
+//	dpebench -exp hotpath     # bitset vs map kernels, CRT vs textbook Paillier
 //
 //	dpebench -exp all -json   # run the whole harness, write BENCH_PR7.json
 //	dpebench -exp all -json -short -baseline bench_baseline.json
 //	                          # CI shape: smoke sizes, fail if any tracked
 //	                          # metric regresses >30% vs the baseline
+//	dpebench -compare BENCH_PR7.json -baseline bench_baseline.json
+//	                          # no experiments: render the per-metric %
+//	                          # delta between two existing reports
 //
 // In text mode, -exp all runs the paper experiments (E1–E6); the
 // harness experiments run when named explicitly or whenever -json is
@@ -60,6 +64,7 @@ type options struct {
 	short      bool
 	out        string
 	baseline   string
+	compare    string
 	maxRegress float64
 
 	// Workload sizing; zero means "the mode's default".
@@ -79,11 +84,12 @@ func parseOptions(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("dpebench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|hotpath|all")
 	fs.BoolVar(&o.json, "json", false, "run the bench harness and write a machine-readable report")
 	fs.BoolVar(&o.short, "short", false, "CI smoke sizes (small workloads, fewer iterations)")
 	fs.StringVar(&o.out, "out", "BENCH_PR7.json", "report path for -json")
 	fs.StringVar(&o.baseline, "baseline", "", "committed baseline report; with -json, fail on tracked-metric regressions")
+	fs.StringVar(&o.compare, "compare", "", "render the per-metric delta of this report vs -baseline; runs no experiments")
 	fs.Float64Var(&o.maxRegress, "max-regress", 0.30, "allowed tracked-metric regression vs the baseline (0.30 = +30%)")
 	fs.StringVar(&o.seed, "seed", "", "workload seed")
 	fs.IntVar(&o.queries, "queries", 0, "queries in the generated log (harness: base log size n)")
@@ -102,12 +108,18 @@ func parseOptions(args []string) (*options, error) {
 	if o.maxRegress < 0 {
 		return nil, fmt.Errorf("-max-regress must be >= 0, got %v", o.maxRegress)
 	}
+	if o.compare != "" {
+		if o.baseline == "" {
+			return nil, fmt.Errorf("-compare needs -baseline to name the report to diff against")
+		}
+		return o, nil
+	}
 	_, harness, err := o.selection()
 	if err != nil {
 		return nil, err
 	}
 	if o.baseline != "" && len(harness) == 0 {
-		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|approx|service|contention|recovery|obs|all), but -exp %s runs none", o.exp)
+		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|approx|service|contention|recovery|obs|hotpath|all), but -exp %s runs none", o.exp)
 	}
 	if _, err := o.benchConfig(); err != nil {
 		return nil, err
@@ -126,18 +138,18 @@ func (o *options) selection() (paper, harness []string, err error) {
 			return nil, []string{"all"}, nil
 		}
 		return paperExps, nil, nil
-	case "engine", "append", "approx", "service", "contention", "recovery", "obs":
+	case "engine", "append", "approx", "service", "contention", "recovery", "obs", "hotpath":
 		return nil, []string{o.exp}, nil
 	default:
 		for _, p := range paperExps {
 			if o.exp == p {
 				if o.json {
-					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|approx|service|contention|recovery|obs|all), not %q", o.exp)
+					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|approx|service|contention|recovery|obs|hotpath|all), not %q", o.exp)
 				}
 				return []string{o.exp}, nil, nil
 			}
 		}
-		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|all)", o.exp)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|hotpath|all)", o.exp)
 	}
 }
 
@@ -203,6 +215,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.compare != "" {
+		return runCompare(o, stdout)
+	}
 	paper, harness, err := o.selection()
 	if err != nil {
 		return err
@@ -266,6 +281,35 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "all tracked metrics within +%.0f%% of %s\n", o.maxRegress*100, o.baseline)
 	return nil
+}
+
+// runCompare is the -compare mode: read two existing reports and print
+// the per-metric percentage delta. Purely a reading aid — no
+// experiments run, no gate applies.
+func runCompare(o *options, w io.Writer) error {
+	cur, err := readReportFile(o.compare)
+	if err != nil {
+		return err
+	}
+	base, err := readReportFile(o.baseline)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, bench.RenderDelta(cur, base))
+	return nil
+}
+
+func readReportFile(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := bench.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
 }
 
 // gitSHA stamps the report with the commit it measured, best effort:

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	dpe "repro"
+	"repro/internal/bench"
 )
 
 func TestParseOptionsSelection(t *testing.T) {
@@ -19,6 +23,7 @@ func TestParseOptionsSelection(t *testing.T) {
 		{[]string{"-exp", "engine"}, 0, 1},
 		{[]string{"-exp", "append", "-json"}, 0, 1},
 		{[]string{"-exp", "service"}, 0, 1},
+		{[]string{"-exp", "hotpath"}, 0, 1},
 	}
 	for _, tc := range cases {
 		o, err := parseOptions(tc.args)
@@ -67,11 +72,46 @@ func TestParseOptionsErrors(t *testing.T) {
 		{[]string{"-measure", "bogus"}, "unknown measure"},
 		{[]string{"-max-regress", "-0.1"}, "-max-regress"},
 		{[]string{"stray"}, "unexpected arguments"},
+		{[]string{"-compare", "a.json"}, "-compare needs -baseline"},
 	}
 	for _, tc := range cases {
 		_, err := parseOptions(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("parseOptions(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
 		}
+	}
+}
+
+// TestCompareMode runs the -compare path end to end over two synthetic
+// report files and checks the delta render reaches stdout.
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, value float64) string {
+		r := &bench.Report{Schema: bench.SchemaVersion, GoVersion: "go-test", NumCPU: 1}
+		r.Metrics = []bench.Metric{{Name: "engine/token/pairs", Unit: "pairs/op", Value: value, Tracked: true}}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cur, base := write("cur.json", 110), write("base.json", 100)
+	var out bytes.Buffer
+	if err := run([]string{"-compare", cur, "-baseline", base}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"BENCH DELTA", "engine/token/pairs", "+10.0%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+	if err := run([]string{"-compare", filepath.Join(dir, "missing.json"), "-baseline", base}, &out); err == nil {
+		t.Error("compare with a missing report file should error")
 	}
 }

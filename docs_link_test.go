@@ -1,0 +1,110 @@
+package dpe
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docsFiles are the markdown files whose links CI keeps honest.
+func docsFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	more, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(more) == 0 {
+		t.Fatal("no docs/*.md files found — the docs tree went missing")
+	}
+	return append(files, more...)
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// stripFences drops fenced code blocks, where bracket-paren sequences
+// are code, not links.
+func stripFences(src string) string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of a markdown
+// file's headings (lowercase, punctuation stripped, spaces to hyphens).
+func headingAnchors(src string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, line := range strings.Split(stripFences(src), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteByte('-')
+			}
+		}
+		anchors[b.String()] = true
+	}
+	return anchors
+}
+
+// TestDocsLinks is the markdown link checker CI runs by name: every
+// relative link in README.md and docs/*.md must point at an existing
+// file, and every #anchor must match a heading in its target. External
+// http(s) links are not fetched — the check stays hermetic.
+func TestDocsLinks(t *testing.T) {
+	for _, file := range docsFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		links := mdLink.FindAllStringSubmatch(stripFences(src), -1)
+		if filepath.Base(file) != "README.md" && len(links) == 0 {
+			t.Errorf("%s: no links at all — docs pages must cross-link", file)
+		}
+		for _, m := range links {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			resolved := file // "#anchor" links target the same file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if anchor == "" {
+				continue
+			}
+			tdata, err := os.ReadFile(resolved)
+			if err != nil {
+				t.Errorf("%s: link %q: reading target: %v", file, target, err)
+				continue
+			}
+			if !headingAnchors(string(tdata))[anchor] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q", file, target, resolved, anchor)
+			}
+		}
+	}
+}

@@ -74,6 +74,8 @@ const (
 	MeasureAccessArea
 )
 
+// String returns the measure's canonical name — the same text
+// ParseMeasure accepts and the wire protocol carries.
 func (m Measure) String() string {
 	switch m {
 	case MeasureToken:
@@ -588,6 +590,8 @@ const (
 	MineKNN
 )
 
+// String returns the algorithm's canonical name — the same text
+// ParseMiningAlgorithm accepts and MineSpec marshals.
 func (a MiningAlgorithm) String() string {
 	switch a {
 	case MineKMedoids:

@@ -240,10 +240,11 @@ func TestProviderRequiresArtifacts(t *testing.T) {
 	}
 }
 
-// cancelLog is a log big enough (~125k pairs) that a matrix build takes
-// many milliseconds, so a cancellation landing mid-build is observable.
+// cancelLog is a log big enough (~1.1M pairs) that a matrix build takes
+// many milliseconds even on the bitset kernel, so a cancellation
+// landing mid-build is observable.
 func cancelLog() []string {
-	queries := make([]string, 500)
+	queries := make([]string, 1500)
 	for i := range queries {
 		queries[i] = fmt.Sprintf(
 			"SELECT a, b, c FROM t WHERE a > %d AND b < %d AND c IN (%d, %d, %d, %d, %d, %d) OR a = %d",

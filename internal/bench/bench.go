@@ -3,7 +3,7 @@
 // workloads and emits a versioned machine-readable report
 // (BENCH_PR7.json) that CI gates against a committed baseline.
 //
-// Seven experiments; engine, append, approx, service, recovery, and obs
+// Eight experiments; engine, append, approx, service, recovery, and obs
 // run across the configured measures (all four of Table I by default)
 // on encrypted artifacts:
 //
@@ -38,6 +38,15 @@
 //     request count, prepare-stage samples, and journal appends are
 //     closed-form tracked counters, and the stats-vs-metrics mismatch
 //     count must be zero.
+//   - hotpath: the kernel microbenchmark — every measure's interned
+//     bitset kernel vs the legacy map kernel over a fixed n=256
+//     plaintext matrix, plus Paillier CRT decryption and fixed-base
+//     encryption vs their textbook paths. The pair counters and the
+//     entry/plaintext mismatch counts (zero) are tracked exactly; the
+//     fast/slow time ratios are tracked through a clamp (the bitset
+//     kernel must stay ≥2x faster, the crypto fast paths must not fall
+//     behind textbook) so noise below the threshold can never flake
+//     the gate — the harness's only gated wall-clock-derived numbers.
 //
 // Wall-clock metrics are recorded but never gated (they vary across
 // machines); only deterministic counters are marked Tracked and
@@ -118,7 +127,7 @@ func ShortConfig() Config {
 
 // Experiments lists the harness experiments in run order.
 func Experiments() []string {
-	return []string{"engine", "append", "approx", "service", "contention", "recovery", "obs"}
+	return []string{"engine", "append", "approx", "service", "contention", "recovery", "obs", "hotpath"}
 }
 
 // Run executes the named experiments ("all" or nil means every one) and
@@ -140,11 +149,12 @@ func Run(ctx context.Context, names []string, cfg Config) (*Report, error) {
 		"contention": runContention,
 		"recovery":   runRecovery,
 		"obs":        runObs,
+		"hotpath":    runHotpath,
 	}
 	for n := range selected {
 		if n != "all" {
 			if _, ok := known[n]; !ok {
-				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|approx|service|contention|recovery|obs|all)", n)
+				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|approx|service|contention|recovery|obs|hotpath|all)", n)
 			}
 		}
 	}

@@ -102,6 +102,37 @@ func TestRunAllTrackedCounters(t *testing.T) {
 		hits.Value != float64(3*contentionWorkers*rounds) {
 		t.Errorf("contention/prepared_hits = %+v (ok=%v), want untracked %d", hits, ok, 3*contentionWorkers*rounds)
 	}
+
+	// Hotpath counters: the kernel comparison runs at its own fixed
+	// n=256 regardless of cfg.Queries, and both kernels must agree on
+	// every entry. The ratio gates are clamped timing values — assert
+	// only that they exist, are tracked, and never report below the
+	// clamp floor.
+	wantHot := float64(256 * 255 / 2)
+	for _, m := range []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea} {
+		pfx := "hotpath/" + m.String()
+		for name, want := range map[string]float64{
+			pfx + "/bitset_pairs":  wantHot,
+			pfx + "/map_pairs":     wantHot,
+			pfx + "/pair_mismatch": 0,
+		} {
+			got, ok := r.Metric(name)
+			if !ok || !got.Tracked || got.Value != want {
+				t.Errorf("%s = %+v (ok=%v), want tracked %v", name, got, ok, want)
+			}
+		}
+		if gate, ok := r.Metric(pfx + "/kernel_ratio_gate"); !ok || !gate.Tracked || gate.Value < 0.5/1.3-1e-9 {
+			t.Errorf("%s/kernel_ratio_gate = %+v (ok=%v), want tracked >= clamp floor", pfx, gate, ok)
+		}
+	}
+	if mm, ok := r.Metric("hotpath/paillier/decrypt_mismatch"); !ok || !mm.Tracked || mm.Value != 0 {
+		t.Errorf("hotpath/paillier/decrypt_mismatch = %+v (ok=%v), want tracked 0", mm, ok)
+	}
+	for _, name := range []string{"hotpath/paillier/decrypt_ratio_gate", "hotpath/paillier/encrypt_ratio_gate"} {
+		if gate, ok := r.Metric(name); !ok || !gate.Tracked || gate.Value < 1/1.3-1e-9 {
+			t.Errorf("%s = %+v (ok=%v), want tracked >= clamp floor", name, gate, ok)
+		}
+	}
 }
 
 // TestReportRoundTrip checks WriteJSON/ReadReport and the renderer.

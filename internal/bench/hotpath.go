@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	dpe "repro"
+	"repro/internal/crypto/hom"
+	"repro/internal/crypto/prf"
+	"repro/internal/distance"
+)
+
+// hotpathN is the fixed matrix size of the hotpath experiment. It is
+// deliberately independent of Config.Queries: the kernel comparison
+// needs enough pairs (n·(n−1)/2 = 32640) that per-pair costs dominate
+// setup, and a fixed size keeps the tracked counters comparable across
+// baseline shapes.
+const hotpathN = 256
+
+// hotpathDecrypts is how many ciphertexts the Paillier leg decrypts per
+// timed pass.
+const hotpathDecrypts = 16
+
+// runHotpath is the kernel microbenchmark experiment: for every
+// measure it builds the same n=256 matrix twice — once through the
+// interned bitset kernel (the production path) and once through the
+// legacy map kernel (distance.MapKernel) — and records ns/op,
+// allocs/op, and their ratio. The tracked counters pin correctness and
+// the speedup itself: both kernels must compute exactly n·(n−1)/2
+// pairs, agree on every entry (pair_mismatch = 0), and the clamped
+// bitset-vs-map time ratio (see gateRatio) must keep the bitset kernel
+// at least 2x faster — the harness's only gated wall-clock-derived
+// numbers. (A ratio of two kernels timed back-to-back on the same
+// machine is stable where raw ns/op is not, and the clamp makes noise
+// below the threshold invisible to the gate.) A second leg times
+// Paillier CRT-split decryption and fixed-base encryption against
+// their textbook reference paths, with a tracked plaintext-mismatch
+// counter and ratio gates at 1x.
+func runHotpath(ctx context.Context, r *Report, f *fixtures) error {
+	w, err := dpe.GenerateWorkload(dpe.WorkloadConfig{
+		Seed: f.cfg.Seed + "-hotpath", Queries: hotpathN, Rows: f.cfg.Rows,
+		IncludeAggregates: true, IncludeJoins: true,
+	})
+	if err != nil {
+		return err
+	}
+	wantPairs := float64(hotpathN * (hotpathN - 1) / 2)
+	for _, m := range f.cfg.Measures {
+		// Plaintext artifacts: the kernels are representation-level, so
+		// ciphertext tokens would only scale the element sizes.
+		arts := distance.Artifacts{Parallelism: f.cfg.Parallelism}
+		switch m {
+		case dpe.MeasureResult:
+			arts.Catalog = w.Catalog
+		case dpe.MeasureAccessArea:
+			arts.Domains = w.Domains
+		}
+		metric, err := distance.New(m.String(), arts)
+		if err != nil {
+			return err
+		}
+		prep, err := metric.Prepare(ctx, w.Queries)
+		if err != nil {
+			return err
+		}
+		legacy, ok := distance.MapKernel(prep)
+		if !ok {
+			return fmt.Errorf("hotpath: MapKernel rejected %s prepared state", m)
+		}
+
+		counted := &countingPrepared{prep: prep}
+		bitMat, err := distance.BuildMatrix(ctx, hotpathN, 1, counted.Distance)
+		if err != nil {
+			return err
+		}
+		bitPairs := float64(counted.calls.Load())
+		countedMap := &countingPrepared{prep: legacy}
+		mapMat, err := distance.BuildMatrix(ctx, hotpathN, 1, countedMap.Distance)
+		if err != nil {
+			return err
+		}
+		mapPairs := float64(countedMap.calls.Load())
+		mismatch := 0.0
+		for i := range bitMat {
+			for j := range bitMat[i] {
+				if bitMat[i][j] != mapMat[i][j] {
+					mismatch++
+				}
+			}
+		}
+
+		bitNs, bitAllocs, err := timeIt(f.cfg.Iterations, func() error {
+			_, err := distance.BuildMatrix(ctx, hotpathN, 1, prep.Distance)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		mapNs, mapAllocs, err := timeIt(f.cfg.Iterations, func() error {
+			_, err := distance.BuildMatrix(ctx, hotpathN, 1, legacy.Distance)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		pfx := "hotpath/" + m.String()
+		r.add(pfx+"/bitset_pairs", "pairs/op", bitPairs, true)
+		r.add(pfx+"/map_pairs", "pairs/op", mapPairs, true)
+		if bitPairs != wantPairs || mapPairs != wantPairs {
+			return fmt.Errorf("hotpath: %s pair counters %v/%v, want %v", m, bitPairs, mapPairs, wantPairs)
+		}
+		r.add(pfx+"/pair_mismatch", "count", mismatch, true)
+		if mismatch != 0 {
+			return fmt.Errorf("hotpath: %s kernels disagree on %v entries", m, mismatch)
+		}
+		r.add(pfx+"/bitset_build", "ns/op", bitNs, false)
+		r.add(pfx+"/map_build", "ns/op", mapNs, false)
+		r.add(pfx+"/bitset_allocs", "allocs/op", bitAllocs, false)
+		r.add(pfx+"/map_allocs", "allocs/op", mapAllocs, false)
+		r.add(pfx+"/kernel_ratio", "bitset/map", bitNs/mapNs, false)
+		r.add(pfx+"/speedup", "x", mapNs/bitNs, false)
+		// The gate: the bitset kernel must stay at least 2x faster than
+		// the map kernel (ratio ≤ 0.5) on every measure.
+		r.add(pfx+"/kernel_ratio_gate", "bitset/map", gateRatio(bitNs/mapNs, 0.5), true)
+	}
+	return runHotpathPaillier(r, f.cfg)
+}
+
+// runHotpathPaillier times the CRT decryption and fixed-base
+// encryption against the textbook paths on one reproducible key.
+func runHotpathPaillier(r *Report, cfg Config) error {
+	sk, err := hom.GenerateKey(prf.NewDRBG([]byte("bench:"+cfg.Seed), []byte("hotpath-paillier")), cfg.PaillierBits)
+	if err != nil {
+		return err
+	}
+	ref := sk.NoCRT()
+	enc, err := sk.NewEncryptor(prf.NewDRBG([]byte("bench:"+cfg.Seed), []byte("hotpath-encryptor")))
+	if err != nil {
+		return err
+	}
+	cs := make([]*big.Int, hotpathDecrypts)
+	for i := range cs {
+		if cs[i], err = enc.EncryptInt64(nil, int64(i*i-7)); err != nil {
+			return err
+		}
+	}
+
+	// Correctness: CRT and textbook decryption agree on every value.
+	mismatch := 0.0
+	fast, err := sk.DecryptBatch(cs)
+	if err != nil {
+		return err
+	}
+	for i, c := range cs {
+		slow, err := ref.Decrypt(c)
+		if err != nil {
+			return err
+		}
+		if fast[i].Cmp(slow) != 0 || fast[i].Int64() != int64(i*i-7) {
+			mismatch++
+		}
+	}
+	r.add("hotpath/paillier/decrypt_mismatch", "count", mismatch, true)
+	if mismatch != 0 {
+		return fmt.Errorf("hotpath: CRT and textbook decryption disagree on %v ciphertexts", mismatch)
+	}
+
+	iters := cfg.Iterations
+	crtNs, _, err := timeIt(iters, func() error {
+		_, err := sk.DecryptBatch(cs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	refNs, _, err := timeIt(iters, func() error {
+		for _, c := range cs {
+			if _, err := ref.Decrypt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fbNs, _, err := timeIt(iters, func() error {
+		for i := 0; i < hotpathDecrypts; i++ {
+			if _, err := enc.EncryptInt64(nil, int64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	txNs, _, err := timeIt(iters, func() error {
+		for i := 0; i < hotpathDecrypts; i++ {
+			if _, err := sk.EncryptInt64(nil, int64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	per := float64(hotpathDecrypts)
+	r.add("hotpath/paillier/decrypt_crt", "ns/op", crtNs/per, false)
+	r.add("hotpath/paillier/decrypt_textbook", "ns/op", refNs/per, false)
+	r.add("hotpath/paillier/decrypt_ratio", "crt/textbook", crtNs/refNs, false)
+	r.add("hotpath/paillier/encrypt_fixedbase", "ns/op", fbNs/per, false)
+	r.add("hotpath/paillier/encrypt_textbook", "ns/op", txNs/per, false)
+	r.add("hotpath/paillier/encrypt_ratio", "fixedbase/textbook", fbNs/txNs, false)
+	// The gates: neither fast path may fall behind its textbook
+	// reference (ratio ≤ 1).
+	r.add("hotpath/paillier/decrypt_ratio_gate", "crt/textbook", gateRatio(crtNs/refNs, 1), true)
+	r.add("hotpath/paillier/encrypt_ratio_gate", "fixedbase/textbook", gateRatio(fbNs/txNs, 1), true)
+	return nil
+}
+
+// gateRatio turns a fast/slow time ratio into a CI-gateable tracked
+// value: the measured ratio clamped up to limit/1.3, so that at
+// Compare's default +30% allowance the regression fires exactly when
+// the ratio exceeds limit. The clamp is what makes a wall-clock-derived
+// number safe to gate — machine noise anywhere below the floor cannot
+// move the tracked value at all, while a real regression past the
+// limit still fails. The raw ratio is recorded untracked alongside.
+func gateRatio(ratio, limit float64) float64 {
+	return max(ratio, limit/1.3)
+}

@@ -137,6 +137,72 @@ func comparableConfigs(cur, base Config) error {
 	return nil
 }
 
+// RenderDelta formats a human-readable per-metric comparison of two
+// reports: the baseline value, the current value, and the percentage
+// delta, grouped by experiment. It is a reading aid, not a gate — it
+// compares every shared metric (wall-clock included) and never errors
+// on shape mismatches; metrics present in only one report are listed
+// at the end. Positive deltas mean the current value is larger; for
+// the ns/op and ratio metrics, smaller is better.
+func RenderDelta(cur, base *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "BENCH DELTA (current vs baseline, schema v%d vs v%d)\n", cur.Schema, base.Schema)
+	fmt.Fprintf(&sb, "current:  go %s, %d CPU, sha %s\n", cur.GoVersion, cur.NumCPU, orNone(cur.GitSHA))
+	fmt.Fprintf(&sb, "baseline: go %s, %d CPU, sha %s\n", base.GoVersion, base.NumCPU, orNone(base.GitSHA))
+	prev := ""
+	var only []string
+	for _, m := range cur.Metrics {
+		b, ok := base.Metric(m.Name)
+		if !ok {
+			only = append(only, "+ "+m.Name+" (only in current)")
+			continue
+		}
+		group, _, _ := strings.Cut(m.Name, "/")
+		if group != prev {
+			fmt.Fprintf(&sb, "\n-- %s --\n", group)
+			prev = group
+		}
+		mark := " "
+		if m.Tracked {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s %-44s %14.4g -> %14.4g  %s %s\n",
+			mark, m.Name, b.Value, m.Value, deltaPct(b.Value, m.Value), m.Unit)
+	}
+	for _, m := range base.Metrics {
+		if _, ok := cur.Metric(m.Name); !ok {
+			only = append(only, "- "+m.Name+" (only in baseline)")
+		}
+	}
+	if len(only) > 0 {
+		sb.WriteString("\n")
+		for _, line := range only {
+			sb.WriteString(line + "\n")
+		}
+	}
+	sb.WriteString("\n(* = tracked; positive % = current larger than baseline)\n")
+	return sb.String()
+}
+
+// deltaPct renders the baseline→current change as a signed percentage,
+// dodging the division when the baseline is zero.
+func deltaPct(base, cur float64) string {
+	if base == cur {
+		return "    ±0.0%"
+	}
+	if base == 0 {
+		return "     new≠0"
+	}
+	return fmt.Sprintf("%+8.1f%%", (cur-base)/base*100)
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
 // Render formats the report as a human-readable table, grouped by the
 // experiment prefix of each metric name.
 func Render(r *Report) string {

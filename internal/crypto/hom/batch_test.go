@@ -1,0 +1,201 @@
+package hom
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/prf"
+)
+
+// TestCRTDecryptMatchesTextbook pins the CRT split against the
+// reference path: every ciphertext must decrypt to the identical
+// plaintext through both.
+func TestCRTDecryptMatchesTextbook(t *testing.T) {
+	sk := key(t)
+	if sk.crt == nil {
+		t.Fatal("GenerateKey did not populate the CRT state")
+	}
+	ref := sk.NoCRT()
+	if ref.crt != nil {
+		t.Fatal("NoCRT copy still has CRT state")
+	}
+	drbg := prf.NewDRBG([]byte("paillier-test"), []byte("crt"))
+	for _, m := range []int64{0, 1, -1, 42, -9999, 1 << 40, -(1 << 40)} {
+		c, err := sk.EncryptInt64(drbg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatalf("CRT decrypt of %d: %v", m, err)
+		}
+		slow, err := ref.Decrypt(c)
+		if err != nil {
+			t.Fatalf("textbook decrypt of %d: %v", m, err)
+		}
+		if fast.Cmp(slow) != 0 || fast.Int64() != m {
+			t.Fatalf("m=%d: CRT %v, textbook %v", m, fast, slow)
+		}
+	}
+	// Invalid ciphertexts fail identically on both paths.
+	for _, c := range []*big.Int{nil, big.NewInt(0), new(big.Int).Set(sk.N2)} {
+		if _, err := sk.Decrypt(c); err == nil {
+			t.Error("CRT path accepted an invalid ciphertext")
+		}
+		if _, err := ref.Decrypt(c); err == nil {
+			t.Error("textbook path accepted an invalid ciphertext")
+		}
+	}
+}
+
+// TestDecryptBatch exercises the batch helper, including its indexed
+// error.
+func TestDecryptBatch(t *testing.T) {
+	sk := key(t)
+	drbg := prf.NewDRBG([]byte("paillier-test"), []byte("batch"))
+	want := []int64{3, -7, 0, 123456}
+	cs := make([]*big.Int, len(want))
+	for i, m := range want {
+		c, err := sk.EncryptInt64(drbg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+	}
+	ms, err := sk.DecryptBatch(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if m.Int64() != want[i] {
+			t.Errorf("batch[%d] = %v, want %d", i, m, want[i])
+		}
+	}
+	cs[2] = big.NewInt(0)
+	if _, err := sk.DecryptBatch(cs); err == nil {
+		t.Error("batch with an invalid ciphertext succeeded")
+	}
+}
+
+// TestEncryptorParity verifies fixed-base encryption produces
+// ciphertexts indistinguishable in behavior from the textbook
+// encryptor: correct decryption, additive homomorphism with textbook
+// ciphertexts, and fresh randomness per call.
+func TestEncryptorParity(t *testing.T) {
+	sk := key(t)
+	drbg := prf.NewDRBG([]byte("paillier-test"), []byte("encryptor"))
+	enc, err := sk.NewEncryptor(drbg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int64{0, 1, -1, 77, -31337} {
+		c, err := enc.EncryptInt64(drbg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.DecryptInt64(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("fixed-base ciphertext of %d decrypted to %d", m, got)
+		}
+	}
+	c1, err := enc.EncryptInt64(drbg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.EncryptInt64(drbg, 2) // textbook ciphertext
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sk.DecryptInt64(sk.Add(c1, c2)); err != nil || got != 42 {
+		t.Fatalf("mixed-encryptor sum = %d (%v), want 42", got, err)
+	}
+	a, err := enc.EncryptInt64(drbg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.EncryptInt64(drbg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Error("two fixed-base encryptions of the same plaintext are identical")
+	}
+	r, err := enc.Rerandomize(drbg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp(a) == 0 {
+		t.Error("Rerandomize returned the input ciphertext")
+	}
+	if got, err := sk.DecryptInt64(r); err != nil || got != 5 {
+		t.Fatalf("rerandomized ciphertext = %d (%v), want 5", got, err)
+	}
+	if _, err := enc.Encrypt(drbg, new(big.Int).Add(sk.N, one)); err == nil {
+		t.Error("fixed-base Encrypt accepted an out-of-range plaintext")
+	}
+}
+
+func BenchmarkDecryptCRT(b *testing.B) {
+	sk := benchKey(b)
+	c, err := sk.EncryptInt64(nil, 1234567)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptTextbook(b *testing.B) {
+	sk := benchKey(b).NoCRT()
+	c, err := sk.EncryptInt64(nil, 1234567)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptFixedBase(b *testing.B) {
+	sk := benchKey(b)
+	enc, err := sk.NewEncryptor(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncryptInt64(nil, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptTextbook(b *testing.B) {
+	sk := benchKey(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.EncryptInt64(nil, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	drbg := prf.NewDRBG([]byte("paillier-bench"), []byte("keygen"))
+	sk, err := GenerateKey(drbg, DefaultBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}

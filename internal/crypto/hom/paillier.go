@@ -54,6 +54,7 @@ type PrivateKey struct {
 	PublicKey
 	lambda *big.Int // lcm(p−1, q−1)
 	mu     *big.Int // L(g^λ mod n²)^(−1) mod n
+	crt    *crtKey  // CRT-split decryption state; nil on NoCRT copies
 }
 
 // GenerateKey creates a Paillier key pair with an n of the given bit
@@ -93,11 +94,16 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		if mu == nil {
 			continue // λ not invertible mod n (requires gcd(λ, n) ≠ 1; retry)
 		}
-		return &PrivateKey{
+		sk := &PrivateKey{
 			PublicKey: PublicKey{N: n, N2: n2},
 			lambda:    lambda,
 			mu:        mu,
-		}, nil
+		}
+		sk.crt = newCRTKey(p, q, n)
+		if sk.crt == nil {
+			continue // a CRT inverse did not exist; retry with fresh primes
+		}
+		return sk, nil
 	}
 }
 
@@ -234,6 +240,9 @@ func (pk *PublicKey) Rerandomize(random io.Reader, c *big.Int) (*big.Int, error)
 }
 
 // Decrypt returns the signed plaintext of c, decoded into (−n/2, n/2].
+// Keys from GenerateKey decrypt via the CRT split (see batch.go), about
+// 4x faster than the textbook single exponentiation; NoCRT copies fall
+// back to the textbook path. Both return identical plaintexts.
 func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
 	if c == nil || c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
 		return nil, ErrDecrypt
@@ -241,17 +250,25 @@ func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
 	if new(big.Int).GCD(nil, nil, c, sk.N2).Cmp(one) != 0 {
 		return nil, ErrDecrypt
 	}
+	if sk.crt != nil {
+		return sk.decode(sk.crt.decrypt(c)), nil
+	}
 	u := new(big.Int).Exp(c, sk.lambda, sk.N2)
 	// L(u) = (u−1)/n
 	u.Sub(u, one)
 	u.Div(u, sk.N)
 	m := u.Mul(u, sk.mu)
 	m.Mod(m, sk.N)
-	// Decode signed representative.
+	return sk.decode(m), nil
+}
+
+// decode maps a residue in Z_n to its signed representative in
+// (−n/2, n/2].
+func (sk *PrivateKey) decode(m *big.Int) *big.Int {
 	if m.Cmp(sk.MessageSpaceHalf()) > 0 {
 		m.Sub(m, sk.N)
 	}
-	return m, nil
+	return m
 }
 
 // DecryptInt64 decrypts and narrows to int64, failing if out of range.

@@ -19,35 +19,46 @@ func AppendRows(ctx context.Context, n, total, parallelism int, f PairFunc) ([][
 		return nil, fmt.Errorf("distance: append from %d to %d items", n, total)
 	}
 	k := total - n
+	// One contiguous backing for the k new rows — two allocations, and
+	// zero more anywhere in the build loop.
+	backing := make([]float64, k*total)
 	rows := make([][]float64, k)
 	for r := range rows {
-		rows[r] = make([]float64, total)
+		rows[r] = backing[r*total : (r+1)*total : (r+1)*total]
 	}
 	// One work unit per new row i = n+r. Each row computes its pairs
 	// against all old items and against the *later* new rows (j > i);
 	// the earlier new rows' pairs were produced by those rows' workers
 	// and mirrored here, so cells of distinct pairs never alias.
+	// Cancellation is checked once per appendTile pairs, like the
+	// BuildMatrix tiles.
 	row := func(ctx context.Context, r int) error {
+		const appendTile = matrixTile
 		i := n + r
+		out := rows[r]
 		for j := 0; j < n; j++ {
-			if err := ctx.Err(); err != nil {
-				return err
+			if j%appendTile == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 			d, err := f(j, i)
 			if err != nil {
 				return fmt.Errorf("distance: pair (%d,%d): %w", j, i, err)
 			}
-			rows[r][j] = d
+			out[j] = d
 		}
 		for j := i + 1; j < total; j++ {
-			if err := ctx.Err(); err != nil {
-				return err
+			if (j-i-1)%appendTile == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 			d, err := f(i, j)
 			if err != nil {
 				return fmt.Errorf("distance: pair (%d,%d): %w", i, j, err)
 			}
-			rows[r][j] = d
+			out[j] = d
 			rows[j-n][i] = d
 		}
 		return nil
@@ -78,19 +89,22 @@ func ExtendMatrix(ctx context.Context, old Matrix, total, parallelism int, f Pai
 func SpliceRows(old Matrix, rows [][]float64) (Matrix, error) {
 	n := len(old)
 	total := n + len(rows)
-	m := make(Matrix, total)
 	for i := 0; i < n; i++ {
 		if len(old[i]) != n {
 			return nil, fmt.Errorf("distance: old matrix row %d has %d entries, want %d", i, len(old[i]), n)
 		}
-		m[i] = make([]float64, total)
-		copy(m[i], old[i])
 	}
 	for r, row := range rows {
 		if len(row) != total {
 			return nil, fmt.Errorf("distance: appended row %d has %d entries, want %d", r, len(row), total)
 		}
-		m[n+r] = append([]float64(nil), row...)
+	}
+	m := NewMatrix(total)
+	for i := 0; i < n; i++ {
+		copy(m[i], old[i])
+	}
+	for r, row := range rows {
+		copy(m[n+r], row)
 		for j := 0; j < n; j++ {
 			m[j][n+r] = row[j]
 		}

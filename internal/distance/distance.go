@@ -216,39 +216,75 @@ func AccessArea(s1, s2 *sqlparse.SelectStmt, p AccessAreaParams) (float64, error
 // Matrix is a symmetric pairwise distance matrix.
 type Matrix [][]float64
 
+// NewMatrix allocates a zeroed n×n matrix over one contiguous backing
+// array: two allocations total instead of n+1, and rows adjacent in
+// memory so triangle sweeps stay in cache.
+func NewMatrix(n int) Matrix {
+	backing := make([]float64, n*n)
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return m
+}
+
 // PairFunc returns the distance of items i and j. BuildMatrix only calls
 // it with i < j; with parallelism > 1 it must be safe for concurrent use.
 type PairFunc func(i, j int) (float64, error)
 
+// Tiling parameters for the matrix triangle. A work unit is a band of
+// matrixBand rows; within a band pairs are visited in column tiles of
+// matrixTile so the band's bitsets and the destination cells stay
+// cache-resident. Cancellation is checked once per band-row per tile —
+// bounded staleness of matrixTile pairs — instead of per pair, keeping
+// the per-pair loop free of synchronized loads.
+const (
+	matrixBand = 16
+	matrixTile = 256
+)
+
 // BuildMatrix fills an n×n matrix from a pairwise distance function,
 // computing each unordered pair of the upper triangle once. With
-// parallelism > 1 the rows are distributed over a worker pool; the
-// result is entry-wise identical to the sequential build. The build is
-// cancellable: when ctx is done, BuildMatrix stops between pairs and
-// returns the context's error.
+// parallelism > 1, bands of rows are distributed over a worker pool;
+// the result is entry-wise identical to the sequential build. The
+// build is cancellable: when ctx is done, BuildMatrix stops within at
+// most one column tile of pairs and returns the context's error. The
+// matrix is one contiguous allocation; the build itself allocates
+// nothing per pair.
 func BuildMatrix(ctx context.Context, n, parallelism int, f PairFunc) (Matrix, error) {
-	m := make(Matrix, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-	}
-	// One work unit per row: workers pull rows dynamically, so the
-	// shrinking upper-triangle rows still balance. Cells of distinct
-	// pairs never alias, so no locking is needed on writes.
-	row := func(ctx context.Context, i int) error {
-		for j := i + 1; j < n; j++ {
-			if err := ctx.Err(); err != nil {
-				return err
+	m := NewMatrix(n)
+	bands := (n + matrixBand - 1) / matrixBand
+	// Workers pull bands dynamically, so the shrinking upper-triangle
+	// bands still balance. Each pair (i,j) is computed by exactly one
+	// band's worker, which owns both cell writes — cells of distinct
+	// pairs never alias, so no locking is needed.
+	band := func(ctx context.Context, b int) error {
+		r0 := b * matrixBand
+		r1 := min(r0+matrixBand, n)
+		for c0 := r0 + 1; c0 < n; c0 += matrixTile {
+			c1 := min(c0+matrixTile, n)
+			for i := r0; i < r1; i++ {
+				lo := max(i+1, c0)
+				if lo >= c1 {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				row := m[i]
+				for j := lo; j < c1; j++ {
+					d, err := f(i, j)
+					if err != nil {
+						return fmt.Errorf("distance: pair (%d,%d): %w", i, j, err)
+					}
+					row[j] = d
+					m[j][i] = d
+				}
 			}
-			d, err := f(i, j)
-			if err != nil {
-				return fmt.Errorf("distance: pair (%d,%d): %w", i, j, err)
-			}
-			m[i][j] = d
-			m[j][i] = d
 		}
 		return nil
 	}
-	if err := parallelFor(ctx, n, parallelism, row); err != nil {
+	if err := parallelFor(ctx, bands, parallelism, band); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -1,0 +1,146 @@
+package distance
+
+import (
+	"repro/internal/accessarea"
+	"repro/internal/sqlfeature"
+)
+
+// The legacy map-based set kernel, kept as the reference
+// implementation the interned bitset kernel (intern.go) is measured
+// and verified against: parity tests assert both kernels return
+// bit-identical distances, and the hotpath bench experiment times them
+// side by side. Nothing on the Prepare/Extend path constructs these
+// states anymore; MapKernel derives one from an interned state.
+
+// setPrepared is the legacy prepared form of the set-based metrics:
+// one map-backed element set per query, Jaccard distance by per-pair
+// map intersection. It remains a full Prepared/Sizer/SetSource so
+// benches and tests can drive it through the same BuildMatrix path as
+// the interned kernel.
+type setPrepared[K comparable] []map[K]bool
+
+func (p setPrepared[K]) Len() int { return len(p) }
+
+func (p setPrepared[K]) Distance(i, j int) (float64, error) {
+	return Jaccard(p[i], p[j]), nil
+}
+
+// SizeBytes implements Sizer over the per-query sets. Unlike the
+// interned form, every occurrence of an element pays its full key size
+// — the difference is the memory the interning dictionary saves.
+func (p setPrepared[K]) SizeBytes() int64 {
+	total := int64(48 * len(p))
+	for _, set := range p {
+		total += 48
+		for k := range set {
+			total += keySize(k) + 8
+		}
+	}
+	return total
+}
+
+// AppendElementHashes implements SetSource for the legacy states.
+func (p setPrepared[K]) AppendElementHashes(dst []uint64, i int) []uint64 {
+	for k := range p[i] {
+		dst = append(dst, elementHash(k))
+	}
+	return dst
+}
+
+// MapKernel converts an interned prepared state of any built-in metric
+// to the equivalent legacy (pre-interning) map-based state: map-backed
+// element sets for the Jaccard measures, per-query attribute/area maps
+// for access-area. It returns ok=false for prepared states it does not
+// recognize. The conversion exists for apples-to-apples kernel
+// comparisons: the returned state visits the same elements, so any
+// distance it disagrees on is a kernel bug.
+func MapKernel(p Prepared) (Prepared, bool) {
+	switch v := p.(type) {
+	case *internedPrepared[string]:
+		return mapKernelOf(v), true
+	case *internedPrepared[sqlfeature.Feature]:
+		return mapKernelOf(v), true
+	case *aaPrepared:
+		out := &aaLegacyPrepared{x: v.x, queries: make([]aaLegacyQuery, len(v.queries))}
+		for i, q := range v.queries {
+			lq := aaLegacyQuery{
+				attrs: make(map[string]bool, len(q.ids)),
+				areas: make(map[string]accessarea.Area, len(q.ids)),
+			}
+			for k, id := range q.ids {
+				name := v.attrs.elems[id]
+				lq.attrs[name] = true
+				lq.areas[name] = q.areas[k]
+			}
+			out.queries[i] = lq
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// aaLegacyQuery and aaLegacyPrepared are the pre-interning access-area
+// representation: per-query attribute and area maps, with Distance
+// probing maps per attribute.
+type aaLegacyQuery struct {
+	attrs map[string]bool
+	areas map[string]accessarea.Area
+}
+
+type aaLegacyPrepared struct {
+	queries []aaLegacyQuery
+	x       float64
+}
+
+func (p *aaLegacyPrepared) Len() int { return len(p.queries) }
+
+func (q aaLegacyQuery) area(a string) accessarea.Area {
+	if q.attrs[a] {
+		return q.areas[a]
+	}
+	return accessarea.Empty()
+}
+
+func (p *aaLegacyPrepared) Distance(i, j int) (float64, error) {
+	q1, q2 := p.queries[i], p.queries[j]
+	n := 0
+	var sum float64
+	delta := func(a string) {
+		n++
+		a1, a2 := q1.area(a), q2.area(a)
+		switch {
+		case a1.Equal(a2):
+			// δ = 0
+		case a1.Overlaps(a2):
+			sum += p.x
+		default:
+			sum += 1
+		}
+	}
+	for a := range q1.attrs {
+		delta(a)
+	}
+	for a := range q2.attrs {
+		if !q1.attrs[a] {
+			delta(a)
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+func mapKernelOf[K comparable](p *internedPrepared[K]) setPrepared[K] {
+	out := make(setPrepared[K], len(p.sets))
+	var ids []uint32
+	for i, words := range p.sets {
+		ids = appendBitsetIDs(ids[:0], words)
+		set := make(map[K]bool, len(ids))
+		for _, id := range ids {
+			set[p.dict.elems[id]] = true
+		}
+		out[i] = set
+	}
+	return out
+}

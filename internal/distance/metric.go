@@ -76,20 +76,17 @@ type Extender interface {
 	Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error)
 }
 
-// extendSets is the shared Extend implementation of the set-based
-// metrics: prepare the new queries alone, then concatenate.
-func extendSets[K comparable](m Metric, ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
-	old, ok := prev.(setPrepared[K])
+// extendInterned is the shared Extend entry of the set-based metrics:
+// it type-checks prev and returns a growable copy sharing prev's
+// bitsets with a cloned dictionary, so appending interns only the new
+// queries' elements.
+func extendInterned[K comparable](m Metric, prev Prepared, extra int) (*internedPrepared[K], error) {
+	old, ok := prev.(*internedPrepared[K])
 	if !ok {
 		return nil, fmt.Errorf("distance: %s: prepared state %T is not this metric's", m.Name(), prev)
 	}
-	fresh, err := m.Prepare(ctx, newQueries)
-	if err != nil {
-		return nil, err
-	}
-	out := make(setPrepared[K], 0, len(old)+len(newQueries))
-	out = append(out, old...)
-	out = append(out, fresh.(setPrepared[K])...)
+	out := &internedPrepared[K]{}
+	out.extendFrom(old, extra)
 	return out, nil
 }
 
@@ -161,16 +158,6 @@ func init() {
 	})
 }
 
-// setPrepared is a prepared log whose characteristic is one set per
-// query; the distance is their Jaccard distance.
-type setPrepared[K comparable] []map[K]bool
-
-func (p setPrepared[K]) Len() int { return len(p) }
-
-func (p setPrepared[K]) Distance(i, j int) (float64, error) {
-	return Jaccard(p[i], p[j]), nil
-}
-
 // keySize estimates one set element's footprint: strings carry their
 // text (tuple keys grow with catalog rows), fixed-size struct keys a
 // constant plus any string payload.
@@ -185,41 +172,45 @@ func keySize(k any) int64 {
 	}
 }
 
-// SizeBytes implements Sizer over the per-query sets.
-func (p setPrepared[K]) SizeBytes() int64 {
-	total := int64(48 * len(p))
-	for _, set := range p {
-		total += 48
-		for k := range set {
-			total += keySize(k) + 8
-		}
-	}
-	return total
-}
-
 // --- token (Definition 3) ---
 
 type tokenMetric struct{}
 
 func (tokenMetric) Name() string { return "token" }
 
-func (tokenMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
-	sets := make(setPrepared[string], len(queries))
+// addTokenQueries tokenizes each query and interns its token set into
+// p, in sorted token order for deterministic dictionary growth.
+func addTokenQueries(ctx context.Context, p *internedPrepared[string], queries []string) error {
 	for i, q := range queries {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		set, err := sqlfeature.Tokens(q)
 		if err != nil {
-			return nil, fmt.Errorf("distance: query %d: %w", i, err)
+			return fmt.Errorf("distance: query %d: %w", i, err)
 		}
-		sets[i] = set
+		p.addSet(sortedStrings(set))
 	}
-	return sets, nil
+	return nil
+}
+
+func (tokenMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	out := newInternedPrepared[string](len(queries))
+	if err := addTokenQueries(ctx, out, queries); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (m tokenMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
-	return extendSets[string](m, ctx, prev, newQueries)
+	out, err := extendInterned[string](m, prev, len(newQueries))
+	if err != nil {
+		return nil, err
+	}
+	if err := addTokenQueries(ctx, out, newQueries); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // --- structure (SnipSuggest features) ---
@@ -228,20 +219,34 @@ type structureMetric struct{}
 
 func (structureMetric) Name() string { return "structure" }
 
-func (structureMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+func addStructureQueries(ctx context.Context, p *internedPrepared[sqlfeature.Feature], queries []string) error {
 	stmts, err := parseLog(ctx, queries)
 	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		p.addSet(sortedFeatures(sqlfeature.Features(s)))
+	}
+	return nil
+}
+
+func (structureMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	out := newInternedPrepared[sqlfeature.Feature](len(queries))
+	if err := addStructureQueries(ctx, out, queries); err != nil {
 		return nil, err
 	}
-	sets := make(setPrepared[sqlfeature.Feature], len(stmts))
-	for i, s := range stmts {
-		sets[i] = sqlfeature.Features(s)
-	}
-	return sets, nil
+	return out, nil
 }
 
 func (m structureMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
-	return extendSets[sqlfeature.Feature](m, ctx, prev, newQueries)
+	out, err := extendInterned[sqlfeature.Feature](m, prev, len(newQueries))
+	if err != nil {
+		return nil, err
+	}
+	if err := addStructureQueries(ctx, out, newQueries); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // --- result (Definition 4) ---
@@ -254,31 +259,45 @@ type resultMetric struct {
 
 func (*resultMetric) Name() string { return "result" }
 
-func (m *resultMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+// addResultQueries executes each query (a fresh ResultComputer — query
+// execution is deterministic, so tuple sets match what a combined
+// Prepare would produce) and interns the tuple keys in sorted order.
+func (m *resultMetric) addResultQueries(ctx context.Context, p *internedPrepared[string], queries []string) error {
 	stmts, err := parseLog(ctx, queries)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rc := &ResultComputer{Catalog: m.catalog, Options: m.opts}
 	if err := rc.Precompute(ctx, stmts, m.parallelism); err != nil {
-		return nil, err
+		return err
 	}
-	sets := make(setPrepared[string], len(stmts))
 	for i, s := range stmts {
 		set, err := rc.TupleSet(s)
 		if err != nil {
-			return nil, fmt.Errorf("distance: result of query %d: %w", i, err)
+			return fmt.Errorf("distance: result of query %d: %w", i, err)
 		}
-		sets[i] = set
+		p.addSet(sortedStrings(set))
 	}
-	return sets, nil
+	return nil
 }
 
-// Extend executes only the new queries (a fresh ResultComputer — query
-// execution is deterministic, so the tuple sets match what a combined
-// Prepare would produce) and concatenates.
+func (m *resultMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
+	out := newInternedPrepared[string](len(queries))
+	if err := m.addResultQueries(ctx, out, queries); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func (m *resultMetric) Extend(ctx context.Context, prev Prepared, newQueries []string) (Prepared, error) {
-	return extendSets[string](m, ctx, prev, newQueries)
+	out, err := extendInterned[string](m, prev, len(newQueries))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.addResultQueries(ctx, out, newQueries); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // --- access-area (Definition 5) ---
@@ -290,16 +309,57 @@ type accessAreaMetric struct {
 
 func (*accessAreaMetric) Name() string { return "access-area" }
 
-// aaQuery is one query's precomputed access areas: the accessed
-// attributes and, per attribute, the extracted area.
+// aaQuery is one query's precomputed access areas: the interned ids of
+// its accessed attributes in ascending order, with the extracted areas
+// in a parallel slice. Sorted ids let Distance merge two queries'
+// attribute lists linearly instead of probing maps.
 type aaQuery struct {
-	attrs map[string]bool
-	areas map[string]accessarea.Area
+	ids   []uint32
+	areas []accessarea.Area
 }
 
 type aaPrepared struct {
+	attrs   *dict[string]
 	queries []aaQuery
 	x       float64
+}
+
+// addQuery extracts one statement's access areas, interning attribute
+// names in sorted order (deterministic dictionary growth), and appends
+// the id-sorted query.
+func (p *aaPrepared) addQuery(s *sqlparse.SelectStmt, domains map[string]accessarea.Domain) error {
+	names := sortedStrings(accessarea.AccessedAttributes(s))
+	q := aaQuery{
+		ids:   make([]uint32, 0, len(names)),
+		areas: make([]accessarea.Area, 0, len(names)),
+	}
+	for _, a := range names {
+		dom, ok := domains[a]
+		if !ok {
+			return fmt.Errorf("distance: no domain for accessed attribute %q", a)
+		}
+		area, _, err := accessarea.Extract(s, a, dom)
+		if err != nil {
+			return err
+		}
+		q.ids = append(q.ids, p.attrs.intern(a))
+		q.areas = append(q.areas, area)
+	}
+	// Interning happened in name order; re-sort by id (ids assigned by
+	// earlier queries may interleave) keeping the areas parallel.
+	sort.Sort(&aaByID{q})
+	p.queries = append(p.queries, q)
+	return nil
+}
+
+// aaByID sorts an aaQuery's (id, area) pairs by id.
+type aaByID struct{ q aaQuery }
+
+func (s *aaByID) Len() int           { return len(s.q.ids) }
+func (s *aaByID) Less(i, j int) bool { return s.q.ids[i] < s.q.ids[j] }
+func (s *aaByID) Swap(i, j int) {
+	s.q.ids[i], s.q.ids[j] = s.q.ids[j], s.q.ids[i]
+	s.q.areas[i], s.q.areas[j] = s.q.areas[j], s.q.areas[i]
 }
 
 func (m *accessAreaMetric) Prepare(ctx context.Context, queries []string) (Prepared, error) {
@@ -307,25 +367,14 @@ func (m *accessAreaMetric) Prepare(ctx context.Context, queries []string) (Prepa
 	if err != nil {
 		return nil, err
 	}
-	out := &aaPrepared{x: m.x, queries: make([]aaQuery, len(stmts))}
-	for i, s := range stmts {
+	out := &aaPrepared{x: m.x, attrs: newDict[string](), queries: make([]aaQuery, 0, len(stmts))}
+	for _, s := range stmts {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		attrs := accessarea.AccessedAttributes(s)
-		areas := make(map[string]accessarea.Area, len(attrs))
-		for a := range attrs {
-			dom, ok := m.domains[a]
-			if !ok {
-				return nil, fmt.Errorf("distance: no domain for accessed attribute %q", a)
-			}
-			area, _, err := accessarea.Extract(s, a, dom)
-			if err != nil {
-				return nil, err
-			}
-			areas[a] = area
+		if err := out.addQuery(s, m.domains); err != nil {
+			return nil, err
 		}
-		out.queries[i] = aaQuery{attrs: attrs, areas: areas}
 	}
 	return out, nil
 }
@@ -335,50 +384,52 @@ func (m *accessAreaMetric) Extend(ctx context.Context, prev Prepared, newQueries
 	if !ok {
 		return nil, fmt.Errorf("distance: access-area: prepared state %T is not this metric's", prev)
 	}
-	fresh, err := m.Prepare(ctx, newQueries)
+	stmts, err := parseLog(ctx, newQueries)
 	if err != nil {
 		return nil, err
 	}
-	out := &aaPrepared{x: old.x, queries: make([]aaQuery, 0, len(old.queries)+len(newQueries))}
-	out.queries = append(out.queries, old.queries...)
-	out.queries = append(out.queries, fresh.(*aaPrepared).queries...)
+	out := &aaPrepared{x: old.x, attrs: old.attrs.clone()}
+	out.queries = make([]aaQuery, len(old.queries), len(old.queries)+len(stmts))
+	copy(out.queries, old.queries)
+	for _, s := range stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := out.addQuery(s, m.domains); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
 func (p *aaPrepared) Len() int { return len(p.queries) }
 
-// SizeBytes implements Sizer over the precomputed areas.
+// SizeBytes implements Sizer: attribute names are held once in the
+// dictionary; per query only ids and the extracted areas remain.
 func (p *aaPrepared) SizeBytes() int64 {
-	total := int64(48 * len(p.queries))
+	total := int64(64)
+	for _, a := range p.attrs.elems {
+		total += int64(len(a)) + 48
+	}
 	for _, q := range p.queries {
-		for a := range q.attrs {
-			total += int64(len(a)) + 32
-		}
-		for a, area := range q.areas {
-			total += int64(len(a)) + 48 + int64(len(area.Intervals()))*96
+		total += 48 + int64(len(q.ids))*4
+		for _, area := range q.areas {
+			total += 48 + int64(len(area.Intervals()))*96
 		}
 	}
 	return total
 }
 
-// area returns the query's access area for attribute a: the extracted
-// area when it accesses a, the empty area otherwise.
-func (q aaQuery) area(a string) accessarea.Area {
-	if q.attrs[a] {
-		return q.areas[a]
-	}
-	return accessarea.Empty()
-}
-
 // Distance mirrors AccessArea over the precomputed areas: the mean δ
-// over all attributes accessed by either query.
+// over all attributes accessed by either query, computed by merging
+// the two id-sorted attribute lists. An attribute accessed by only one
+// query compares its area against the empty area, exactly as before.
 func (p *aaPrepared) Distance(i, j int) (float64, error) {
-	q1, q2 := p.queries[i], p.queries[j]
+	q1, q2 := &p.queries[i], &p.queries[j]
 	n := 0
 	var sum float64
-	delta := func(a string) {
+	delta := func(a1, a2 accessarea.Area) {
 		n++
-		a1, a2 := q1.area(a), q2.area(a)
 		switch {
 		case a1.Equal(a2):
 			// δ = 0
@@ -388,13 +439,27 @@ func (p *aaPrepared) Distance(i, j int) (float64, error) {
 			sum += 1
 		}
 	}
-	for a := range q1.attrs {
-		delta(a)
-	}
-	for a := range q2.attrs {
-		if !q1.attrs[a] {
-			delta(a)
+	empty := accessarea.Empty()
+	ii, jj := 0, 0
+	for ii < len(q1.ids) && jj < len(q2.ids) {
+		switch {
+		case q1.ids[ii] == q2.ids[jj]:
+			delta(q1.areas[ii], q2.areas[jj])
+			ii++
+			jj++
+		case q1.ids[ii] < q2.ids[jj]:
+			delta(q1.areas[ii], empty)
+			ii++
+		default:
+			delta(empty, q2.areas[jj])
+			jj++
 		}
+	}
+	for ; ii < len(q1.ids); ii++ {
+		delta(q1.areas[ii], empty)
+	}
+	for ; jj < len(q2.ids); jj++ {
+		delta(empty, q2.areas[jj])
 	}
 	if n == 0 {
 		return 0, nil

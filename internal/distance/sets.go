@@ -27,19 +27,12 @@ type SetSource interface {
 	AppendElementHashes(dst []uint64, i int) []uint64
 }
 
-// AppendElementHashes implements SetSource for the set-based prepared
-// states.
-func (p setPrepared[K]) AppendElementHashes(dst []uint64, i int) []uint64 {
-	for k := range p[i] {
-		dst = append(dst, elementHash(k))
-	}
-	return dst
-}
-
 // elementHash maps one set element to a stable 64-bit hash: FNV-1a over
 // a canonical byte encoding. Tokens and tuple keys hash their text;
 // features hash clause and item with a separator no SQL token contains,
-// so ("WHERE","a") and ("WHER","Ea") cannot collide.
+// so ("WHERE","a") and ("WHER","Ea") cannot collide. The hash is over
+// element CONTENT, never the interned id — ids depend on insertion
+// order and would break the cross-process stability contract above.
 func elementHash(k any) uint64 {
 	h := fnv.New64a()
 	switch v := k.(type) {

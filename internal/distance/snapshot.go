@@ -23,7 +23,10 @@ type Snapshotter interface {
 	// metric's Prepare or Extend. The encoding is deterministic: equal
 	// states marshal to equal bytes.
 	MarshalPrepared(p Prepared) ([]byte, error)
-	// UnmarshalPrepared is the inverse of MarshalPrepared.
+	// UnmarshalPrepared is the inverse of MarshalPrepared. It also
+	// accepts this metric's legacy (pre-interning) payloads, so
+	// journals written by older binaries replay into the current
+	// representation.
 	UnmarshalPrepared(data []byte) (Prepared, error)
 }
 
@@ -32,11 +35,24 @@ type Snapshotter interface {
 // 8-byte little-endian IEEE 754 bit patterns (exact round trip).
 var snapshotMagic = [4]byte{'D', 'P', 'S', '1'}
 
+// Payload tags version the body format. Tags 1 and 2 are the legacy
+// map-era set encodings: no binary writes them anymore, but decoders
+// keep accepting them so prepared-state journals recorded before the
+// interned kernel replay unchanged. Tag 3 is unchanged across the
+// interning refactor — its on-disk bytes are identical before and
+// after. Tags 4 and 5 are the interned encodings (dictionary once,
+// then delta-encoded id lists per query) that current binaries write.
 const (
-	snapStringSets  byte = 1 // setPrepared[string]: token and result metrics
-	snapFeatureSets byte = 2 // setPrepared[sqlfeature.Feature]: structure metric
-	snapAccessArea  byte = 3 // aaPrepared: access-area metric
+	snapStringSets       byte = 1 // legacy setPrepared[string]: token and result metrics
+	snapFeatureSets      byte = 2 // legacy setPrepared[sqlfeature.Feature]: structure metric
+	snapAccessArea       byte = 3 // aaPrepared: access-area metric
+	snapInternedStrings  byte = 4 // internedPrepared[string]: token and result metrics
+	snapInternedFeatures byte = 5 // internedPrepared[sqlfeature.Feature]: structure metric
 )
+
+// snapMaxTag is the highest payload tag this binary understands; a
+// larger tag means the snapshot was written by a newer version.
+const snapMaxTag = snapInternedFeatures
 
 // snapWriter builds a snapshot buffer.
 type snapWriter struct{ buf []byte }
@@ -69,19 +85,28 @@ type snapReader struct {
 	off int
 }
 
-func newSnapReader(data []byte, wantTag byte) (*snapReader, error) {
+// newSnapReader validates the magic and payload tag, returning the tag
+// that matched so callers accepting several formats (current + legacy)
+// can dispatch on it.
+func newSnapReader(data []byte, wantTags ...byte) (*snapReader, byte, error) {
 	if len(data) < len(snapshotMagic)+1 {
-		return nil, fmt.Errorf("distance: snapshot of %d bytes is shorter than its header", len(data))
+		return nil, 0, fmt.Errorf("distance: snapshot of %d bytes is shorter than its header", len(data))
 	}
 	for i, b := range snapshotMagic {
 		if data[i] != b {
-			return nil, fmt.Errorf("distance: snapshot has bad magic %q", data[:len(snapshotMagic)])
+			return nil, 0, fmt.Errorf("distance: snapshot has bad magic %q", data[:len(snapshotMagic)])
 		}
 	}
-	if tag := data[len(snapshotMagic)]; tag != wantTag {
-		return nil, fmt.Errorf("distance: snapshot payload tag %d, want %d (snapshot from a different measure?)", tag, wantTag)
+	tag := data[len(snapshotMagic)]
+	for _, want := range wantTags {
+		if tag == want {
+			return &snapReader{buf: data, off: len(snapshotMagic) + 1}, tag, nil
+		}
 	}
-	return &snapReader{buf: data, off: len(snapshotMagic) + 1}, nil
+	if tag > snapMaxTag {
+		return nil, 0, fmt.Errorf("distance: snapshot payload tag %d is newer than this binary supports (max %d); upgrade the binary or re-prepare the session", tag, snapMaxTag)
+	}
+	return nil, 0, fmt.Errorf("distance: snapshot payload tag %d, want one of %v (snapshot from a different measure?)", tag, wantTags)
 }
 
 func (r *snapReader) uvarint() (uint64, error) {
@@ -153,58 +178,158 @@ func (r *snapReader) done() error {
 	return nil
 }
 
-// --- string sets (token, result) ---
+// --- interned set states (token, result, structure) ---
 
-func marshalStringSets(p Prepared) ([]byte, error) {
-	sets, ok := p.(setPrepared[string])
-	if !ok {
-		return nil, fmt.Errorf("distance: cannot snapshot prepared state %T as string sets", p)
+// writeInterned encodes an interned state: the dictionary once (in id
+// order, so restore re-interns into identical ids), then each query as
+// its cardinality followed by delta-encoded ascending element ids.
+// writeElem serializes one dictionary element.
+func writeInterned[K comparable](w *snapWriter, p *internedPrepared[K], writeElem func(*snapWriter, K)) {
+	w.uvarint(uint64(len(p.dict.elems)))
+	for _, k := range p.dict.elems {
+		writeElem(w, k)
 	}
-	w := newSnapWriter(snapStringSets)
-	w.uvarint(uint64(len(sets)))
-	for _, set := range sets {
-		keys := make([]string, 0, len(set))
-		for k := range set {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		w.uvarint(uint64(len(keys)))
-		for _, k := range keys {
-			w.str(k)
+	w.uvarint(uint64(len(p.sets)))
+	var ids []uint32
+	for _, words := range p.sets {
+		ids = appendBitsetIDs(ids[:0], words)
+		w.uvarint(uint64(len(ids)))
+		prev := uint32(0)
+		for _, id := range ids {
+			w.uvarint(uint64(id - prev))
+			prev = id
 		}
 	}
-	return w.buf, nil
 }
 
-func unmarshalStringSets(data []byte) (Prepared, error) {
-	r, err := newSnapReader(data, snapStringSets)
+// readInterned decodes what writeInterned produced. Elements re-intern
+// in stored (id) order, so the restored dictionary is identical to the
+// marshaled one and a re-marshal yields the same bytes.
+func readInterned[K comparable](r *snapReader, readElem func(*snapReader) (K, error)) (*internedPrepared[K], error) {
+	nElems, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
+	out := newInternedPrepared[K](0)
+	for i := uint64(0); i < nElems; i++ {
+		k, err := readElem(r)
+		if err != nil {
+			return nil, err
+		}
+		if id := out.dict.intern(k); uint64(id) != i {
+			return nil, fmt.Errorf("distance: snapshot dictionary has duplicate element at id %d", i)
+		}
+	}
+	nSets, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nSets; i++ {
+		card, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		var words []uint64
+		id := uint32(0)
+		for j := uint64(0); j < card; j++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if j > 0 && d == 0 {
+				return nil, fmt.Errorf("distance: snapshot set %d has a duplicate element id", i)
+			}
+			id += uint32(d)
+			if uint64(id) >= nElems {
+				return nil, fmt.Errorf("distance: snapshot set %d references element id %d beyond dictionary size %d", i, id, nElems)
+			}
+			words = bitsetSet(words, id)
+		}
+		out.sets = append(out.sets, words)
+		out.cards = append(out.cards, int(card))
+	}
+	return out, nil
+}
+
+// readLegacySets decodes the map-era set encoding (tags 1 and 2): per
+// query, a sorted element list. Elements intern in stored order, which
+// is the same sorted order Prepare uses, so the rebuilt dictionary —
+// and therefore any re-marshal and any MinHash signature — matches a
+// fresh Prepare of the same log exactly.
+func readLegacySets[K comparable](r *snapReader, readElem func(*snapReader) (K, error)) (*internedPrepared[K], error) {
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	sets := make(setPrepared[string], n)
-	for i := range sets {
+	out := newInternedPrepared[K](int(n))
+	elems := []K(nil)
+	for i := uint64(0); i < n; i++ {
 		k, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		set := make(map[string]bool, k)
+		elems = elems[:0]
 		for j := uint64(0); j < k; j++ {
-			s, err := r.str()
+			e, err := readElem(r)
 			if err != nil {
 				return nil, err
 			}
-			set[s] = true
+			elems = append(elems, e)
 		}
-		sets[i] = set
+		out.addSet(elems)
+	}
+	return out, nil
+}
+
+func writeStringElem(w *snapWriter, s string) { w.str(s) }
+
+func readStringElem(r *snapReader) (string, error) { return r.str() }
+
+func writeFeatureElem(w *snapWriter, f sqlfeature.Feature) {
+	w.str(string(f.Clause))
+	w.str(f.Item)
+}
+
+func readFeatureElem(r *snapReader) (sqlfeature.Feature, error) {
+	clause, err := r.str()
+	if err != nil {
+		return sqlfeature.Feature{}, err
+	}
+	item, err := r.str()
+	if err != nil {
+		return sqlfeature.Feature{}, err
+	}
+	return sqlfeature.Feature{Clause: sqlfeature.Clause(clause), Item: item}, nil
+}
+
+func marshalStringSets(p Prepared) ([]byte, error) {
+	sets, ok := p.(*internedPrepared[string])
+	if !ok {
+		return nil, fmt.Errorf("distance: cannot snapshot prepared state %T as string sets", p)
+	}
+	w := newSnapWriter(snapInternedStrings)
+	writeInterned(w, sets, writeStringElem)
+	return w.buf, nil
+}
+
+func unmarshalStringSets(data []byte) (Prepared, error) {
+	r, tag, err := newSnapReader(data, snapInternedStrings, snapStringSets)
+	if err != nil {
+		return nil, err
+	}
+	var out *internedPrepared[string]
+	if tag == snapInternedStrings {
+		out, err = readInterned(r, readStringElem)
+	} else {
+		out, err = readLegacySets(r, readStringElem)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	return sets, nil
+	return out, nil
 }
 
 // MarshalPrepared implements Snapshotter over token sets.
@@ -226,70 +351,36 @@ func (*resultMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
 	return unmarshalStringSets(data)
 }
 
-// --- feature sets (structure) ---
-
 // MarshalPrepared implements Snapshotter over SnipSuggest feature sets.
 func (structureMetric) MarshalPrepared(p Prepared) ([]byte, error) {
-	sets, ok := p.(setPrepared[sqlfeature.Feature])
+	sets, ok := p.(*internedPrepared[sqlfeature.Feature])
 	if !ok {
 		return nil, fmt.Errorf("distance: cannot snapshot prepared state %T as feature sets", p)
 	}
-	w := newSnapWriter(snapFeatureSets)
-	w.uvarint(uint64(len(sets)))
-	for _, set := range sets {
-		feats := make([]sqlfeature.Feature, 0, len(set))
-		for f := range set {
-			feats = append(feats, f)
-		}
-		sort.Slice(feats, func(i, j int) bool {
-			if feats[i].Clause != feats[j].Clause {
-				return feats[i].Clause < feats[j].Clause
-			}
-			return feats[i].Item < feats[j].Item
-		})
-		w.uvarint(uint64(len(feats)))
-		for _, f := range feats {
-			w.str(string(f.Clause))
-			w.str(f.Item)
-		}
-	}
+	w := newSnapWriter(snapInternedFeatures)
+	writeInterned(w, sets, writeFeatureElem)
 	return w.buf, nil
 }
 
 // UnmarshalPrepared implements Snapshotter over feature sets.
 func (structureMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
-	r, err := newSnapReader(data, snapFeatureSets)
+	r, tag, err := newSnapReader(data, snapInternedFeatures, snapFeatureSets)
 	if err != nil {
 		return nil, err
 	}
-	n, err := r.uvarint()
+	var out *internedPrepared[sqlfeature.Feature]
+	if tag == snapInternedFeatures {
+		out, err = readInterned(r, readFeatureElem)
+	} else {
+		out, err = readLegacySets(r, readFeatureElem)
+	}
 	if err != nil {
 		return nil, err
-	}
-	sets := make(setPrepared[sqlfeature.Feature], n)
-	for i := range sets {
-		k, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		set := make(map[sqlfeature.Feature]bool, k)
-		for j := uint64(0); j < k; j++ {
-			clause, err := r.str()
-			if err != nil {
-				return nil, err
-			}
-			item, err := r.str()
-			if err != nil {
-				return nil, err
-			}
-			set[sqlfeature.Feature{Clause: sqlfeature.Clause(clause), Item: item}] = true
-		}
-		sets[i] = set
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	return sets, nil
+	return out, nil
 }
 
 // --- access areas ---
@@ -419,6 +510,10 @@ func boolByte(b bool) byte {
 }
 
 // MarshalPrepared implements Snapshotter over precomputed access areas.
+// The wire format predates the interning refactor and is written
+// byte-for-byte unchanged — attribute names are materialized back from
+// their interned ids and listed in sorted order per query, exactly as
+// the map-era encoder sorted them.
 func (*accessAreaMetric) MarshalPrepared(p Prepared) ([]byte, error) {
 	aa, ok := p.(*aaPrepared)
 	if !ok {
@@ -428,24 +523,23 @@ func (*accessAreaMetric) MarshalPrepared(p Prepared) ([]byte, error) {
 	w.float(aa.x)
 	w.uvarint(uint64(len(aa.queries)))
 	for _, q := range aa.queries {
-		attrs := make([]string, 0, len(q.attrs))
-		for a := range q.attrs {
-			attrs = append(attrs, a)
+		type namedArea struct {
+			name string
+			area accessarea.Area
 		}
-		sort.Strings(attrs)
-		w.uvarint(uint64(len(attrs)))
-		for _, a := range attrs {
-			w.str(a)
+		named := make([]namedArea, len(q.ids))
+		for k, id := range q.ids {
+			named[k] = namedArea{name: aa.attrs.elems[id], area: q.areas[k]}
 		}
-		areas := make([]string, 0, len(q.areas))
-		for a := range q.areas {
-			areas = append(areas, a)
+		sort.Slice(named, func(i, j int) bool { return named[i].name < named[j].name })
+		w.uvarint(uint64(len(named)))
+		for _, na := range named {
+			w.str(na.name)
 		}
-		sort.Strings(areas)
-		w.uvarint(uint64(len(areas)))
-		for _, a := range areas {
-			w.str(a)
-			if err := writeArea(w, q.areas[a]); err != nil {
+		w.uvarint(uint64(len(named)))
+		for _, na := range named {
+			w.str(na.name)
+			if err := writeArea(w, na.area); err != nil {
 				return nil, err
 			}
 		}
@@ -456,7 +550,7 @@ func (*accessAreaMetric) MarshalPrepared(p Prepared) ([]byte, error) {
 // UnmarshalPrepared implements Snapshotter over precomputed access
 // areas.
 func (*accessAreaMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
-	r, err := newSnapReader(data, snapAccessArea)
+	r, _, err := newSnapReader(data, snapAccessArea)
 	if err != nil {
 		return nil, err
 	}
@@ -468,25 +562,23 @@ func (*accessAreaMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &aaPrepared{x: x, queries: make([]aaQuery, n)}
-	for i := range out.queries {
+	out := &aaPrepared{x: x, attrs: newDict[string](), queries: make([]aaQuery, 0, n)}
+	for i := uint64(0); i < n; i++ {
 		nAttrs, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		attrs := make(map[string]bool, nAttrs)
-		for j := uint64(0); j < nAttrs; j++ {
-			a, err := r.str()
-			if err != nil {
+		attrs := make([]string, nAttrs)
+		for j := range attrs {
+			if attrs[j], err = r.str(); err != nil {
 				return nil, err
 			}
-			attrs[a] = true
 		}
 		nAreas, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		areas := make(map[string]accessarea.Area, nAreas)
+		areaByName := make(map[string]accessarea.Area, nAreas)
 		for j := uint64(0); j < nAreas; j++ {
 			a, err := r.str()
 			if err != nil {
@@ -496,9 +588,26 @@ func (*accessAreaMetric) UnmarshalPrepared(data []byte) (Prepared, error) {
 			if err != nil {
 				return nil, err
 			}
-			areas[a] = area
+			areaByName[a] = area
 		}
-		out.queries[i] = aaQuery{attrs: attrs, areas: areas}
+		// The attribute list is stored sorted, so interning in stored
+		// order matches Prepare's sorted interning. An attribute with no
+		// stored area (not produced by any real encoder) degrades to the
+		// empty area, matching the old representation's lookup default.
+		q := aaQuery{
+			ids:   make([]uint32, 0, len(attrs)),
+			areas: make([]accessarea.Area, 0, len(attrs)),
+		}
+		for _, a := range attrs {
+			area, ok := areaByName[a]
+			if !ok {
+				area = accessarea.Empty()
+			}
+			q.ids = append(q.ids, out.attrs.intern(a))
+			q.areas = append(q.areas, area)
+		}
+		sort.Sort(&aaByID{q})
+		out.queries = append(out.queries, q)
 	}
 	if err := r.done(); err != nil {
 		return nil, err

@@ -84,6 +84,7 @@ type Deployment struct {
 	relScheme *det.Scheme
 	attr      *det.Scheme
 	paillier  *hom.PrivateKey
+	homEnc    *hom.Encryptor
 	opeParams ope.Params
 
 	// caches keyed by column id + class
@@ -124,7 +125,16 @@ func NewDeployment(master []byte, cfg Config) (*Deployment, error) {
 	if opeParams == (ope.Params{}) {
 		opeParams = ope.DefaultParams()
 	}
-	d := &Deployment{km: km, relScheme: rel, attr: attr, paillier: paillier, opeParams: opeParams}
+	// The fixed-base window table turns every HOM column encryption
+	// into table multiplications instead of a full r^n exponentiation.
+	// Its base is derived from the master secret too, so the whole
+	// deployment stays reproducible; per-value randomness is still
+	// drawn fresh at Encrypt time.
+	homEnc, err := paillier.NewEncryptor(prf.NewDRBG(km.HomSeed(), []byte("paillier-encryptor")))
+	if err != nil {
+		return nil, fmt.Errorf("encdb: paillier encryptor: %w", err)
+	}
+	d := &Deployment{km: km, relScheme: rel, attr: attr, paillier: paillier, homEnc: homEnc, opeParams: opeParams}
 	d.schemes.init()
 	return d, nil
 }
@@ -426,7 +436,7 @@ func (d *Deployment) encryptHOM(v value.Value) (value.Value, error) {
 	if v.Kind() != value.KindInt {
 		return value.Value{}, fmt.Errorf("encdb: HOM requires integer values, got %s", v.Kind())
 	}
-	c, err := d.paillier.EncryptInt64(nil, v.AsInt())
+	c, err := d.homEnc.EncryptInt64(nil, v.AsInt())
 	if err != nil {
 		return value.Value{}, err
 	}
