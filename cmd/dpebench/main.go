@@ -21,6 +21,7 @@
 //	dpebench -exp recovery    # kill-and-restart: journal replay vs cold start
 //	dpebench -exp obs         # instrumented server: /metrics vs ground truth
 //	dpebench -exp hotpath     # bitset vs map kernels, CRT vs textbook Paillier
+//	dpebench -exp incmine     # warm incremental mining vs a cold re-mine
 //
 //	dpebench -exp all -json   # run the whole harness, write BENCH_PR7.json
 //	dpebench -exp all -json -short -baseline bench_baseline.json
@@ -84,7 +85,7 @@ func parseOptions(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("dpebench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|hotpath|all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|hotpath|incmine|all")
 	fs.BoolVar(&o.json, "json", false, "run the bench harness and write a machine-readable report")
 	fs.BoolVar(&o.short, "short", false, "CI smoke sizes (small workloads, fewer iterations)")
 	fs.StringVar(&o.out, "out", "BENCH_PR7.json", "report path for -json")
@@ -119,7 +120,7 @@ func parseOptions(args []string) (*options, error) {
 		return nil, err
 	}
 	if o.baseline != "" && len(harness) == 0 {
-		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|approx|service|contention|recovery|obs|hotpath|all), but -exp %s runs none", o.exp)
+		return nil, fmt.Errorf("-baseline gates the harness experiments (engine|append|approx|service|contention|recovery|obs|hotpath|incmine|all), but -exp %s runs none", o.exp)
 	}
 	if _, err := o.benchConfig(); err != nil {
 		return nil, err
@@ -138,18 +139,18 @@ func (o *options) selection() (paper, harness []string, err error) {
 			return nil, []string{"all"}, nil
 		}
 		return paperExps, nil, nil
-	case "engine", "append", "approx", "service", "contention", "recovery", "obs", "hotpath":
+	case "engine", "append", "approx", "service", "contention", "recovery", "obs", "hotpath", "incmine":
 		return nil, []string{o.exp}, nil
 	default:
 		for _, p := range paperExps {
 			if o.exp == p {
 				if o.json {
-					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|approx|service|contention|recovery|obs|hotpath|all), not %q", o.exp)
+					return nil, nil, fmt.Errorf("-json applies to the harness experiments (engine|append|approx|service|contention|recovery|obs|hotpath|incmine|all), not %q", o.exp)
 				}
 				return []string{o.exp}, nil, nil
 			}
 		}
-		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|hotpath|all)", o.exp)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want table1|fig1|mining|accessarea|shared|rules|engine|append|approx|service|contention|recovery|obs|hotpath|incmine|all)", o.exp)
 	}
 }
 

@@ -4,6 +4,8 @@
 //	dpectl encrypt  -measure token -queries 20  # encrypt the log, print it
 //	dpectl distance -measure token -queries 20  # pairwise distance matrix
 //	dpectl mine     -measure token -k 4         # cluster the encrypted log
+//	dpectl mine     -algorithm apriori -min-support 4   # frequent itemsets; also
+//	                dbscan|complete-link|outliers|knn via -eps/-minpts/-p/-d/-query
 //	dpectl neighbors -query 3 -k 5              # sublinear top-K neighbors
 //	dpectl verify   -measure token              # check Definition 1
 //
@@ -25,6 +27,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	dpe "repro"
 	"repro/internal/service"
@@ -33,16 +36,33 @@ import (
 // cliConfig is the fully-validated outcome of parsing the dpectl
 // command line: the subcommand plus its parameters.
 type cliConfig struct {
-	cmd     string
-	seed    string
-	master  string
-	queries int
-	rows    int
-	measure dpe.Measure
-	k       int
-	query   int
-	par     int
-	remote  string
+	cmd        string
+	seed       string
+	master     string
+	queries    int
+	rows       int
+	measure    dpe.Measure
+	k          int
+	query      int
+	par        int
+	remote     string
+	algorithm  dpe.MiningAlgorithm
+	eps        float64
+	minPts     int
+	p, d       float64
+	minSupport int
+	maxLen     int
+}
+
+// mineSpec assembles the MineSpec the mine subcommand runs. Validate
+// only reads the fields the chosen algorithm uses, so setting all of
+// them is harmless.
+func (c *cliConfig) mineSpec() dpe.MineSpec {
+	return dpe.MineSpec{
+		Algorithm: c.algorithm, K: c.k, Eps: c.eps, MinPts: c.minPts,
+		P: c.p, D: c.d, Query: c.query,
+		MinSupport: c.minSupport, MaxLen: c.maxLen,
+	}
 }
 
 // commands are the valid subcommands.
@@ -69,7 +89,14 @@ func parseConfig(args []string) (*cliConfig, error) {
 	rowsN := fs.Int("rows", 80, "rows per table")
 	measureName := fs.String("measure", "token", "measure: token|structure|result|access-area")
 	k := fs.Int("k", 4, "clusters for mine / neighbors for neighbors")
-	query := fs.Int("query", 0, "query index neighbors searches around")
+	query := fs.Int("query", 0, "query index neighbors (and mine -algorithm knn) search around")
+	algorithmName := fs.String("algorithm", "k-medoids", "mine algorithm: k-medoids|dbscan|complete-link|outliers|knn|apriori")
+	eps := fs.Float64("eps", 0.35, "DBSCAN neighborhood radius")
+	minPts := fs.Int("minpts", 3, "DBSCAN core-point threshold")
+	pFrac := fs.Float64("p", 0.95, "outliers: fraction p of DB(p, D)")
+	dDist := fs.Float64("d", 0.8, "outliers: distance D of DB(p, D)")
+	minSupport := fs.Int("min-support", 3, "apriori: absolute support threshold")
+	maxLen := fs.Int("max-len", 3, "apriori: largest itemset size mined")
 	par := fs.Int("par", 0, "distance-engine parallelism (0 = all cores)")
 	remote := fs.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -79,6 +106,10 @@ func parseConfig(args []string) (*cliConfig, error) {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	m, err := dpe.ParseMeasure(*measureName)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := dpe.ParseMiningAlgorithm(*algorithmName)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +133,13 @@ func parseConfig(args []string) (*cliConfig, error) {
 	}
 	c.seed, c.master, c.queries, c.rows = *seed, *master, *queries, *rowsN
 	c.measure, c.k, c.query, c.par, c.remote = m, *k, *query, *par, *remote
+	c.algorithm, c.eps, c.minPts, c.p, c.d = alg, *eps, *minPts, *pFrac, *dDist
+	c.minSupport, c.maxLen = *minSupport, *maxLen
+	if c.cmd == "mine" {
+		if err := c.mineSpec().Validate(c.queries); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -225,20 +263,12 @@ func run(c *cliConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err := provider.Mine(ctx, encLog, dpe.MineSpec{Algorithm: dpe.MineKMedoids, K: k})
+		spec := c.mineSpec()
+		res, err := provider.Mine(ctx, encLog, spec)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k-medoids over the ENCRYPTED log (measure %s, k=%d, cost %.3f):\n", m, k, res.Clusters.Cost)
-		for c := range res.Clusters.Medoids {
-			fmt.Printf("cluster %d (medoid query %d):\n", c, res.Clusters.Medoids[c])
-			for i, a := range res.Clusters.Assign {
-				if a == c {
-					fmt.Printf("   %3d  %s\n", i, w.Queries[i])
-				}
-			}
-		}
-		return nil
+		return printMine(os.Stdout, w.Queries, spec, res)
 
 	case "neighbors":
 		encLog, err := owner.EncryptLog(w.Queries, m)
@@ -291,5 +321,83 @@ func run(c *cliConfig) error {
 
 	default:
 		return fmt.Errorf("unknown command %q: %s", c.cmd, usageLine)
+	}
+}
+
+// printMine renders one MineResult against the plaintext log the owner
+// keeps: clusters, per-query labels, outlier flags, a neighbor list,
+// or frequent itemsets, depending on the algorithm mined.
+func printMine(out io.Writer, queries []string, spec dpe.MineSpec, res *dpe.MineResult) error {
+	switch spec.Algorithm {
+	case dpe.MineKMedoids:
+		fmt.Fprintf(out, "k-medoids over the ENCRYPTED log (k=%d, cost %.3f):\n", spec.K, res.Clusters.Cost)
+		for c := range res.Clusters.Medoids {
+			fmt.Fprintf(out, "cluster %d (medoid query %d):\n", c, res.Clusters.Medoids[c])
+			for i, a := range res.Clusters.Assign {
+				if a == c {
+					fmt.Fprintf(out, "   %3d  %s\n", i, queries[i])
+				}
+			}
+		}
+	case dpe.MineDBSCAN, dpe.MineCompleteLink:
+		if spec.Algorithm == dpe.MineDBSCAN {
+			fmt.Fprintf(out, "dbscan over the ENCRYPTED log (eps=%g, minPts=%d):\n", spec.Eps, spec.MinPts)
+		} else {
+			fmt.Fprintf(out, "complete-link over the ENCRYPTED log (k=%d):\n", spec.K)
+		}
+		printLabels(out, queries, res.Labels)
+	case dpe.MineOutliers:
+		fmt.Fprintf(out, "DB(p=%g, D=%g) outliers over the ENCRYPTED log:\n", spec.P, spec.D)
+		n := 0
+		for i, o := range res.Outliers {
+			if o {
+				fmt.Fprintf(out, "   %3d  %s\n", i, queries[i])
+				n++
+			}
+		}
+		fmt.Fprintf(out, "%d of %d queries flagged\n", n, len(queries))
+	case dpe.MineKNN:
+		fmt.Fprintf(out, "top-%d neighbors of query %d over the ENCRYPTED log:\n", spec.K, spec.Query)
+		fmt.Fprintf(out, "   q    %s\n", queries[spec.Query])
+		for _, nb := range res.Neighbors {
+			fmt.Fprintf(out, "%4d  %s\n", nb, queries[nb])
+		}
+	case dpe.MineApriori:
+		fmt.Fprintf(out, "apriori over the ENCRYPTED log (min support %d, max len %d): %d frequent itemsets\n",
+			spec.MinSupport, spec.MaxLen, len(res.Itemsets))
+		for _, s := range res.Itemsets {
+			fmt.Fprintf(out, "%4d  %s\n", s.Support, strings.Join(s.Items, " "))
+		}
+	default:
+		return fmt.Errorf("no renderer for algorithm %s", spec.Algorithm)
+	}
+	return nil
+}
+
+// printLabels groups a labeling by cluster id, noise last.
+func printLabels(out io.Writer, queries []string, labels []int) {
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	for c := 0; c <= max; c++ {
+		fmt.Fprintf(out, "cluster %d:\n", c)
+		for i, l := range labels {
+			if l == c {
+				fmt.Fprintf(out, "   %3d  %s\n", i, queries[i])
+			}
+		}
+	}
+	noise := false
+	for i, l := range labels {
+		if l == dpe.Noise {
+			if !noise {
+				fmt.Fprintln(out, "noise:")
+				noise = true
+			}
+			fmt.Fprintf(out, "   %3d  %s\n", i, queries[i])
+		}
 	}
 }

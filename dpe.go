@@ -172,6 +172,8 @@ type (
 	PreservationReport = core.PreservationReport
 	// KMedoidsResult holds a k-medoids clustering.
 	KMedoidsResult = mining.KMedoidsResult
+	// FrequentItemset pairs a frequent itemset with its support count.
+	FrequentItemset = mining.FrequentItemset
 	// Workload is a generated synthetic benchmark workload.
 	Workload = workload.Workload
 	// WorkloadConfig controls workload generation.
@@ -334,7 +336,8 @@ type providerConfig struct {
 // StageObserver receives the wall-clock duration of one named pipeline
 // stage as it completes: "prepare" (per-query work), "matrix" (pairwise
 // fan-out), "append_extend"/"append_rows" (the incremental path),
-// "rerank" (exact re-ranking of LSH candidates), and "mine". Composite
+// "rerank" (exact re-ranking of LSH candidates), "mine", and
+// "mine_delta" (warm incremental mining after an append). Composite
 // calls nest — a "mine" observation covers the "matrix" build inside
 // it — so stage totals are per-stage costs, not additive request time.
 // The ctx is the request context the stage ran under, letting an
@@ -588,6 +591,14 @@ const (
 	MineOutliers
 	// MineKNN returns the spec.K nearest neighbors of spec.Query.
 	MineKNN
+	// MineApriori mines frequent feature itemsets: each query is one
+	// transaction whose items are the prepared state's elements
+	// (tokens, structural features, or result-tuple keys), and Apriori
+	// finds combinations with support >= spec.MinSupport up to
+	// spec.MaxLen items. It needs no distance matrix at all, so Mine
+	// skips the pairwise build entirely. Requires a set-based measure
+	// (token, structure, result).
+	MineApriori
 )
 
 // String returns the algorithm's canonical name — the same text
@@ -604,6 +615,8 @@ func (a MiningAlgorithm) String() string {
 		return "outliers"
 	case MineKNN:
 		return "knn"
+	case MineApriori:
+		return "apriori"
 	default:
 		return fmt.Sprintf("MiningAlgorithm(%d)", int(a))
 	}
@@ -624,8 +637,10 @@ func ParseMiningAlgorithm(name string) (MiningAlgorithm, error) {
 		return MineOutliers, nil
 	case "knn":
 		return MineKNN, nil
+	case "apriori":
+		return MineApriori, nil
 	default:
-		return 0, fmt.Errorf("dpe: unknown mining algorithm %q (want k-medoids|dbscan|complete-link|outliers|knn)", name)
+		return 0, fmt.Errorf("dpe: unknown mining algorithm %q (want k-medoids|dbscan|complete-link|outliers|knn|apriori)", name)
 	}
 }
 
@@ -634,7 +649,7 @@ func ParseMiningAlgorithm(name string) (MiningAlgorithm, error) {
 // outside the five algorithms.
 func (a MiningAlgorithm) MarshalText() ([]byte, error) {
 	switch a {
-	case MineKMedoids, MineDBSCAN, MineCompleteLink, MineOutliers, MineKNN:
+	case MineKMedoids, MineDBSCAN, MineCompleteLink, MineOutliers, MineKNN, MineApriori:
 		return []byte(a.String()), nil
 	default:
 		return nil, fmt.Errorf("dpe: unknown mining algorithm %d", int(a))
@@ -665,6 +680,10 @@ type MineSpec struct {
 	P, D float64
 	// Query is the query index kNN searches around.
 	Query int
+	// MinSupport and MaxLen parameterize Apriori: the absolute
+	// transaction-count threshold and the largest itemset size mined.
+	MinSupport int
+	MaxLen     int
 	// Approximate runs the algorithm over LSH candidate pairs instead
 	// of the full distance matrix (MineResult.Matrix stays nil and
 	// CandidatePairs reports the pair budget). Only algorithms whose
@@ -713,12 +732,21 @@ func (s MineSpec) Validate(n int) error {
 		if s.Query < 0 || s.Query >= n {
 			return fmt.Errorf("dpe: knn query index %d outside log of %d queries", s.Query, n)
 		}
+	case MineApriori:
+		if s.MinSupport <= 0 {
+			return fmt.Errorf("dpe: apriori needs MinSupport > 0, got %d", s.MinSupport)
+		}
+		if s.MaxLen <= 0 {
+			return fmt.Errorf("dpe: apriori needs MaxLen > 0, got %d", s.MaxLen)
+		}
 	default:
 		return fmt.Errorf("dpe: unknown mining algorithm %d", int(s.Algorithm))
 	}
 	if s.Approximate {
 		switch s.Algorithm {
 		case MineDBSCAN, MineKNN:
+		case MineApriori:
+			return fmt.Errorf("dpe: apriori mines transactions, not distances, and never builds the matrix — Approximate does not apply")
 		default:
 			return fmt.Errorf("dpe: %s needs the full distance matrix and cannot run approximately (only dbscan and knn support Approximate)", s.Algorithm)
 		}
@@ -740,10 +768,16 @@ type MineResult struct {
 	Outliers []bool
 	// Neighbors are the nearest-neighbor indices (MineKNN).
 	Neighbors []int
+	// Itemsets are the frequent feature itemsets (MineApriori), in
+	// deterministic order (by size, then lexicographic).
+	Itemsets []FrequentItemset
 	// CandidatePairs is the number of exact pair evaluations an
 	// approximate run performed — the sublinear budget, versus the
 	// n·(n−1)/2 triangle an exact run computes. 0 for exact runs.
 	CandidatePairs int
+	// Incremental reports how a MineIncremental call arrived at the
+	// result; nil for plain Mine calls.
+	Incremental *IncrementalStats
 }
 
 // Mine builds the distance matrix of the log and runs one mining
@@ -773,6 +807,18 @@ func (p *Provider) MinePrepared(ctx context.Context, pl *PreparedLog, spec MineS
 			return nil, err
 		}
 		return p.MinePreparedIndexed(ctx, pl, idx, spec)
+	}
+	if spec.Algorithm == MineApriori {
+		// Apriori consumes transactions, not distances: no matrix.
+		txs, err := p.transactions(pl)
+		if err != nil {
+			return nil, err
+		}
+		sets, err := mining.Apriori(txs, spec.MinSupport, spec.MaxLen)
+		if err != nil {
+			return nil, err
+		}
+		return &MineResult{Itemsets: sets}, nil
 	}
 	m, err := p.DistanceMatrixPrepared(ctx, pl)
 	if err != nil {

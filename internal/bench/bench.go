@@ -3,9 +3,9 @@
 // workloads and emits a versioned machine-readable report
 // (BENCH_PR7.json) that CI gates against a committed baseline.
 //
-// Eight experiments; engine, append, approx, service, recovery, and obs
-// run across the configured measures (all four of Table I by default)
-// on encrypted artifacts:
+// Nine experiments; engine, append, approx, service, recovery, obs,
+// and incmine run across the configured measures (all four of Table I
+// by default) on encrypted artifacts:
 //
 //   - engine:  full distance-matrix builds, sequential vs the worker
 //     pool, with an entry-computation counter pinning the upper-triangle
@@ -47,6 +47,15 @@
 //     kernel must stay ≥2x faster, the crypto fast paths must not fall
 //     behind textbook) so noise below the threshold can never flake
 //     the gate — the harness's only gated wall-clock-derived numbers.
+//   - incmine: incremental mining maintenance — per measure and
+//     algorithm (k-medoids, DBSCAN, and apriori on the set measures), a
+//     MineState is bootstrapped over the base log and MineIncremental
+//     runs warm over the appended log vs a cold mine of the combined
+//     log. The warm work counters (distance pairs, or transaction
+//     scans for apriori) must be strictly below cold, and the DBSCAN
+//     label mismatches after canonical relabeling (zero), the apriori
+//     itemset mismatches (zero), and the k-medoids cold-fallback
+//     count (zero) are tracked exactly.
 //
 // Wall-clock metrics are recorded but never gated (they vary across
 // machines); only deterministic counters are marked Tracked and
@@ -127,7 +136,7 @@ func ShortConfig() Config {
 
 // Experiments lists the harness experiments in run order.
 func Experiments() []string {
-	return []string{"engine", "append", "approx", "service", "contention", "recovery", "obs", "hotpath"}
+	return []string{"engine", "append", "approx", "service", "contention", "recovery", "obs", "hotpath", "incmine"}
 }
 
 // Run executes the named experiments ("all" or nil means every one) and
@@ -150,11 +159,12 @@ func Run(ctx context.Context, names []string, cfg Config) (*Report, error) {
 		"recovery":   runRecovery,
 		"obs":        runObs,
 		"hotpath":    runHotpath,
+		"incmine":    runIncMine,
 	}
 	for n := range selected {
 		if n != "all" {
 			if _, ok := known[n]; !ok {
-				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|approx|service|contention|recovery|obs|hotpath|all)", n)
+				return nil, fmt.Errorf("bench: unknown experiment %q (want engine|append|approx|service|contention|recovery|obs|hotpath|incmine|all)", n)
 			}
 		}
 	}

@@ -185,6 +185,36 @@ func (p *internedPrepared[K]) AppendElementHashes(dst []uint64, i int) []uint64 
 	return dst
 }
 
+// AppendItems implements ItemSource: the dictionary's reverse table
+// holds every element's payload, so rendering a transaction is a
+// bitset sweep plus table lookups, the same shape as
+// AppendElementHashes.
+func (p *internedPrepared[K]) AppendItems(dst []string, i int) []string {
+	elems := p.dict.elems
+	for w, word := range p.sets[i] {
+		base := w * wordBits
+		for word != 0 {
+			dst = append(dst, itemString(any(elems[base+bits.TrailingZeros64(word)])))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// itemString renders one set element as its canonical item text —
+// the same rendering experiment E6 uses to build transactions.
+func itemString(k any) string {
+	switch v := k.(type) {
+	case string:
+		return v
+	case sqlfeature.Feature:
+		return v.String()
+	default:
+		// Unreachable for the built-in metrics.
+		return ""
+	}
+}
+
 // SizeBytes implements Sizer. Interning shrinks the real footprint —
 // each distinct element's payload is held once in the dictionary
 // instead of once per query that contains it — and the estimate

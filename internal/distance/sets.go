@@ -27,6 +27,27 @@ type SetSource interface {
 	AppendElementHashes(dst []uint64, i int) []uint64
 }
 
+// ItemSource is the seam between the set-based prepared states and
+// association-rule mining: it renders query i's element set as the
+// canonical item strings of one Apriori transaction (the idiom of
+// experiment E6 — features render via Feature.String, tokens and tuple
+// keys are their own text). It is implemented by the same interned
+// states that implement SetSource, so incremental mining rides the
+// prepared state — and its snapshots, which persist the dictionary's
+// element payloads — without re-parsing a single query.
+//
+// The access-area measure does not implement ItemSource: its prepared
+// state holds per-attribute intervals, not an element set, so there is
+// no transaction to mine.
+type ItemSource interface {
+	Prepared
+	// AppendItems appends query i's items to dst and returns the
+	// extended slice. Item strings are stable across processes,
+	// restarts, and appends; order is unspecified (a transaction is a
+	// set).
+	AppendItems(dst []string, i int) []string
+}
+
 // elementHash maps one set element to a stable 64-bit hash: FNV-1a over
 // a canonical byte encoding. Tokens and tuple keys hash their text;
 // features hash clause and item with a separator no SQL token contains,

@@ -45,93 +45,11 @@ type KMedoidsResult struct {
 
 // KMedoids runs the "simple and fast" k-medoids of Park & Jun [5]:
 // initial medoids are the k items with the smallest normalized distance
-// sums; then alternate assignment and within-cluster medoid update until
-// stable. Fully deterministic.
+// sums (parkJunInit); then alternate assignment and within-cluster
+// medoid update until stable (kmedoidsRun). Fully deterministic.
 func KMedoids(m Matrix, k int) (*KMedoidsResult, error) {
-	if err := validate(m); err != nil {
-		return nil, err
-	}
-	n := len(m)
-	if k <= 0 || k > n {
-		return nil, fmt.Errorf("mining: k=%d outside [1,%d]", k, n)
-	}
-
-	// Park–Jun initialization: v_j = Σ_i d(i,j) / Σ_l d(i,l).
-	rowSums := make([]float64, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			rowSums[i] += m[i][j]
-		}
-	}
-	v := make([]float64, n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			if rowSums[i] > 0 {
-				v[j] += m[i][j] / rowSums[i]
-			}
-		}
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		if v[idx[a]] != v[idx[b]] {
-			return v[idx[a]] < v[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	medoids := append([]int(nil), idx[:k]...)
-	sort.Ints(medoids)
-
-	assign := make([]int, n)
-	res := &KMedoidsResult{}
-	for iter := 0; iter < 1000; iter++ {
-		res.Iterations = iter + 1
-		// Assignment step.
-		cost := 0.0
-		for i := 0; i < n; i++ {
-			best, bestD := 0, math.Inf(1)
-			for c, med := range medoids {
-				if d := m[i][med]; d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-			cost += bestD
-		}
-		// Update step: new medoid minimizes within-cluster distance sum.
-		newMedoids := append([]int(nil), medoids...)
-		for c := range medoids {
-			bestM, bestSum := medoids[c], math.Inf(1)
-			for i := 0; i < n; i++ {
-				if assign[i] != c {
-					continue
-				}
-				sum := 0.0
-				for j := 0; j < n; j++ {
-					if assign[j] == c {
-						sum += m[i][j]
-					}
-				}
-				if sum < bestSum {
-					bestM, bestSum = i, sum
-				}
-			}
-			newMedoids[c] = bestM
-		}
-		sort.Ints(newMedoids)
-		if equalInts(newMedoids, medoids) {
-			res.Medoids = medoids
-			res.Assign = append([]int(nil), assign...)
-			res.Cost = cost
-			return res, nil
-		}
-		medoids = newMedoids
-	}
-	res.Medoids = medoids
-	res.Assign = append([]int(nil), assign...)
-	return res, fmt.Errorf("mining: k-medoids did not converge")
+	res, _, err := KMedoidsCounted(m, k)
+	return res, err
 }
 
 func equalInts(a, b []int) bool {

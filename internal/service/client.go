@@ -293,6 +293,57 @@ func (s *Session) Append(ctx context.Context, old dpe.Matrix, log []string, newQ
 	return dpe.SpliceMatrixRows(old, resp.Rows)
 }
 
+// AppendMine is the batched append-and-mine call: one round trip
+// appends newQueries to log on the server and mines the grown log
+// incrementally from the server's cached mining state. It returns the
+// extended matrix (old spliced with the streamed new rows; nil for
+// apriori, which never builds one) and the mining result, whose
+// Incremental field reports the warm/cold disposition and the label
+// delta. old must be the matrix built for log (nil for apriori); an
+// empty newQueries mines log itself, bootstrapping the server's state.
+func (s *Session) AppendMine(ctx context.Context, old dpe.Matrix, log []string, newQueries []string, spec dpe.MineSpec) (dpe.Matrix, *dpe.MineResult, error) {
+	wantRows := spec.Algorithm != dpe.MineApriori
+	if wantRows && len(old) != len(log) {
+		return nil, nil, fmt.Errorf("service: old matrix has %d rows for a log of %d queries", len(old), len(log))
+	}
+	id, err := s.UploadLog(ctx, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	var resp AppendMineResponse
+	err = s.c.do(ctx, http.MethodPost, s.path("/logs:append_mine"),
+		&AppendMineRequest{Log: id, Queries: newQueries, Spec: EncodeMineSpec(spec)}, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Offset != len(log) || resp.N != len(log)+len(newQueries) {
+		return nil, nil, fmt.Errorf("service: appended rows span %d..%d, want %d..%d",
+			resp.Offset, resp.N, len(log), len(log)+len(newQueries))
+	}
+	if resp.Result == nil {
+		return nil, nil, fmt.Errorf("service: append_mine response carries no mining result")
+	}
+	combined := make([]string, 0, resp.N)
+	combined = append(combined, log...)
+	combined = append(combined, newQueries...)
+	s.mu.Lock()
+	s.logIDs[LogID(combined)] = resp.Log
+	s.mu.Unlock()
+	res := resp.Result.Decode()
+	if !wantRows {
+		return nil, res, nil
+	}
+	if len(resp.Rows) != resp.N-resp.Offset {
+		return nil, nil, fmt.Errorf("service: %d appended rows, header says %d", len(resp.Rows), resp.N-resp.Offset)
+	}
+	m, err := dpe.SpliceMatrixRows(old, resp.Rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Matrix = m
+	return m, res, nil
+}
+
 // Distances computes one matrix row on the server.
 func (s *Session) Distances(ctx context.Context, log []string, q int) ([]float64, error) {
 	id, err := s.UploadLog(ctx, log)

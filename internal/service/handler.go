@@ -55,6 +55,27 @@ type (
 		Log  string       `json:"log"`
 		Spec WireMineSpec `json:"spec"`
 	}
+	// AppendMineRequest is the body of POST
+	// /v1/sessions/{id}/logs:append_mine: one batched request that
+	// appends queries to an uploaded base log AND mines the grown log
+	// incrementally from the server's cached mining state.
+	AppendMineRequest struct {
+		Log     string       `json:"log"`
+		Queries []string     `json:"queries"`
+		Spec    WireMineSpec `json:"spec"`
+	}
+	// AppendMineResponse answers it: the combined log's id, the new
+	// full-width matrix rows (rows Offset..N-1; absent for apriori,
+	// which never builds a matrix), and the mining result — whose
+	// Incremental field carries the warm/cold disposition, the pair
+	// counters, and the label delta over the old rows.
+	AppendMineResponse struct {
+		Log    string          `json:"log"`
+		N      int             `json:"n"`
+		Offset int             `json:"offset"`
+		Rows   [][]float64     `json:"rows,omitempty"`
+		Result *WireMineResult `json:"result"`
+	}
 	// VerifyRequest is the body of POST /v1/sessions/{id}/verify: two
 	// distance matrices to check entry-wise (Definition 1).
 	VerifyRequest struct {
@@ -117,6 +138,7 @@ func NewHandlerWithOptions(reg *Registry, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", h.deleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/logs", h.uploadLog)
 	mux.HandleFunc("POST /v1/sessions/{id}/logs:append", h.appendLog)
+	mux.HandleFunc("POST /v1/sessions/{id}/logs:append_mine", h.appendMine)
 	mux.HandleFunc("POST /v1/sessions/{id}/matrix", h.matrix)
 	mux.HandleFunc("POST /v1/sessions/{id}/distances", h.distances)
 	mux.HandleFunc("POST /v1/sessions/{id}/mine", h.mine)
@@ -249,6 +271,44 @@ func (h *handler) appendLog(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	WriteAppendedRows(w, combinedID, offset+len(rows), offset, rows)
+}
+
+// appendMine is the batched append-and-mine endpoint: one round trip
+// extends the log, the prepared state, the cached matrix, the approx
+// index, and the mining state, and returns the new rows plus the
+// warm-started mining result with its label delta. The mining result's
+// full matrix never crosses the wire — the client holds the old block
+// and splices the returned rows, exactly like logs:append.
+func (h *handler) appendMine(w http.ResponseWriter, r *http.Request) {
+	s, err := h.sessionOf(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	var req AppendMineRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	spec, err := req.Spec.Decode()
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	combinedID, offset, rows, res, err := s.AppendMine(r.Context(), req.Log, req.Queries, spec)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	wireRes := EncodeMineResult(res)
+	wireRes.Matrix = nil // the client splices Rows; never reship the block
+	writeJSON(w, http.StatusOK, AppendMineResponse{
+		Log:    combinedID,
+		N:      offset + len(req.Queries),
+		Offset: offset,
+		Rows:   rows,
+		Result: wireRes,
+	})
 }
 
 func (h *handler) matrix(w http.ResponseWriter, r *http.Request) {

@@ -131,6 +131,23 @@ func (c *lruCache) removePrefix(prefix string) int {
 	return removed
 }
 
+// keysWithPrefix lists the keys starting with prefix, in no particular
+// order, without counting hits or disturbing recency — how compaction
+// enumerates entries whose full keys it cannot reconstruct (mining
+// state embeds a spec fingerprint the session map does not hold).
+func (c *lruCache) keysWithPrefix(prefix string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			out = append(out, e.key)
+		}
+	}
+	return out
+}
+
 // stats snapshots the counters.
 func (c *lruCache) stats() CacheStats {
 	c.mu.Lock()

@@ -20,6 +20,7 @@ var stageNames = []string{
 	"approx_index",  // MinHash signing + LSH banding
 	"rerank",        // exact re-ranking of LSH candidates
 	"mine",          // mining pass (includes its matrix build)
+	"mine_delta",    // incremental mining: appended pairs + warm start
 }
 
 // registryMetrics is the registry's slice of the obs wiring. Every
@@ -84,6 +85,10 @@ func (r *Registry) wireMetrics(o *obs.Registry) {
 		func() float64 { return float64(r.cacheTotals().Hits) })
 	o.CounterFunc("dpe_cache_misses_total", "Prepared-state cache misses across all shards.",
 		func() float64 { return float64(r.cacheTotals().Misses) })
+	o.CounterFunc("dpe_mine_state_hits_total", "Mining-state cache hits on the append_mine path.",
+		func() float64 { return float64(r.mineStateHits.Load()) })
+	o.CounterFunc("dpe_mine_state_misses_total", "Mining-state cache misses on the append_mine path.",
+		func() float64 { return float64(r.mineStateMisses.Load()) })
 	for i, sh := range r.shards {
 		o.GaugeFunc("dpe_shard_sessions", "Live sessions on one shard.",
 			func() float64 { return float64(sh.sessionCount()) }, "shard", strconv.Itoa(i))

@@ -77,18 +77,19 @@ func newRequestID() string {
 // used as a metric label, so label cardinality is closed over the API
 // surface no matter what paths clients probe.
 var routeLabels = map[string]string{
-	"GET /v1/healthz":                    "healthz",
-	"GET /v1/stats":                      "stats",
-	"POST /v1/sessions":                  "create_session",
-	"GET /v1/sessions/{id}":              "session_stats",
-	"DELETE /v1/sessions/{id}":           "delete_session",
-	"POST /v1/sessions/{id}/logs":        "upload_log",
-	"POST /v1/sessions/{id}/logs:append": "append_log",
-	"POST /v1/sessions/{id}/matrix":      "matrix",
-	"POST /v1/sessions/{id}/distances":   "distances",
-	"POST /v1/sessions/{id}/mine":        "mine",
-	"GET /v1/sessions/{id}/neighbors":    "neighbors",
-	"POST /v1/sessions/{id}/verify":      "verify",
+	"GET /v1/healthz":                         "healthz",
+	"GET /v1/stats":                           "stats",
+	"POST /v1/sessions":                       "create_session",
+	"GET /v1/sessions/{id}":                   "session_stats",
+	"DELETE /v1/sessions/{id}":                "delete_session",
+	"POST /v1/sessions/{id}/logs":             "upload_log",
+	"POST /v1/sessions/{id}/logs:append":      "append_log",
+	"POST /v1/sessions/{id}/logs:append_mine": "append_mine",
+	"POST /v1/sessions/{id}/matrix":           "matrix",
+	"POST /v1/sessions/{id}/distances":        "distances",
+	"POST /v1/sessions/{id}/mine":             "mine",
+	"GET /v1/sessions/{id}/neighbors":         "neighbors",
+	"POST /v1/sessions/{id}/verify":           "verify",
 }
 
 // routeLabel resolves the matched mux pattern; requests that matched no

@@ -196,10 +196,22 @@ func churn(ctx context.Context, c *Client, queries []string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := sess.DistanceMatrix(ctx, queries); err != nil {
+	m, err := sess.DistanceMatrix(ctx, queries)
+	if err != nil {
 		return err
 	}
 	if _, err := sess.DistanceMatrix(ctx, queries); err != nil {
+		return err
+	}
+	// One cold append_mine (mining-state miss) and one identical warm
+	// repeat (hit), so the mine-state counters see traffic from every
+	// worker.
+	spec := dpe.MineSpec{Algorithm: dpe.MineDBSCAN, Eps: 0.4, MinPts: 2}
+	tail := []string{"SELECT mined FROM churn"}
+	if _, _, err := sess.AppendMine(ctx, m, queries, tail, spec); err != nil {
+		return err
+	}
+	if _, _, err := sess.AppendMine(ctx, m, queries, tail, spec); err != nil {
 		return err
 	}
 	return sess.Close(ctx)
@@ -262,6 +274,8 @@ func TestStatsAndMetricsAgree(t *testing.T) {
 		`dpe_cache_bytes`:                           float64(stats.PreparedCache.Bytes),
 		`dpe_cache_evictions_total{cause="budget"}`: float64(stats.PreparedCache.Evictions),
 		`dpe_sessions`:                              float64(stats.Sessions),
+		`dpe_mine_state_hits_total`:                 float64(stats.MineStateHits),
+		`dpe_mine_state_misses_total`:               float64(stats.MineStateMisses),
 	} {
 		if got := m[key]; got != want {
 			t.Errorf("%s = %v, want %v (the /v1/stats value)", key, got, want)
@@ -272,6 +286,14 @@ func TestStatsAndMetricsAgree(t *testing.T) {
 	if m[`dpe_cache_misses_total`] == 0 || m[`dpe_cache_hits_total`] == 0 {
 		t.Errorf("traffic left no cache counters: hits=%v misses=%v",
 			m[`dpe_cache_hits_total`], m[`dpe_cache_misses_total`])
+	}
+	// Likewise every worker's cold append_mine is a mining-state miss
+	// and its warm repeat a hit — the counters survive the sessions
+	// that minted them because the registry totals are the one source
+	// both surfaces read.
+	if m[`dpe_mine_state_misses_total`] != workers*4 || m[`dpe_mine_state_hits_total`] != workers*4 {
+		t.Errorf("mine-state counters: hits=%v misses=%v, want %v each",
+			m[`dpe_mine_state_hits_total`], m[`dpe_mine_state_misses_total`], workers*4)
 	}
 	if got := m[`dpe_sessions_created_total`]; got != workers*4 {
 		t.Errorf("dpe_sessions_created_total = %v, want %v", got, workers*4)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -169,9 +170,15 @@ type SessionStats struct {
 	// neighbors and approximate-mining paths. A restart that recovered
 	// the index from the journal shows a hit (and no miss) on the first
 	// post-restart call.
-	ApproxHits   int64     `json:"approx_hits"`
-	ApproxMisses int64     `json:"approx_misses"`
-	CreatedAt    time.Time `json:"created_at"`
+	ApproxHits   int64 `json:"approx_hits"`
+	ApproxMisses int64 `json:"approx_misses"`
+	// MineStateHits/MineStateMisses count mining-state cache outcomes on
+	// the logs:append_mine path. A restart that recovered the state from
+	// the journal warm-starts the first post-restart mine (a miss whose
+	// result reports Warm) instead of bootstrapping cold.
+	MineStateHits   int64     `json:"mine_state_hits"`
+	MineStateMisses int64     `json:"mine_state_misses"`
+	CreatedAt       time.Time `json:"created_at"`
 }
 
 // ShardStats is one shard's slice of GET /v1/stats?per_shard=1.
@@ -185,12 +192,13 @@ type ShardStats struct {
 // store — the observable proof that a restart recovered tenant state
 // instead of starting cold.
 type RecoveryStats struct {
-	// Sessions, Logs, Snapshots, and ApproxIndexes count the live
-	// records restored.
+	// Sessions, Logs, Snapshots, ApproxIndexes, and MineStates count the
+	// live records restored.
 	Sessions      int `json:"sessions"`
 	Logs          int `json:"logs"`
 	Snapshots     int `json:"snapshots"`
 	ApproxIndexes int `json:"approx_indexes"`
+	MineStates    int `json:"mine_states"`
 	// Tombstones counts replayed deletions (sessions journaled and
 	// later removed; startup compaction drops them from the journal).
 	Tombstones int `json:"tombstones"`
@@ -203,7 +211,7 @@ type RecoveryStats struct {
 // total is the number of applied-or-seen records — used to decide
 // whether a startup compaction is worth doing.
 func (rs RecoveryStats) total() int {
-	return rs.Sessions + rs.Logs + rs.Snapshots + rs.ApproxIndexes + rs.Tombstones + rs.Skipped
+	return rs.Sessions + rs.Logs + rs.Snapshots + rs.ApproxIndexes + rs.MineStates + rs.Tombstones + rs.Skipped
 }
 
 // RegistryStats is the wire body of GET /v1/stats. The top-level fields
@@ -211,12 +219,19 @@ func (rs RecoveryStats) total() int {
 // PerShard carries the optional breakdown, and Recovered appears only
 // on registries opened from a persistent store.
 type RegistryStats struct {
-	Sessions      int            `json:"sessions"`
-	MaxSessions   int            `json:"max_sessions"`
-	Shards        int            `json:"shards"`
-	PreparedCache CacheStats     `json:"prepared_cache"`
-	Recovered     *RecoveryStats `json:"recovered,omitempty"`
-	PerShard      []ShardStats   `json:"per_shard,omitempty"`
+	Sessions      int        `json:"sessions"`
+	MaxSessions   int        `json:"max_sessions"`
+	Shards        int        `json:"shards"`
+	PreparedCache CacheStats `json:"prepared_cache"`
+	// MineStateHits/MineStateMisses aggregate the sessions' mining-state
+	// cache outcomes registry-wide. They are monotonic (they survive
+	// session deletion), so /metrics exports the same counters as
+	// dpe_mine_state_{hits,misses}_total and the two views reconcile
+	// exactly.
+	MineStateHits   int64          `json:"mine_state_hits"`
+	MineStateMisses int64          `json:"mine_state_misses"`
+	Recovered       *RecoveryStats `json:"recovered,omitempty"`
+	PerShard        []ShardStats   `json:"per_shard,omitempty"`
 }
 
 // Registry is the service's multi-tenant state, sharded by session id:
@@ -247,6 +262,14 @@ type Registry struct {
 	// budget enforced lock-free, so MaxSessions means the same thing at
 	// every shard count.
 	live atomic.Int64
+
+	// mineStateHits/mineStateMisses are the registry-wide mining-state
+	// cache counters: bumped alongside the per-session ones, read by
+	// both GET /v1/stats and the /metrics series, so the two views are
+	// one source and reconcile exactly. Registry-level (not summed from
+	// sessions) so they stay monotonic across session deletion.
+	mineStateHits   atomic.Int64
+	mineStateMisses atomic.Int64
 
 	// metrics holds the obs instruments (all nil unless cfg.Obs is set
 	// — every call site tolerates that; see metrics.go).
@@ -475,6 +498,26 @@ func (r *Registry) applyRecord(rec store.Record) {
 		}
 		s.sh.cache.add(s.approxKey(rec.Log), idx, idx.SizeBytes())
 		r.recovered.ApproxIndexes++
+	case store.KindMining:
+		s := r.replaySession(rec.Session)
+		if s == nil {
+			r.recovered.Skipped++
+			return
+		}
+		s.mu.Lock()
+		queries, ok := s.logs[rec.Log]
+		s.mu.Unlock()
+		if !ok {
+			r.recovered.Skipped++
+			return
+		}
+		state, err := dpe.UnmarshalMineState(rec.Blob)
+		if err != nil || state.Len() != len(queries) {
+			r.recovered.Skipped++
+			return
+		}
+		s.sh.cache.add(s.mineKey(state.Spec(), rec.Log), state, state.SizeBytes())
+		r.recovered.MineStates++
 	default:
 		r.recovered.Skipped++
 	}
@@ -656,6 +699,23 @@ func (r *Registry) compactShard(sh *shard) error {
 			if v, ok := sh.cache.peek(s.approxKey(id)); ok {
 				if blob, err := v.(*dpe.ApproxIndex).MarshalBinary(); err == nil {
 					recs = append(recs, store.Record{Kind: store.KindApprox, Session: s.id, Log: id, Blob: blob})
+				}
+			}
+		}
+		// Mining-state keys embed a spec fingerprint the session map does
+		// not hold, so they are enumerated from the cache instead of
+		// reconstructed per log; the log id after the key's final NUL
+		// separator ties each state back to its record. States for logs
+		// no longer live (evicted base logs of an append chain) are
+		// dropped — replay could not apply them anyway.
+		for _, key := range sh.cache.keysWithPrefix(s.id + "\x00mine:") {
+			id := key[strings.LastIndexByte(key, '\x00')+1:]
+			if _, ok := logs[id]; !ok {
+				continue
+			}
+			if v, ok := sh.cache.peek(key); ok {
+				if blob, err := dpe.MarshalMineState(v.(*dpe.MineState)); err == nil {
+					recs = append(recs, store.Record{Kind: store.KindMining, Session: s.id, Log: id, Blob: blob})
 				}
 			}
 		}
@@ -858,8 +918,10 @@ func (r *Registry) StatsPerShard() RegistryStats {
 // aggregate sums one consistent set of shard snapshots.
 func (r *Registry) aggregate(snaps []ShardStats) RegistryStats {
 	stats := RegistryStats{
-		MaxSessions: r.cfg.MaxSessions,
-		Shards:      len(r.shards),
+		MaxSessions:     r.cfg.MaxSessions,
+		Shards:          len(r.shards),
+		MineStateHits:   r.mineStateHits.Load(),
+		MineStateMisses: r.mineStateMisses.Load(),
 	}
 	if r.persistent {
 		recovered := r.recovered

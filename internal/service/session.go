@@ -54,6 +54,15 @@ type session struct {
 	// call after replay is a hit, not a miss).
 	approxHits   int64
 	approxMisses int64
+	// mineHits/mineMisses count mining-state cache outcomes on the
+	// append_mine path: a hit means the combined log's state was already
+	// cached (or another caller's in-flight mine was joined), a miss
+	// means this call ran the incremental (or bootstrap) mine. A restart
+	// that recovered the state from the journal warm-starts without a
+	// cold bootstrap, which shows up as a miss whose IncrementalStats
+	// report Warm.
+	mineHits   int64
+	mineMisses int64
 }
 
 // ID returns the session id.
@@ -547,6 +556,198 @@ func (s *session) Mine(ctx context.Context, logID string, spec dpe.MineSpec) (*d
 	return s.provider.MinePrepared(ctx, pl, spec)
 }
 
+// mineSpecFingerprint renders a spec as a canonical string for cache
+// keys: equal specs — the warm-start eligibility test MineIncremental
+// itself applies — get equal fingerprints. Approximate is omitted; the
+// incremental path rejects approximate specs before any key is formed.
+// The fingerprint never contains a NUL byte, so the log id after the
+// key's final NUL separator parses back out unambiguously (compaction
+// relies on that).
+func mineSpecFingerprint(spec dpe.MineSpec) string {
+	return fmt.Sprintf("%s,k=%d,eps=%g,minpts=%d,p=%g,d=%g,q=%d,ms=%d,ml=%d",
+		spec.Algorithm, spec.K, spec.Eps, spec.MinPts, spec.P, spec.D,
+		spec.Query, spec.MinSupport, spec.MaxLen)
+}
+
+// mineKey namespaces a session's cached mining state for one (spec,
+// log) pair. Like approxKey it keeps the s.id + "\x00" prefix, so the
+// one removePrefix sweep on delete and TTL reap releases mining-state
+// bytes from the shard budget together with prepared state and approx
+// indexes — no second eviction path to forget. "mine:" cannot collide
+// with the other namespaces: log ids start with "l-" and the approx
+// namespace spells differently.
+func (s *session) mineKey(spec dpe.MineSpec, logID string) string {
+	return s.id + "\x00mine:" + mineSpecFingerprint(spec) + "\x00" + logID
+}
+
+// mineFlightResult is what a mining singleflight leader publishes:
+// followers of a coalesced call want the result, the cache wants the
+// state.
+type mineFlightResult struct {
+	res   *dpe.MineResult
+	state *dpe.MineState
+}
+
+// mineIncremental serves one (spec, combined log) mine, maintaining the
+// session's cached MineState: a cached state for the combined log is
+// replayed as a zero-delta warm run (no distance pairs), a cached state
+// for the base log warm-starts the delta, and no state at all runs the
+// cold bootstrap. Concurrent identical calls coalesce through the
+// shard's singleflight group, and a freshly computed state is cached
+// (byte-accounted) and journaled so a restarted server stays warm.
+func (s *session) mineIncremental(ctx context.Context, baseLogID, combinedID string, pl *dpe.PreparedLog, spec dpe.MineSpec) (*dpe.MineResult, error) {
+	key := s.mineKey(spec, combinedID)
+	for {
+		if v, ok := s.sh.cache.get(key); ok {
+			res, _, err := s.provider.MineIncremental(ctx, pl, v.(*dpe.MineState), spec)
+			if err == nil {
+				s.mu.Lock()
+				s.mineHits++
+				s.touchLocked()
+				s.mu.Unlock()
+				s.reg.mineStateHits.Add(1)
+			}
+			return res, err
+		}
+		c, leader := s.sh.flight.begin(key)
+		if leader {
+			// Re-check under leadership, then fall back to the base log's
+			// state (peek: opportunistic warm source, like extendApprox) —
+			// hit when this exact mine was already paid for, warm delta
+			// when only the base was.
+			var prev *dpe.MineState
+			selfWarm := false
+			if v, ok := s.sh.cache.get(key); ok {
+				prev, selfWarm = v.(*dpe.MineState), true
+			} else if v, ok := s.sh.cache.peek(s.mineKey(spec, baseLogID)); ok {
+				prev = v.(*dpe.MineState)
+			}
+			s.mu.Lock()
+			s.inflight++
+			s.mu.Unlock()
+			s.reg.metrics.inflightBuilds.Add(1)
+			res, state, err := s.provider.MineIncremental(ctx, pl, prev, spec)
+			s.reg.metrics.inflightBuilds.Add(-1)
+			cached := false
+			if err == nil && !selfWarm {
+				// Same deleted-session rule as preparedKeyed: never add for
+				// a session whose removePrefix already ran.
+				if s.sh.session(s.id) != nil {
+					s.sh.cache.add(key, state, state.SizeBytes())
+					cached = true
+				}
+			}
+			s.mu.Lock()
+			s.inflight--
+			s.touchLocked()
+			if err == nil {
+				if selfWarm {
+					s.mineHits++
+				} else {
+					s.mineMisses++
+				}
+			}
+			s.mu.Unlock()
+			if err == nil {
+				if selfWarm {
+					s.reg.mineStateHits.Add(1)
+				} else {
+					s.reg.mineStateMisses.Add(1)
+				}
+			}
+			if cached {
+				s.persistMineState(combinedID, state)
+			}
+			s.sh.flight.finish(key, c, mineFlightResult{res: res, state: state}, err)
+			return res, err
+		}
+		// Not the leader: this call coalesced onto an in-flight mine.
+		s.reg.metrics.flightDedups.Inc()
+		select {
+		case <-c.done:
+			if c.err == nil {
+				s.mu.Lock()
+				s.mineHits++
+				s.mu.Unlock()
+				s.reg.mineStateHits.Add(1)
+				return c.val.(mineFlightResult).res, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// persistMineState journals the serialized mining state, best-effort
+// like persistApprox: the state is a cache (the server can always
+// re-mine cold), so a codec or IO failure must not fail the request.
+func (s *session) persistMineState(logID string, state *dpe.MineState) {
+	if !s.reg.persistent {
+		return
+	}
+	blob, err := dpe.MarshalMineState(state)
+	if err != nil {
+		return
+	}
+	s.sh.appendRecord(store.Record{Kind: store.KindMining, Session: s.id, Log: logID, Blob: blob})
+}
+
+// AppendMine is the batched append-and-mine endpoint: one request
+// appends newQueries to an uploaded base log, extends the prepared
+// state (through the same singleflight key Append uses, so a racing
+// logs:append and logs:append_mine coalesce into one extension instead
+// of building twice), rides the approx index forward, and runs the
+// mining spec incrementally from the base log's cached MineState. It
+// returns the combined log id, the offset where the new rows start, the
+// new full-width matrix rows (nil for apriori, which never builds a
+// matrix), and the mining result with its IncrementalStats label delta.
+//
+// An empty append mines the base log itself — the content-addressed
+// combined log *is* the base log — bootstrapping (and caching) its
+// mining state.
+func (s *session) AppendMine(ctx context.Context, baseLogID string, newQueries []string, spec dpe.MineSpec) (combinedID string, offset int, rows [][]float64, res *dpe.MineResult, err error) {
+	base, err := s.log(baseLogID)
+	if err != nil {
+		return "", 0, nil, nil, err
+	}
+	if err := spec.Validate(len(base) + len(newQueries)); err != nil {
+		return "", 0, nil, nil, err
+	}
+	combined := make([]string, 0, len(base)+len(newQueries))
+	combined = append(combined, base...)
+	combined = append(combined, newQueries...)
+	tailSize := int64(0)
+	for _, q := range newQueries {
+		tailSize += int64(len(q))
+	}
+	combinedID, err = s.addLogSized(combined, tailSize)
+	if err != nil {
+		return "", 0, nil, nil, err
+	}
+	pl, err := s.preparedKeyed(ctx, combinedID, combined, func(ctx context.Context) (*dpe.PreparedLog, error) {
+		basePL, err := s.prepared(ctx, baseLogID)
+		if err != nil {
+			return nil, err
+		}
+		return s.provider.ExtendPrepared(ctx, basePL, newQueries)
+	})
+	if err != nil {
+		return "", 0, nil, nil, err
+	}
+	s.extendApprox(baseLogID, combinedID, pl)
+	res, err = s.mineIncremental(ctx, baseLogID, combinedID, pl, spec)
+	if err != nil {
+		return "", 0, nil, nil, err
+	}
+	if res.Matrix != nil {
+		rows = res.Matrix[len(base):]
+	}
+	return combinedID, len(base), rows, res, nil
+}
+
 // Verify runs the Definition 1 check with the session's tolerance.
 func (s *session) Verify(plain, enc dpe.Matrix) (*dpe.PreservationReport, error) {
 	s.mu.Lock()
@@ -563,13 +764,15 @@ func (s *session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionStats{
-		Session:        s.id,
-		Measure:        s.measure,
-		Logs:           len(s.logs),
-		PreparedHits:   s.hits,
-		PreparedMisses: s.misses,
-		ApproxHits:     s.approxHits,
-		ApproxMisses:   s.approxMisses,
-		CreatedAt:      s.created,
+		Session:         s.id,
+		Measure:         s.measure,
+		Logs:            len(s.logs),
+		PreparedHits:    s.hits,
+		PreparedMisses:  s.misses,
+		ApproxHits:      s.approxHits,
+		ApproxMisses:    s.approxMisses,
+		MineStateHits:   s.mineHits,
+		MineStateMisses: s.mineMisses,
+		CreatedAt:       s.created,
 	}
 }

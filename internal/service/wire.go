@@ -260,23 +260,27 @@ type WireMineSpec struct {
 	P           float64              `json:"p,omitempty"`
 	D           float64              `json:"d,omitempty"`
 	Query       int                  `json:"query,omitempty"`
+	MinSupport  int                  `json:"min_support,omitempty"`
+	MaxLen      int                  `json:"max_len,omitempty"`
 	Approximate bool                 `json:"approximate,omitempty"`
 }
 
 // EncodeMineSpec converts a spec to wire form.
 func EncodeMineSpec(s dpe.MineSpec) WireMineSpec {
 	return WireMineSpec{Algorithm: &s.Algorithm, K: s.K, Eps: s.Eps,
-		MinPts: s.MinPts, P: s.P, D: s.D, Query: s.Query, Approximate: s.Approximate}
+		MinPts: s.MinPts, P: s.P, D: s.D, Query: s.Query,
+		MinSupport: s.MinSupport, MaxLen: s.MaxLen, Approximate: s.Approximate}
 }
 
 // Decode converts the wire form back to a spec, rejecting a spec with
 // no algorithm.
 func (w WireMineSpec) Decode() (dpe.MineSpec, error) {
 	if w.Algorithm == nil {
-		return dpe.MineSpec{}, fmt.Errorf("service: mine spec is missing the algorithm (want k-medoids|dbscan|complete-link|outliers|knn)")
+		return dpe.MineSpec{}, fmt.Errorf("service: mine spec is missing the algorithm (want k-medoids|dbscan|complete-link|outliers|knn|apriori)")
 	}
 	return dpe.MineSpec{Algorithm: *w.Algorithm, K: w.K, Eps: w.Eps,
-		MinPts: w.MinPts, P: w.P, D: w.D, Query: w.Query, Approximate: w.Approximate}, nil
+		MinPts: w.MinPts, P: w.P, D: w.D, Query: w.Query,
+		MinSupport: w.MinSupport, MaxLen: w.MaxLen, Approximate: w.Approximate}, nil
 }
 
 // WireClusters is the JSON form of a k-medoids result.
@@ -287,17 +291,37 @@ type WireClusters struct {
 	Iterations int     `json:"iterations"`
 }
 
+// WireItemset is the JSON form of one frequent itemset.
+type WireItemset struct {
+	Items   []string `json:"items"`
+	Support int      `json:"support"`
+}
+
+// WireIncrementalStats is the JSON form of an incremental-mining
+// call's work counters and label delta.
+type WireIncrementalStats struct {
+	Warm          bool  `json:"warm"`
+	ColdFallback  bool  `json:"cold_fallback,omitempty"`
+	OldN          int   `json:"old_n"`
+	PairsComputed int64 `json:"pairs_computed"`
+	Examined      int64 `json:"examined"`
+	ChangedLabels []int `json:"changed_labels,omitempty"`
+}
+
 // WireMineResult is the JSON form of a mining response: the distance
-// matrix (absent for approximate runs, which never build it) plus
-// exactly one algorithm-specific field. CandidatePairs reports an
-// approximate run's pair budget.
+// matrix (absent for approximate and apriori runs, which never build
+// it) plus exactly one algorithm-specific field. CandidatePairs
+// reports an approximate run's pair budget; Incremental appears only
+// on append_mine responses.
 type WireMineResult struct {
-	Matrix         [][]float64   `json:"matrix"`
-	Clusters       *WireClusters `json:"clusters,omitempty"`
-	Labels         []int         `json:"labels,omitempty"`
-	Outliers       []bool        `json:"outliers,omitempty"`
-	Neighbors      []int         `json:"neighbors,omitempty"`
-	CandidatePairs int           `json:"candidate_pairs,omitempty"`
+	Matrix         [][]float64           `json:"matrix"`
+	Clusters       *WireClusters         `json:"clusters,omitempty"`
+	Labels         []int                 `json:"labels,omitempty"`
+	Outliers       []bool                `json:"outliers,omitempty"`
+	Neighbors      []int                 `json:"neighbors,omitempty"`
+	Itemsets       []WireItemset         `json:"itemsets,omitempty"`
+	CandidatePairs int                   `json:"candidate_pairs,omitempty"`
+	Incremental    *WireIncrementalStats `json:"incremental,omitempty"`
 }
 
 // EncodeMineResult converts a mining result to wire form.
@@ -315,6 +339,19 @@ func EncodeMineResult(r *dpe.MineResult) *WireMineResult {
 			Assign:     r.Clusters.Assign,
 			Cost:       r.Clusters.Cost,
 			Iterations: r.Clusters.Iterations,
+		}
+	}
+	for _, fs := range r.Itemsets {
+		out.Itemsets = append(out.Itemsets, WireItemset{Items: fs.Items, Support: fs.Support})
+	}
+	if r.Incremental != nil {
+		out.Incremental = &WireIncrementalStats{
+			Warm:          r.Incremental.Warm,
+			ColdFallback:  r.Incremental.ColdFallback,
+			OldN:          r.Incremental.OldN,
+			PairsComputed: r.Incremental.PairsComputed,
+			Examined:      r.Incremental.Examined,
+			ChangedLabels: r.Incremental.ChangedLabels,
 		}
 	}
 	return out
@@ -335,6 +372,19 @@ func (w *WireMineResult) Decode() *dpe.MineResult {
 			Assign:     w.Clusters.Assign,
 			Cost:       w.Clusters.Cost,
 			Iterations: w.Clusters.Iterations,
+		}
+	}
+	for _, fs := range w.Itemsets {
+		out.Itemsets = append(out.Itemsets, dpe.FrequentItemset{Items: fs.Items, Support: fs.Support})
+	}
+	if w.Incremental != nil {
+		out.Incremental = &dpe.IncrementalStats{
+			Warm:          w.Incremental.Warm,
+			ColdFallback:  w.Incremental.ColdFallback,
+			OldN:          w.Incremental.OldN,
+			PairsComputed: w.Incremental.PairsComputed,
+			Examined:      w.Incremental.Examined,
+			ChangedLabels: w.Incremental.ChangedLabels,
 		}
 	}
 	return out

@@ -41,6 +41,11 @@ const (
 	// KindApprox records a serialized MinHash/LSH index for one
 	// (session, log) pair; Blob carries internal/approx's codec output.
 	KindApprox Kind = "approx"
+	// KindMining records a serialized incremental-mining state for one
+	// (session, log, spec) triple; Blob carries dpe's MineState codec
+	// output. Replayed states make the first post-restart append_mine a
+	// warm delta instead of a cold bootstrap.
+	KindMining Kind = "mining"
 )
 
 // Record is one journaled event. Session and Log are routing keys (the
