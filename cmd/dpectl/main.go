@@ -8,6 +8,8 @@
 //	                dbscan|complete-link|outliers|knn via -eps/-minpts/-p/-d/-query
 //	dpectl neighbors -query 3 -k 5              # sublinear top-K neighbors
 //	dpectl verify   -measure token              # check Definition 1
+//	dpectl export   -remote URL -session ID -o bundle.dpe   # portable tenant bundle
+//	dpectl import   -remote URL bundle.dpe      # restore a bundle (warm caches)
 //
 // Everything is deterministic in -seed; the master key comes from
 // -master (do not reuse the default outside demos). -par sizes the
@@ -46,6 +48,9 @@ type cliConfig struct {
 	query      int
 	par        int
 	remote     string
+	session    string // export: which session to bundle
+	out        string // export: bundle file to write
+	in         string // import: bundle file to read
 	algorithm  dpe.MiningAlgorithm
 	eps        float64
 	minPts     int
@@ -68,7 +73,7 @@ func (c *cliConfig) mineSpec() dpe.MineSpec {
 // commands are the valid subcommands.
 var commands = map[string]bool{
 	"gen": true, "encrypt": true, "distance": true, "mine": true,
-	"neighbors": true, "verify": true,
+	"neighbors": true, "verify": true, "export": true, "import": true,
 }
 
 // parseConfig parses and validates `dpectl <cmd> [flags]` without
@@ -99,11 +104,39 @@ func parseConfig(args []string) (*cliConfig, error) {
 	maxLen := fs.Int("max-len", 3, "apriori: largest itemset size mined")
 	par := fs.Int("par", 0, "distance-engine parallelism (0 = all cores)")
 	remote := fs.String("remote", "", "dpeserver base URL; empty runs the provider in-process")
+	session := fs.String("session", "", "export: id of the session to bundle")
+	out := fs.String("o", "", "export: bundle file to write (default <session>.dpe)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return nil, err
 	}
-	if fs.NArg() > 0 {
+	// import takes its bundle file as the one positional argument; every
+	// other command is flags-only.
+	if c.cmd == "import" {
+		if fs.NArg() != 1 {
+			return nil, fmt.Errorf("usage: dpectl import -remote URL bundle.dpe")
+		}
+		c.in = fs.Arg(0)
+	} else if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if c.cmd == "export" || c.cmd == "import" {
+		// Bundles move server-side state, so both commands talk to a
+		// server; nothing else on the command line applies to them.
+		if *remote == "" {
+			return nil, fmt.Errorf("dpectl %s requires -remote", c.cmd)
+		}
+		if c.cmd == "export" {
+			if *session == "" {
+				return nil, fmt.Errorf("dpectl export requires -session")
+			}
+			c.session = *session
+			c.out = *out
+			if c.out == "" {
+				c.out = c.session + ".dpe"
+			}
+		}
+		c.remote = *remote
+		return c, nil
 	}
 	m, err := dpe.ParseMeasure(*measureName)
 	if err != nil {
@@ -143,7 +176,7 @@ func parseConfig(args []string) (*cliConfig, error) {
 	return c, nil
 }
 
-const usageLine = "usage: dpectl <gen|encrypt|distance|mine|neighbors|verify> [flags]"
+const usageLine = "usage: dpectl <gen|encrypt|distance|mine|neighbors|verify|export|import> [flags]"
 
 func main() {
 	c, err := parseConfig(os.Args[1:])
@@ -209,6 +242,39 @@ func providers(ctx context.Context, w *dpe.Workload, owner *dpe.Owner, m dpe.Mea
 
 func run(c *cliConfig) error {
 	ctx := context.Background()
+	// export/import move an opaque bundle between a server and a file;
+	// they need no workload or keys.
+	switch c.cmd {
+	case "export":
+		f, err := os.Create(c.out)
+		if err != nil {
+			return err
+		}
+		if err := service.NewClient(c.remote).ExportSession(ctx, c.session, f); err != nil {
+			f.Close()
+			os.Remove(c.out)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("exported session %s to %s\n", c.session, c.out)
+		return nil
+	case "import":
+		f, err := os.Open(c.in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		res, err := service.NewClient(c.remote).ImportSession(ctx, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported session %s: %d logs, %d snapshots, %d approx indexes, %d mine states (%d skipped)\n",
+			res.Session, res.Logs, res.Snapshots, res.ApproxIndexes, res.MineStates, res.Skipped)
+		return nil
+	}
+
 	m, k, par, remote := c.measure, c.k, c.par, c.remote
 	w, owner, err := setup(c.seed, c.master, c.queries, c.rows)
 	if err != nil {

@@ -75,6 +75,50 @@ func TestParseConfigNeighbors(t *testing.T) {
 	}
 }
 
+// TestParseConfigExportImport pins the bundle subcommands' flag
+// surface: both require -remote, export requires -session (with the
+// output defaulting to <session>.dpe), and import takes the bundle file
+// as its one positional argument.
+func TestParseConfigExportImport(t *testing.T) {
+	c, err := parseConfig([]string{"export", "-remote", "http://localhost:8433", "-session", "s-abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cmd != "export" || c.session != "s-abc" || c.out != "s-abc.dpe" || c.remote != "http://localhost:8433" {
+		t.Errorf("parsed = %+v", c)
+	}
+	c, err = parseConfig([]string{"export", "-remote", "http://h", "-session", "s-abc", "-o", "backup.dpe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.out != "backup.dpe" {
+		t.Errorf("out = %q, want backup.dpe", c.out)
+	}
+	c, err = parseConfig([]string{"import", "-remote", "http://h", "backup.dpe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cmd != "import" || c.in != "backup.dpe" || c.remote != "http://h" {
+		t.Errorf("parsed = %+v", c)
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"export", "-session", "s-abc"}, "-remote"},
+		{[]string{"export", "-remote", "http://h"}, "-session"},
+		{[]string{"import", "backup.dpe"}, "-remote"},
+		{[]string{"import", "-remote", "http://h"}, "bundle"},
+		{[]string{"import", "-remote", "http://h", "a.dpe", "b.dpe"}, "bundle"},
+	}
+	for _, tc := range cases {
+		_, err := parseConfig(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseConfig(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}
+
 func TestParseConfigErrors(t *testing.T) {
 	cases := []struct {
 		args []string

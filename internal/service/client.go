@@ -141,19 +141,28 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // for streaming decoders (the matrix endpoint). The caller closes it.
 func (c *Client) doStream(ctx context.Context, method, path string, in any) (io.ReadCloser, error) {
 	var body io.Reader
+	contentType := ""
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return nil, err
 		}
 		body = bytes.NewReader(b)
+		contentType = "application/json"
 	}
+	return c.doRaw(ctx, method, path, body, contentType)
+}
+
+// doRaw sends one request with an arbitrary body (nil for none) and
+// hands back the raw response body on 2xx, mapping error responses the
+// same way for every call. The caller closes the returned body.
+func (c *Client) doRaw(ctx context.Context, method, path string, body io.Reader, contentType string) (io.ReadCloser, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return nil, err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	// Mint a correlation id client-side so a failed call can be chased
 	// through the server's access log; the server honors it verbatim.
@@ -177,6 +186,49 @@ func (c *Client) doStream(ctx context.Context, method, path string, in any) (io.
 		return nil, fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	return resp.Body, nil
+}
+
+// ExportSession downloads session id's portable bundle into w — the
+// tenant's complete server-side state, restorable with ImportSession on
+// any dpeserver regardless of storage backend. The bundle's trailing
+// checksum is verified at import time, so a connection torn mid-export
+// produces a file the importer rejects, never a half-restored tenant.
+func (c *Client) ExportSession(ctx context.Context, id string, w io.Writer) error {
+	body, err := c.doRaw(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/export", nil, "")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	if _, err := io.Copy(w, body); err != nil {
+		return fmt.Errorf("service: downloading bundle: %w", err)
+	}
+	return nil
+}
+
+// ImportSession uploads a bundle and restores it as a live session
+// (preserving the exported session id), returning what was restored.
+func (c *Client) ImportSession(ctx context.Context, bundle io.Reader) (*ImportResult, error) {
+	body, err := c.doRaw(ctx, http.MethodPost, "/v1/sessions:import", bundle, "application/octet-stream")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var res ImportResult
+	if err := json.NewDecoder(body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("service: decoding import response: %w", err)
+	}
+	return &res, nil
+}
+
+// AttachSession binds a handle to a session that already lives on the
+// server — typically one just restored with ImportSession, whose id the
+// bundle preserved — fetching its measure from the stats endpoint.
+func (c *Client) AttachSession(ctx context.Context, id string) (*Session, error) {
+	var st SessionStats
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: id, measure: st.Measure, logIDs: make(map[string]string)}, nil
 }
 
 // errorRequestID picks the correlation id out of a failed response —

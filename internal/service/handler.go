@@ -134,7 +134,9 @@ func NewHandlerWithOptions(reg *Registry, opts HandlerOptions) http.Handler {
 		writeJSON(w, http.StatusOK, stats)
 	})
 	mux.HandleFunc("POST /v1/sessions", h.createSession)
+	mux.HandleFunc("POST /v1/sessions:import", h.importSession)
 	mux.HandleFunc("GET /v1/sessions/{id}", h.sessionStats)
+	mux.HandleFunc("GET /v1/sessions/{id}/export", h.exportSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", h.deleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/logs", h.uploadLog)
 	mux.HandleFunc("POST /v1/sessions/{id}/logs:append", h.appendLog)
@@ -210,6 +212,37 @@ func (h *handler) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{Session: s.ID(), Measure: *req.Measure})
+}
+
+// exportSession streams one session's portable bundle — the tenant's
+// complete server-side state, CRC-checked, importable into any
+// dpeserver regardless of its storage backend.
+func (h *handler) exportSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Resolve before writing any bytes: a 404 must stay a 404, not a
+	// half-written bundle with an error code stuck at 200.
+	if _, err := h.reg.Session(id); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".dpe"))
+	if err := h.reg.ExportSession(id, w); err != nil {
+		// Headers are gone; the truncated body fails the client's CRC
+		// check, which is the integrity story working as designed.
+		return
+	}
+}
+
+// importSession restores an exported bundle (raw bytes, not JSON) as a
+// live session, preserving its id and warm cached state.
+func (h *handler) importSession(w http.ResponseWriter, r *http.Request) {
+	res, err := h.reg.ImportSession(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
 }
 
 func (h *handler) sessionStats(w http.ResponseWriter, r *http.Request) {

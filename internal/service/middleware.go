@@ -80,7 +80,9 @@ var routeLabels = map[string]string{
 	"GET /v1/healthz":                         "healthz",
 	"GET /v1/stats":                           "stats",
 	"POST /v1/sessions":                       "create_session",
+	"POST /v1/sessions:import":                "import_session",
 	"GET /v1/sessions/{id}":                   "session_stats",
+	"GET /v1/sessions/{id}/export":            "export_session",
 	"DELETE /v1/sessions/{id}":                "delete_session",
 	"POST /v1/sessions/{id}/logs":             "upload_log",
 	"POST /v1/sessions/{id}/logs:append":      "append_log",

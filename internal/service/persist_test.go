@@ -13,6 +13,8 @@ import (
 
 	dpe "repro"
 	"repro/internal/store"
+	"repro/internal/store/journal"
+	"repro/internal/store/memdriver"
 )
 
 // persistentConfig is the kill-and-restart tests' shared shape: a
@@ -29,15 +31,43 @@ func persistentConfig(t *testing.T, dir string, shards int) Config {
 // TestKillAndRestartRecovery is the tentpole's acceptance check: a
 // multi-shard persistent registry is populated with sessions, logs, and
 // warm prepared state for all four measures (encrypted artifacts),
-// closed, and reopened from the same data directory. Every session must
+// closed, and reopened from the same backend. Every session must
 // route to the same shard, every log must be servable, the first matrix
 // request after restart must be a prepared-cache hit, and the matrices
-// must be entry-wise identical to their pre-restart values.
+// must be entry-wise identical to their pre-restart values. It runs
+// against every persistent backend — the segment files and the SQL
+// store (on the in-memory test driver) must recover identically.
 func TestKillAndRestartRecovery(t *testing.T) {
+	t.Run("segments", func(t *testing.T) {
+		dir := t.TempDir()
+		testKillAndRestart(t, func() store.Store {
+			st, err := store.OpenDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		})
+	})
+	t.Run("sql", func(t *testing.T) {
+		const ds = "service-kill-and-restart"
+		memdriver.Reset(ds)
+		testKillAndRestart(t, func() store.Store {
+			st, err := store.OpenSQL(memdriver.Name, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		})
+	})
+}
+
+// testKillAndRestart drives the kill-and-restart check against one
+// backend; open reopens the same underlying data each call, the way a
+// restarted process would.
+func testKillAndRestart(t *testing.T, open func() store.Store) {
 	f := newFixture(t)
-	dir := t.TempDir()
 	const shards = 4
-	reg := NewRegistry(persistentConfig(t, dir, shards))
+	reg := NewRegistry(Config{Shards: shards, Store: open(), JanitorInterval: -1})
 	ctx := context.Background()
 
 	measures := []dpe.Measure{dpe.MeasureToken, dpe.MeasureStructure, dpe.MeasureResult, dpe.MeasureAccessArea}
@@ -107,7 +137,7 @@ func TestKillAndRestartRecovery(t *testing.T) {
 
 	reg.Close() // the "kill": flush journals and stop
 
-	reg2, err := OpenRegistry(persistentConfig(t, dir, shards))
+	reg2, err := OpenRegistry(Config{Shards: shards, Store: open(), JanitorInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +183,11 @@ func TestKillAndRestartRecovery(t *testing.T) {
 // up to the damage.
 func TestRecoveryAfterCrash(t *testing.T) {
 	dir := t.TempDir()
-	reg := NewRegistry(persistentConfig(t, dir, 2))
+	st, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(Config{Shards: 2, Store: st, JanitorInterval: -1})
 	// No reg.Close(): the process "crashes".
 	ctx := context.Background()
 	req, _ := BuildCreateSessionRequest(dpe.MeasureToken)
@@ -180,6 +214,12 @@ func TestRecoveryAfterCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// A real crash takes the process's data-dir lock with it; release
+	// the crashed handle's lock the same way (the journal bytes on disk
+	// are untouched — recovery sees exactly the torn tail).
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -433,30 +473,36 @@ func TestTombstoneBeforeCreateAcrossJournals(t *testing.T) {
 	}
 	id := "s-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
 	token := dpe.MeasureToken
-	data, err := json.Marshal(persistedSession{Created: time.Now(), Req: &CreateSessionRequest{Measure: &token}})
+	reqData, err := json.Marshal(&CreateSessionRequest{Measure: &token})
 	if err != nil {
 		t.Fatal(err)
 	}
-	logData, _ := json.Marshal([]string{"SELECT a FROM t"})
-	early, err := st.Open(0)
+	queries := []string{"SELECT a FROM t"}
+	earlyLog, err := st.Open(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := early.Append(store.Record{Kind: store.KindDelete, Session: id}); err != nil {
+	early := journal.New(earlyLog)
+	if err := early.Append(journal.Delete{ID: id}); err != nil {
 		t.Fatal(err)
 	}
 	early.Close()
-	late, err := st.Open(5)
+	lateLog, err := st.Open(5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := late.Append(store.Record{Kind: store.KindSession, Session: id, Data: data}); err != nil {
+	late := journal.New(lateLog)
+	if err := late.Append(journal.Session{ID: id, Created: time.Now(), Request: reqData}); err != nil {
 		t.Fatal(err)
 	}
-	if err := late.Append(store.Record{Kind: store.KindLog, Session: id, Log: LogID([]string{"SELECT a FROM t"}), Data: logData}); err != nil {
+	if err := late.Append(journal.Log{SessionID: id, LogID: LogID(queries), Queries: queries}); err != nil {
 		t.Fatal(err)
 	}
 	late.Close()
+	// Release the hand-writer's dir lock before the registry opens it.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	reg, err := OpenRegistry(persistentConfig(t, dir, 2))
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service/ring"
 	"repro/internal/store"
+	"repro/internal/store/journal"
 )
 
 // notFoundError marks lookup failures (unknown session or log) so the
@@ -148,15 +149,6 @@ type CreateSessionRequest struct {
 	Tolerance     float64               `json:"tolerance,omitempty"`
 }
 
-// persistedSession is the JSON payload of a store.KindSession record:
-// everything needed to rebuild the session's provider after a restart.
-// The create request is stored verbatim — the wire codecs are exact, so
-// the rebuilt provider computes bit-identical distances.
-type persistedSession struct {
-	Created time.Time             `json:"created"`
-	Req     *CreateSessionRequest `json:"req"`
-}
-
 // SessionStats is the wire body of GET /v1/sessions/{id}: what a tenant
 // can observe about its session, including whether its calls are being
 // served from the prepared-state cache.
@@ -212,6 +204,18 @@ type RecoveryStats struct {
 // whether a startup compaction is worth doing.
 func (rs RecoveryStats) total() int {
 	return rs.Sessions + rs.Logs + rs.Snapshots + rs.ApproxIndexes + rs.MineStates + rs.Tombstones + rs.Skipped
+}
+
+// absorb folds one journal's typed replay counts into the recovery
+// report (the registry replays one journal per shard, plus orphans).
+func (rs *RecoveryStats) absorb(st journal.Stats) {
+	rs.Sessions += st.Sessions
+	rs.Logs += st.Logs
+	rs.Snapshots += st.Snapshots
+	rs.ApproxIndexes += st.Approx
+	rs.MineStates += st.Mining
+	rs.Tombstones += st.Deletes
+	rs.Skipped += st.Skipped
 }
 
 // RegistryStats is the wire body of GET /v1/stats. The top-level fields
@@ -315,12 +319,12 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 	entries := splitEntries(cfg.CacheEntries, cfg.Shards)
 	bytes := splitBytes(cfg.CacheBytes, cfg.Shards)
 	for i := range r.shards {
-		journal, err := cfg.Store.Open(i)
+		lg, err := cfg.Store.Open(i)
 		if err != nil {
 			r.closeJournals()
 			return nil, fmt.Errorf("service: opening shard %d journal: %w", i, err)
 		}
-		r.shards[i] = newShard(entries, bytes, journal)
+		r.shards[i] = newShard(entries, bytes, journal.New(lg))
 	}
 	if r.persistent {
 		r.replayDeleted = make(map[string]bool)
@@ -355,7 +359,7 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 			// Best-effort: a failed retirement means the orphan is
 			// re-replayed next boot — harmless, because duplicates are
 			// idempotent and replayDeleted blocks stale creates.
-			orphan.Compact(nil)
+			orphan.Compact(nil) // nil collect empties the journal
 			orphan.Close()
 		}
 		r.replayDeleted = nil
@@ -375,16 +379,15 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 	return r, nil
 }
 
-// replay streams every shard's journal back into memory. Records are
-// routed by session id through the ring — not by which file they were
-// found in — so a journal written under a different shard count still
-// recovers completely.
+// replay streams every shard's journal back into memory through the
+// typed handler. Records are routed by session id through the ring —
+// not by which file they were found in — so a journal written under a
+// different shard count still recovers completely.
 func (r *Registry) replay() error {
+	h := replayApplier{r}
 	for i, sh := range r.shards {
-		err := sh.journal.Replay(func(rec store.Record) error {
-			r.applyRecord(rec)
-			return nil
-		})
+		st, err := sh.journal.Replay(h)
+		r.recovered.absorb(st)
 		if err != nil {
 			return fmt.Errorf("service: replaying shard %d journal: %w", i, err)
 		}
@@ -395,132 +398,123 @@ func (r *Registry) replay() error {
 // replayOrphans replays journals of shards beyond the configured count
 // and returns their handles so the caller can retire them after the
 // live shards' compaction has re-homed the records.
-func (r *Registry) replayOrphans() ([]store.Log, error) {
+func (r *Registry) replayOrphans() ([]*journal.Journal, error) {
 	indexes, err := r.cfg.Store.List()
 	if err != nil {
 		return nil, fmt.Errorf("service: listing journals: %w", err)
 	}
-	var orphans []store.Log
+	var orphans []*journal.Journal
 	for _, idx := range indexes {
 		if idx < r.cfg.Shards {
 			continue // owned by a live shard, already replayed
 		}
-		journal, err := r.cfg.Store.Open(idx)
+		lg, err := r.cfg.Store.Open(idx)
 		if err != nil {
 			return orphans, fmt.Errorf("service: opening orphan journal %d: %w", idx, err)
 		}
-		if err := journal.Replay(func(rec store.Record) error {
-			r.applyRecord(rec)
-			return nil
-		}); err != nil {
-			journal.Close()
+		jl := journal.New(lg)
+		st, err := jl.Replay(replayApplier{r})
+		r.recovered.absorb(st)
+		if err != nil {
+			jl.Close()
 			return orphans, fmt.Errorf("service: replaying orphan journal %d: %w", idx, err)
 		}
-		orphans = append(orphans, journal)
+		orphans = append(orphans, jl)
 	}
 	return orphans, nil
 }
 
-// applyRecord applies one journaled event during replay. Replay is
-// idempotent (duplicate records are harmless) and tolerant: a record it
-// cannot apply is counted in Skipped, never fatal — the journal is a
-// recovery aid, and partial recovery beats refusing to start.
-func (r *Registry) applyRecord(rec store.Record) {
-	switch rec.Kind {
-	case store.KindSession:
-		r.restoreSession(rec)
-	case store.KindDelete:
-		if rec.Session == "" {
-			r.recovered.Skipped++
-			return
-		}
-		// Remember the tombstone even when the session is not (yet)
-		// live: its create record may still be waiting in a later
-		// journal, and replaying it then must not resurrect the tenant.
-		r.replayDeleted[rec.Session] = true
-		sh := r.shardFor(rec.Session)
-		if sh.remove(rec.Session) {
-			r.live.Add(-1)
-			sh.cache.removePrefix(rec.Session + "\x00")
-		}
-		r.recovered.Tombstones++
-	case store.KindLog:
-		s := r.replaySession(rec.Session)
-		if s == nil {
-			r.recovered.Skipped++
-			return
-		}
-		var queries []string
-		if err := json.Unmarshal(rec.Data, &queries); err != nil || rec.Log == "" || len(queries) == 0 {
-			r.recovered.Skipped++
-			return
-		}
-		if s.restoreLog(rec.Log, queries) {
-			r.recovered.Logs++
-		}
-	case store.KindSnapshot:
-		s := r.replaySession(rec.Session)
-		if s == nil {
-			r.recovered.Skipped++
-			return
-		}
-		s.mu.Lock()
-		queries, ok := s.logs[rec.Log]
-		s.mu.Unlock()
-		if !ok {
-			r.recovered.Skipped++
-			return
-		}
-		pl, err := s.provider.UnmarshalPreparedLog(rec.Blob)
-		if err != nil {
-			r.recovered.Skipped++
-			return
-		}
-		s.sh.cache.add(s.id+"\x00"+rec.Log, pl, preparedCost(pl, queries))
-		r.recovered.Snapshots++
-	case store.KindApprox:
-		s := r.replaySession(rec.Session)
-		if s == nil {
-			r.recovered.Skipped++
-			return
-		}
-		s.mu.Lock()
-		queries, ok := s.logs[rec.Log]
-		s.mu.Unlock()
-		if !ok {
-			r.recovered.Skipped++
-			return
-		}
-		idx, err := dpe.UnmarshalApproxIndex(rec.Blob)
-		if err != nil || idx.Len() != len(queries) {
-			r.recovered.Skipped++
-			return
-		}
-		s.sh.cache.add(s.approxKey(rec.Log), idx, idx.SizeBytes())
-		r.recovered.ApproxIndexes++
-	case store.KindMining:
-		s := r.replaySession(rec.Session)
-		if s == nil {
-			r.recovered.Skipped++
-			return
-		}
-		s.mu.Lock()
-		queries, ok := s.logs[rec.Log]
-		s.mu.Unlock()
-		if !ok {
-			r.recovered.Skipped++
-			return
-		}
-		state, err := dpe.UnmarshalMineState(rec.Blob)
-		if err != nil || state.Len() != len(queries) {
-			r.recovered.Skipped++
-			return
-		}
-		s.sh.cache.add(s.mineKey(state.Spec(), rec.Log), state, state.SizeBytes())
-		r.recovered.MineStates++
-	default:
-		r.recovered.Skipped++
+// replayApplier is the journal.Handler that applies replayed records to
+// the registry. Replay is idempotent (duplicates report Ignored) and
+// tolerant: a record it cannot apply reports Skipped, never fatal — the
+// journal is a recovery aid, and partial recovery beats refusing to
+// start.
+type replayApplier struct{ r *Registry }
+
+func (a replayApplier) Session(js journal.Session) journal.Outcome {
+	return a.r.restoreSession(js)
+}
+
+func (a replayApplier) Delete(d journal.Delete) journal.Outcome {
+	r := a.r
+	// Remember the tombstone even when the session is not (yet) live:
+	// its create record may still be waiting in a later journal, and
+	// replaying it then must not resurrect the tenant.
+	r.replayDeleted[d.ID] = true
+	sh := r.shardFor(d.ID)
+	if sh.remove(d.ID) {
+		r.live.Add(-1)
+		sh.cache.removePrefix(d.ID + "\x00")
 	}
+	return journal.Applied
+}
+
+func (a replayApplier) Log(l journal.Log) journal.Outcome {
+	s := a.r.replaySession(l.SessionID)
+	if s == nil {
+		return journal.Skipped
+	}
+	if !s.restoreLog(l.LogID, l.Queries) {
+		return journal.Ignored // already present: harmless duplicate
+	}
+	return journal.Applied
+}
+
+func (a replayApplier) Snapshot(sn journal.Snapshot) journal.Outcome {
+	s := a.r.replaySession(sn.SessionID)
+	if s == nil {
+		return journal.Skipped
+	}
+	s.mu.Lock()
+	queries, ok := s.logs[sn.LogID]
+	s.mu.Unlock()
+	if !ok {
+		return journal.Skipped
+	}
+	pl, err := s.provider.UnmarshalPreparedLog(sn.Blob)
+	if err != nil {
+		return journal.Skipped
+	}
+	s.sh.cache.add(s.id+"\x00"+sn.LogID, pl, preparedCost(pl, queries))
+	return journal.Applied
+}
+
+func (a replayApplier) Approx(ap journal.Approx) journal.Outcome {
+	s := a.r.replaySession(ap.SessionID)
+	if s == nil {
+		return journal.Skipped
+	}
+	s.mu.Lock()
+	queries, ok := s.logs[ap.LogID]
+	s.mu.Unlock()
+	if !ok {
+		return journal.Skipped
+	}
+	idx, err := dpe.UnmarshalApproxIndex(ap.Blob)
+	if err != nil || idx.Len() != len(queries) {
+		return journal.Skipped
+	}
+	s.sh.cache.add(s.approxKey(ap.LogID), idx, idx.SizeBytes())
+	return journal.Applied
+}
+
+func (a replayApplier) Mining(m journal.Mining) journal.Outcome {
+	s := a.r.replaySession(m.SessionID)
+	if s == nil {
+		return journal.Skipped
+	}
+	s.mu.Lock()
+	queries, ok := s.logs[m.LogID]
+	s.mu.Unlock()
+	if !ok {
+		return journal.Skipped
+	}
+	state, err := dpe.UnmarshalMineState(m.Blob)
+	if err != nil || state.Len() != len(queries) {
+		return journal.Skipped
+	}
+	s.sh.cache.add(s.mineKey(state.Spec(), m.LogID), state, state.SizeBytes())
+	return journal.Applied
 }
 
 // replaySession resolves a record's session during replay, or nil.
@@ -535,40 +529,36 @@ func (r *Registry) replaySession(id string) *session {
 // request. The session's idle clock restarts at recovery time: its
 // tenant gets a full TTL to come back, rather than being reaped for
 // idleness accrued while the server was down.
-func (r *Registry) restoreSession(rec store.Record) {
-	var ps persistedSession
-	if err := json.Unmarshal(rec.Data, &ps); err != nil || ps.Req == nil || ps.Req.Measure == nil || rec.Session == "" {
-		r.recovered.Skipped++
-		return
+func (r *Registry) restoreSession(js journal.Session) journal.Outcome {
+	var req CreateSessionRequest
+	if err := json.Unmarshal(js.Request, &req); err != nil || req.Measure == nil {
+		return journal.Skipped
 	}
-	if r.replayDeleted[rec.Session] {
-		r.recovered.Skipped++ // stale create of an already-tombstoned id
-		return
+	if r.replayDeleted[js.ID] {
+		return journal.Skipped // stale create of an already-tombstoned id
 	}
-	sh := r.shardFor(rec.Session)
-	if sh.session(rec.Session) != nil {
-		return // duplicate record (e.g. compaction raced an append)
+	sh := r.shardFor(js.ID)
+	if sh.session(js.ID) != nil {
+		return journal.Ignored // duplicate (e.g. compaction raced an append)
 	}
-	provider, err := buildProvider(ps.Req, r.cfg.Parallelism, r.observeStage)
+	provider, err := buildProvider(&req, r.cfg.Parallelism, r.observeStage)
 	if err != nil {
-		r.recovered.Skipped++
-		return
+		return journal.Skipped
 	}
-	now := time.Now()
 	s := &session{
-		id:          rec.Session,
-		measure:     *ps.Req.Measure,
-		provider:    provider,
-		reg:         r,
-		sh:          sh,
-		logs:        make(map[string][]string),
-		created:     ps.Created,
-		lastUsed:    now,
-		persistData: rec.Data,
+		id:         js.ID,
+		measure:    *req.Measure,
+		provider:   provider,
+		reg:        r,
+		sh:         sh,
+		logs:       make(map[string][]string),
+		created:    js.Created,
+		lastUsed:   time.Now(),
+		persistReq: js.Request,
 	}
 	sh.put(s)
 	r.live.Add(1)
-	r.recovered.Sessions++
+	return journal.Applied
 }
 
 // Recovery reports what this registry replayed at open time (all zeros
@@ -634,7 +624,7 @@ func (r *Registry) reapShard(sh *shard, now time.Time) {
 		r.metrics.sessionsReaped.Inc()
 		r.metrics.evictReap.Add(int64(sh.cache.removePrefix(id + "\x00")))
 		if r.persistent {
-			sh.appendRecord(store.Record{Kind: store.KindDelete, Session: id})
+			sh.journal.Append(journal.Delete{ID: id})
 		}
 	}
 }
@@ -648,79 +638,84 @@ func (r *Registry) reapIdle(now time.Time) {
 
 // compactShard rewrites one shard's journal down to its live state:
 // one session record per live session, its logs, and the prepared-state
-// snapshots currently cached. journalMu is taken first and held across
-// the collect + rewrite, so no append can slip between what was
-// collected and what the rewritten journal holds (appenders never hold
-// session or shard locks while journaling, keeping the order acyclic).
-// Holding journalMu for the whole rewrite is deliberate: collecting
-// outside it would let a racing create's record be overwritten away.
-// The cost is that tenant writes on this shard queue behind the
-// compaction — acceptable while compaction stays rare (-compact-
-// interval) relative to the write rate.
+// snapshots currently cached. The journal's lock is held across the
+// collect + rewrite, so no append can slip between what was collected
+// and what the rewritten journal holds (appenders never hold session or
+// shard locks while journaling, keeping the order acyclic). Holding the
+// lock for the whole rewrite is deliberate: collecting outside it would
+// let a racing create's record be overwritten away. The cost is that
+// tenant writes on this shard queue behind the compaction — acceptable
+// while compaction stays rare (-compact-interval) relative to the write
+// rate.
 func (r *Registry) compactShard(sh *shard) error {
-	sh.journalMu.Lock()
-	defer sh.journalMu.Unlock()
-
-	sessions := sh.list()
-	sort.Slice(sessions, func(i, j int) bool {
-		if !sessions[i].created.Equal(sessions[j].created) {
-			return sessions[i].created.Before(sessions[j].created)
+	return sh.journal.Compact(func() []journal.Record {
+		sessions := sh.list()
+		sort.Slice(sessions, func(i, j int) bool {
+			if !sessions[i].created.Equal(sessions[j].created) {
+				return sessions[i].created.Before(sessions[j].created)
+			}
+			return sessions[i].id < sessions[j].id
+		})
+		var recs []journal.Record
+		for _, s := range sessions {
+			recs = append(recs, collectSession(sh, s)...)
 		}
-		return sessions[i].id < sessions[j].id
+		return recs
 	})
-	var recs []store.Record
-	for _, s := range sessions {
-		if len(s.persistData) == 0 {
-			continue // never journaled (registry was opened in-memory)
-		}
-		recs = append(recs, store.Record{Kind: store.KindSession, Session: s.id, Data: s.persistData})
-		s.mu.Lock()
-		ids := make([]string, 0, len(s.logs))
-		for id := range s.logs {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		logs := make(map[string][]string, len(ids))
-		for _, id := range ids {
-			logs[id] = s.logs[id]
-		}
-		s.mu.Unlock()
-		for _, id := range ids {
-			data, err := json.Marshal(logs[id])
-			if err != nil {
-				continue
-			}
-			recs = append(recs, store.Record{Kind: store.KindLog, Session: s.id, Log: id, Data: data})
-			if v, ok := sh.cache.peek(s.id + "\x00" + id); ok {
-				if blob, err := s.provider.MarshalPreparedLog(v.(*dpe.PreparedLog)); err == nil {
-					recs = append(recs, store.Record{Kind: store.KindSnapshot, Session: s.id, Log: id, Blob: blob})
-				}
-			}
-			if v, ok := sh.cache.peek(s.approxKey(id)); ok {
-				if blob, err := v.(*dpe.ApproxIndex).MarshalBinary(); err == nil {
-					recs = append(recs, store.Record{Kind: store.KindApprox, Session: s.id, Log: id, Blob: blob})
-				}
+}
+
+// collectSession renders one live session as typed journal records: the
+// create record, each uploaded log, and whatever prepared-state,
+// approx-index, and mining-state blobs are currently cached. It is the
+// one serializer both journal compaction and tenant export share, so an
+// exported bundle holds exactly what a compacted journal would.
+func collectSession(sh *shard, s *session) []journal.Record {
+	if len(s.persistReq) == 0 {
+		return nil // no encoded create request (should not happen)
+	}
+	recs := []journal.Record{journal.Session{ID: s.id, Created: s.created, Request: s.persistReq}}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.logs))
+	for id := range s.logs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	logs := make(map[string][]string, len(ids))
+	for _, id := range ids {
+		logs[id] = s.logs[id]
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		recs = append(recs, journal.Log{SessionID: s.id, LogID: id, Queries: logs[id]})
+		if v, ok := sh.cache.peek(s.id + "\x00" + id); ok {
+			if blob, err := s.provider.MarshalPreparedLog(v.(*dpe.PreparedLog)); err == nil {
+				recs = append(recs, journal.Snapshot{SessionID: s.id, LogID: id, Blob: blob})
 			}
 		}
-		// Mining-state keys embed a spec fingerprint the session map does
-		// not hold, so they are enumerated from the cache instead of
-		// reconstructed per log; the log id after the key's final NUL
-		// separator ties each state back to its record. States for logs
-		// no longer live (evicted base logs of an append chain) are
-		// dropped — replay could not apply them anyway.
-		for _, key := range sh.cache.keysWithPrefix(s.id + "\x00mine:") {
-			id := key[strings.LastIndexByte(key, '\x00')+1:]
-			if _, ok := logs[id]; !ok {
-				continue
-			}
-			if v, ok := sh.cache.peek(key); ok {
-				if blob, err := dpe.MarshalMineState(v.(*dpe.MineState)); err == nil {
-					recs = append(recs, store.Record{Kind: store.KindMining, Session: s.id, Log: id, Blob: blob})
-				}
+		if v, ok := sh.cache.peek(s.approxKey(id)); ok {
+			if blob, err := v.(*dpe.ApproxIndex).MarshalBinary(); err == nil {
+				recs = append(recs, journal.Approx{SessionID: s.id, LogID: id, Blob: blob})
 			}
 		}
 	}
-	return sh.journal.Compact(recs)
+	// Mining-state keys embed a spec fingerprint the session map does
+	// not hold, so they are enumerated from the cache instead of
+	// reconstructed per log; the log id after the key's final NUL
+	// separator ties each state back to its record. States for logs
+	// no longer live (evicted base logs of an append chain) are
+	// dropped — replay could not apply them anyway.
+	for _, key := range sh.cache.keysWithPrefix(s.id + "\x00mine:") {
+		id := key[strings.LastIndexByte(key, '\x00')+1:]
+		if _, ok := logs[id]; !ok {
+			continue
+		}
+		if v, ok := sh.cache.peek(key); ok {
+			if blob, err := dpe.MarshalMineState(v.(*dpe.MineState)); err == nil {
+				recs = append(recs, journal.Mining{SessionID: s.id, LogID: id, Blob: blob})
+			}
+		}
+	}
+	return recs
 }
 
 // CompactAll synchronously compacts every shard's journal — an
@@ -821,12 +816,12 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 		return nil, err
 	}
 	now := time.Now()
-	var persistData []byte
-	if r.persistent {
-		persistData, err = json.Marshal(persistedSession{Created: now, Req: req})
-		if err != nil {
-			return nil, fmt.Errorf("service: encoding session record: %w", err)
-		}
+	// The request is encoded on every registry (not just persistent
+	// ones): the bytes are what compaction re-journals and what export
+	// bundles carry, and exporting from an in-memory server must work.
+	persistReq, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding session record: %w", err)
 	}
 	if int(r.live.Load()) >= r.cfg.MaxSessions {
 		r.reapIdle(now)
@@ -845,19 +840,19 @@ func (r *Registry) CreateSession(req *CreateSessionRequest) (*session, error) {
 	}
 	sh := r.shardFor(id)
 	s := &session{
-		id:          id,
-		measure:     *req.Measure,
-		provider:    provider,
-		reg:         r,
-		sh:          sh,
-		logs:        make(map[string][]string),
-		created:     now,
-		lastUsed:    now,
-		persistData: persistData,
+		id:         id,
+		measure:    *req.Measure,
+		provider:   provider,
+		reg:        r,
+		sh:         sh,
+		logs:       make(map[string][]string),
+		created:    now,
+		lastUsed:   now,
+		persistReq: persistReq,
 	}
 	sh.put(s)
 	if r.persistent {
-		if err := sh.appendRecord(store.Record{Kind: store.KindSession, Session: id, Data: persistData}); err != nil {
+		if err := sh.journal.Append(journal.Session{ID: id, Created: now, Request: persistReq}); err != nil {
 			sh.remove(id)
 			r.live.Add(-1)
 			return nil, fmt.Errorf("service: journaling session create: %w", err)
@@ -887,7 +882,7 @@ func (r *Registry) DeleteSession(id string) error {
 	r.metrics.sessionsDeleted.Inc()
 	r.metrics.evictDelete.Add(int64(sh.cache.removePrefix(id + "\x00")))
 	if r.persistent {
-		if err := sh.appendRecord(store.Record{Kind: store.KindDelete, Session: id}); err != nil {
+		if err := sh.journal.Append(journal.Delete{ID: id}); err != nil {
 			// The in-memory delete already happened; surface the journal
 			// problem so the operator knows a restart could resurrect it.
 			return fmt.Errorf("service: journaling session delete: %w", err)

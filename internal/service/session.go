@@ -10,7 +10,7 @@ import (
 	"time"
 
 	dpe "repro"
-	"repro/internal/store"
+	"repro/internal/store/journal"
 )
 
 // session is one tenant's provider state on the server: the immutable
@@ -28,14 +28,14 @@ type session struct {
 	sh       *shard
 	created  time.Time
 
-	// persistData is the journaled session-create payload (the encoded
-	// CreateSessionRequest plus metadata), kept so compaction can
-	// rewrite the record without re-encoding artifacts. Deliberate
-	// trade-off: the encoded request stays resident alongside the
-	// decoded provider for the session's lifetime — roughly doubling
-	// artifact memory for catalog-heavy tenants — until compaction
-	// learns to source create records from the journal itself.
-	persistData []byte
+	// persistReq is the encoded CreateSessionRequest, kept so journal
+	// compaction and tenant export can rewrite the create record without
+	// re-encoding artifacts. Deliberate trade-off: the encoded request
+	// stays resident alongside the decoded provider for the session's
+	// lifetime — roughly doubling artifact memory for catalog-heavy
+	// tenants — until compaction learns to source create records from
+	// the journal itself.
+	persistReq json.RawMessage
 
 	mu       sync.Mutex
 	logs     map[string][]string
@@ -127,8 +127,9 @@ func (s *session) addLogSized(queries []string, size int64) (string, error) {
 	s.logBytes += size
 	s.mu.Unlock()
 
-	// Journal outside s.mu (see shard.appendRecord's lock-order rule).
-	// A concurrent compaction between the map update and this append
+	// Journal outside s.mu (the journal's lock is never taken while
+	// holding session or shard locks — see shard.journal's rule). A
+	// concurrent compaction between the map update and this append
 	// either already snapshotted the new log (fine: the append is a
 	// harmless duplicate for replay) or will be followed by it.
 	if err := s.journalLog(id, stored); err != nil {
@@ -146,11 +147,7 @@ func (s *session) journalLog(id string, queries []string) error {
 	if !s.reg.persistent {
 		return nil
 	}
-	data, err := json.Marshal(queries)
-	if err != nil {
-		return fmt.Errorf("service: encoding log record: %w", err)
-	}
-	if err := s.sh.appendRecord(store.Record{Kind: store.KindLog, Session: s.id, Log: id, Data: data}); err != nil {
+	if err := s.sh.journal.Append(journal.Log{SessionID: s.id, LogID: id, Queries: queries}); err != nil {
 		return fmt.Errorf("service: journaling log upload: %w", err)
 	}
 	return nil
@@ -397,7 +394,7 @@ func (s *session) persistApprox(logID string, idx *dpe.ApproxIndex) {
 	if err != nil {
 		return
 	}
-	s.sh.appendRecord(store.Record{Kind: store.KindApprox, Session: s.id, Log: logID, Blob: blob})
+	s.sh.journal.Append(journal.Approx{SessionID: s.id, LogID: logID, Blob: blob})
 }
 
 // persistSnapshot journals the serialized prepared state under the
@@ -412,7 +409,7 @@ func (s *session) persistSnapshot(logID string, pl *dpe.PreparedLog) {
 	if err != nil {
 		return
 	}
-	s.sh.appendRecord(store.Record{Kind: store.KindSnapshot, Session: s.id, Log: logID, Blob: blob})
+	s.sh.journal.Append(journal.Snapshot{SessionID: s.id, LogID: logID, Blob: blob})
 }
 
 // Append is the incremental ingest path: it registers base ∘ newQueries
@@ -692,7 +689,7 @@ func (s *session) persistMineState(logID string, state *dpe.MineState) {
 	if err != nil {
 		return
 	}
-	s.sh.appendRecord(store.Record{Kind: store.KindMining, Session: s.id, Log: logID, Blob: blob})
+	s.sh.journal.Append(journal.Mining{SessionID: s.id, LogID: logID, Blob: blob})
 }
 
 // AppendMine is the batched append-and-mine endpoint: one request

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/store"
+	"repro/internal/store/journal"
 )
 
 // shard is one slice of the registry's multi-tenant state: a session
@@ -18,32 +18,25 @@ type shard struct {
 	cache  *lruCache
 	flight *flightGroup
 
-	// journal is the shard's store.Log. journalMu serializes appends
-	// against compaction (which atomically rewrites the whole file);
-	// it is never taken while holding sh.mu or a session's mu, so the
-	// shard/session lock order stays acyclic.
-	journal   store.Log
-	journalMu sync.Mutex
+	// journal is the shard's typed journal. It serializes appends
+	// against compaction internally; its lock is never taken while
+	// holding sh.mu or a session's mu (the compactor's collect runs
+	// under the journal lock and takes those locks), so the
+	// shard/session lock order stays acyclic — callers journal only
+	// outside those locks.
+	journal *journal.Journal
 
 	mu       sync.Mutex
 	sessions map[string]*session
 }
 
-func newShard(cacheEntries int, cacheBytes int64, journal store.Log) *shard {
+func newShard(cacheEntries int, cacheBytes int64, jl *journal.Journal) *shard {
 	return &shard{
 		cache:    newLRU(cacheEntries, cacheBytes),
 		flight:   newFlightGroup(),
-		journal:  journal,
+		journal:  jl,
 		sessions: make(map[string]*session),
 	}
-}
-
-// appendRecord journals one record. Callers must not hold sh.mu or any
-// session's mu (the compactor takes journalMu first, then those locks).
-func (sh *shard) appendRecord(rec store.Record) error {
-	sh.journalMu.Lock()
-	defer sh.journalMu.Unlock()
-	return sh.journal.Append(rec)
 }
 
 // session returns a live session by id, or nil.

@@ -1,0 +1,88 @@
+package store_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/store/memdriver"
+	"repro/internal/store/storetest"
+)
+
+// TestStoreConformance runs the shared backend contract against every
+// registered backend: the null store (writes vanish by design), the
+// segment files, and the SQL store on the in-memory test driver.
+func TestStoreConformance(t *testing.T) {
+	t.Run("null", func(t *testing.T) {
+		storetest.Run(t, storetest.Factory{
+			Persistent: false,
+			Open:       func(t *testing.T) store.Store { return store.Null{} },
+			Reopen:     func(t *testing.T) store.Store { return store.Null{} },
+		})
+	})
+	t.Run("segments", func(t *testing.T) {
+		var dir string
+		open := func(t *testing.T) store.Store {
+			st, err := store.OpenDir(dir)
+			if err != nil {
+				t.Fatalf("OpenDir(%q): %v", dir, err)
+			}
+			return st
+		}
+		storetest.Run(t, storetest.Factory{
+			Persistent: true,
+			Open: func(t *testing.T) store.Store {
+				dir = t.TempDir()
+				return open(t)
+			},
+			Reopen: open,
+		})
+	})
+	t.Run("sql", func(t *testing.T) {
+		var ds string
+		open := func(t *testing.T) store.Store {
+			st, err := store.OpenSQL(memdriver.Name, ds)
+			if err != nil {
+				t.Fatalf("OpenSQL(%q): %v", ds, err)
+			}
+			return st
+		}
+		storetest.Run(t, storetest.Factory{
+			Persistent: true,
+			Open: func(t *testing.T) store.Store {
+				// One database per subtest: t.Name() is unique, and Reset
+				// clears any state a previous -count run left behind.
+				ds = "conformance-" + strings.ReplaceAll(t.Name(), "/", "-")
+				memdriver.Reset(ds)
+				return open(t)
+			},
+			Reopen: open,
+		})
+	})
+}
+
+// TestBackendRegistry pins the registry surface the dpeserver flags
+// resolve against: all three backends are registered, OpenBackend wires
+// the DSN through, and unknown names fail with the available set.
+func TestBackendRegistry(t *testing.T) {
+	names := store.Backends()
+	for _, want := range []string{"null", "segments", "sql"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Backends() = %v, missing %q", names, want)
+		}
+	}
+	st, err := store.OpenBackend("segments", t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenBackend(segments): %v", err)
+	}
+	st.Close()
+	if _, err := store.OpenBackend("no-such", ""); err == nil || !strings.Contains(err.Error(), "no-such") {
+		t.Errorf("OpenBackend(no-such) = %v, want an error naming the backend", err)
+	}
+}

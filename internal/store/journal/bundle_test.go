@@ -1,0 +1,164 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// writeBundle renders recs as a complete bundle.
+func writeBundle(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw, err := NewBundleWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := bw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBundleRoundTrip: every record kind frames into a bundle and reads
+// back typed and equal, with the outcome counts matching.
+func TestBundleRoundTrip(t *testing.T) {
+	recs := allRecords(t)
+	data := writeBundle(t, recs)
+	h := &outcomeHandler{out: Applied}
+	st, err := ReadBundle(bytes.NewReader(data), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() != len(recs) || st.Skipped != 0 {
+		t.Errorf("stats = %+v, want %d applied", st, len(recs))
+	}
+	if !reflect.DeepEqual(h.seen, recs) {
+		t.Errorf("read back %+v, want %+v", h.seen, recs)
+	}
+}
+
+// TestBundleEmptyIsReadable: a bundle of zero records is still a valid
+// file (header + trailer), and reads back empty.
+func TestBundleEmptyIsReadable(t *testing.T) {
+	data := writeBundle(t, nil)
+	st, err := ReadBundle(bytes.NewReader(data), &outcomeHandler{out: Applied})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() != 0 {
+		t.Errorf("stats = %+v, want empty", st)
+	}
+}
+
+// TestBundleRejectsDamage: every class of file damage — truncation at
+// any point, a flipped payload byte, a bad magic, a future version, a
+// count mismatch, trailing garbage — must fail the read outright. A
+// restore is all-or-nothing at the file level.
+func TestBundleRejectsDamage(t *testing.T) {
+	good := writeBundle(t, allRecords(t))
+	read := func(data []byte) error {
+		_, err := ReadBundle(bytes.NewReader(data), &outcomeHandler{out: Applied})
+		return err
+	}
+	if err := read(good); err != nil {
+		t.Fatalf("pristine bundle rejected: %v", err)
+	}
+
+	// Truncation anywhere — inside the header, a frame, or the trailer.
+	for _, cut := range []int{1, len(bundleMagic) - 1, len(bundleMagic) + 2, len(good) / 2, len(good) - 1} {
+		if err := read(good[:cut]); err == nil {
+			t.Errorf("bundle truncated to %d bytes read successfully", cut)
+		}
+	}
+
+	// A flipped byte inside the first frame's payload fails its CRC.
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(bundleMagic)+4+8+3] ^= 0xFF
+	if err := read(corrupt); err == nil || !bytes.Contains([]byte(err.Error()), []byte("CRC")) {
+		t.Errorf("payload corruption read = %v, want a CRC error", err)
+	}
+
+	// Wrong magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if err := read(bad); err == nil {
+		t.Error("bad magic read successfully")
+	}
+
+	// A format version from a newer release.
+	newer := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(newer[len(bundleMagic):], BundleVersion+1)
+	if err := read(newer); err == nil {
+		t.Error("newer-version bundle read successfully")
+	}
+
+	// Trailer count disagreeing with the frames actually present (the
+	// count and its CRC are both rewritten, so only the mismatch trips).
+	miscounted := append([]byte(nil), good...)
+	n := len(miscounted)
+	binary.LittleEndian.PutUint32(miscounted[n-8:n-4], 99)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], 99)
+	binary.LittleEndian.PutUint32(miscounted[n-4:], crc32.ChecksumIEEE(cnt[:]))
+	if err := read(miscounted); err == nil {
+		t.Error("miscounted bundle read successfully")
+	}
+
+	// Trailing garbage after a valid trailer.
+	if err := read(append(append([]byte(nil), good...), 0x00)); err == nil {
+		t.Error("bundle with trailing garbage read successfully")
+	}
+
+	// A correctly framed record of an unknown kind (a newer release's
+	// addition) counts as skipped — only unparseable frame JSON is a
+	// hard error.
+	var buf bytes.Buffer
+	bw, err := NewBundleWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"k":"no-such-kind","s":"s-1"}`)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	bw.w.Write(hdr[:])
+	bw.w.Write(payload)
+	bw.count++
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadBundle(bytes.NewReader(buf.Bytes()), &outcomeHandler{out: Applied})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 1 || st.Total() != 1 {
+		t.Errorf("unknown-kind record stats = %+v, want 1 skipped", st)
+	}
+}
+
+// TestBundleWriterValidatesRecords: an incomplete typed record fails
+// Append before anything is framed.
+func TestBundleWriterValidatesRecords(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBundleWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(Session{}); err == nil {
+		t.Error("Append of an invalid record succeeded")
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := ReadBundle(bytes.NewReader(buf.Bytes()), &outcomeHandler{out: Applied}); err != nil || st.Total() != 0 {
+		t.Errorf("bundle after failed Append: stats %+v, err %v", st, err)
+	}
+}

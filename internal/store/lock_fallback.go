@@ -1,0 +1,33 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDataDir is the non-unix fallback: an O_EXCL pid file. Unlike the
+// flock path it cannot self-release on a crash — a dead process leaves
+// the file behind and the operator removes it by hand — but it still
+// makes a concurrent double-open fail loudly, which is the hazard that
+// corrupts segments.
+func lockDataDir(path string) (*os.File, error) {
+	name := filepath.Join(path, "LOCK")
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: data directory %s is already in use by another store (remove %s if its owner is dead): %w", path, name, err)
+	}
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	return f, nil
+}
+
+// unlockDataDir releases the fallback lock by removing the pid file.
+func unlockDataDir(f *os.File) error {
+	err := f.Close()
+	if rmErr := os.Remove(f.Name()); err == nil {
+		err = rmErr
+	}
+	return err
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenDirLocksDirectory is the double-open bugfix regression: two
+// dpeserver processes pointed at the same -data-dir would silently
+// interleave segment writes; the second open must now fail loudly, and
+// the lock must release on Close so a clean restart succeeds.
+func TestOpenDirLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := OpenDir(dir)
+	if err == nil {
+		second.Close()
+		t.Fatal("second OpenDir on a held directory succeeded, want a lock error")
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Errorf("lock error = %v, want it to name the directory", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close released the lock: the next owner opens cleanly, and a
+	// second Close stays a no-op.
+	st2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir after Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive, non-blocking flock on path/LOCK so a
+// second process opening the same data directory fails loudly instead
+// of interleaving appends into the segment files. The kernel releases
+// a flock when its descriptor closes — including on a crash — so a
+// dead process never leaves a stale lock behind, and no pid-liveness
+// heuristics are needed. The lock is advisory: only other OpenDir
+// callers contend for it, which is exactly the double-open hazard it
+// exists to stop.
+func lockDataDir(path string) (*os.File, error) {
+	name := filepath.Join(path, "LOCK")
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file %s: %w", name, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data directory %s is already in use by another store (flock %s: %w)", path, name, err)
+	}
+	return f, nil
+}
+
+// unlockDataDir releases the directory lock; closing the descriptor
+// drops the flock.
+func unlockDataDir(f *os.File) error {
+	return f.Close()
+}

@@ -1,0 +1,344 @@
+// Package memdriver registers a stdlib-only in-memory database/sql
+// driver ("dpemem") understanding exactly the statements the store
+// package's sql backend issues — CREATE TABLE, MAX(seq), single and
+// multi-row INSERT, per-shard SELECT/DELETE, DISTINCT shard — so CI
+// exercises the database/sql seam (placeholders, transactions,
+// scanning, batching) with no external database and no new module
+// dependency.
+//
+// State is keyed by DSN and survives sql.DB close/reopen, which is
+// what lets recovery tests and benchmarks simulate a process restart:
+// abandon one handle, open another on the same DSN, and the committed
+// rows are still there. Reset drops a DSN's state between runs.
+//
+// Transactions snapshot the table at Begin and restore it on Rollback,
+// holding the table lock until Commit/Rollback — coarse, but faithful
+// to the atomicity the store's compaction depends on.
+package memdriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Name is the driver name registered with database/sql; open stores
+// with store.OpenSQL(memdriver.Name, "<any-dsn>").
+const Name = "dpemem"
+
+func init() { sql.Register(Name, drv{}) }
+
+// row is one records-table row.
+type row struct {
+	shard   int64
+	seq     int64
+	kind    string
+	session string
+	log     string
+	data    []byte
+	payload []byte
+}
+
+// database is one DSN's table; rows stay sorted by (shard, seq).
+type database struct {
+	mu   sync.Mutex
+	rows []row
+}
+
+var (
+	dbsMu sync.Mutex
+	dbs   = map[string]*database{}
+)
+
+func openDatabase(dsn string) *database {
+	dbsMu.Lock()
+	defer dbsMu.Unlock()
+	db, ok := dbs[dsn]
+	if !ok {
+		db = &database{}
+		dbs[dsn] = db
+	}
+	return db
+}
+
+// Reset drops the named DSN's state: the next open starts empty.
+func Reset(dsn string) {
+	dbsMu.Lock()
+	delete(dbs, dsn)
+	dbsMu.Unlock()
+}
+
+type drv struct{}
+
+// Open returns a connection to the DSN's shared in-memory table.
+func (drv) Open(dsn string) (driver.Conn, error) {
+	return &conn{db: openDatabase(dsn)}, nil
+}
+
+// conn is one pooled connection. While a transaction is open the
+// connection holds the table lock (inTx), and statement execution must
+// not re-lock.
+type conn struct {
+	db   *database
+	inTx bool
+}
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+// Begin snapshots the table and holds its lock until Commit/Rollback.
+func (c *conn) Begin() (driver.Tx, error) {
+	if c.inTx {
+		return nil, fmt.Errorf("memdriver: nested transaction")
+	}
+	c.db.mu.Lock()
+	c.inTx = true
+	return &tx{c: c, saved: append([]row(nil), c.db.rows...)}, nil
+}
+
+type tx struct {
+	c     *conn
+	saved []row
+}
+
+func (t *tx) Commit() error {
+	t.c.inTx = false
+	t.c.db.mu.Unlock()
+	return nil
+}
+
+func (t *tx) Rollback() error {
+	t.c.db.rows = t.saved
+	t.c.inTx = false
+	t.c.db.mu.Unlock()
+	return nil
+}
+
+type stmt struct {
+	c     *conn
+	query string
+}
+
+func (s *stmt) Close() error { return nil }
+
+// NumInput counts `?` placeholders; the sql backend never puts a
+// literal question mark inside a value.
+func (s *stmt) NumInput() int { return strings.Count(s.query, "?") }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.exec(s.query, args)
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.query(s.query, args)
+}
+
+// lockUnlessTx takes the table lock for a standalone statement; inside
+// a transaction the connection already holds it.
+func (c *conn) lockUnlessTx() (unlock func()) {
+	if c.inTx {
+		return func() {}
+	}
+	c.db.mu.Lock()
+	return c.db.mu.Unlock
+}
+
+func (c *conn) exec(query string, args []driver.Value) (driver.Result, error) {
+	unlock := c.lockUnlessTx()
+	defer unlock()
+	switch {
+	case strings.HasPrefix(query, "CREATE TABLE"):
+		return result{}, nil
+	case strings.HasPrefix(query, "INSERT INTO records"):
+		return c.insert(args)
+	case strings.HasPrefix(query, "DELETE FROM records"):
+		return c.deleteShard(args)
+	default:
+		return nil, fmt.Errorf("memdriver: unsupported statement %q", query)
+	}
+}
+
+func (c *conn) insert(args []driver.Value) (driver.Result, error) {
+	if len(args) == 0 || len(args)%7 != 0 {
+		return nil, fmt.Errorf("memdriver: INSERT expects a multiple of 7 arguments, got %d", len(args))
+	}
+	// Validate every tuple before mutating: either the whole statement
+	// lands or none of it does.
+	added := make([]row, 0, len(args)/7)
+	for i := 0; i < len(args); i += 7 {
+		shard, ok1 := asInt(args[i])
+		seq, ok2 := asInt(args[i+1])
+		kind, ok3 := asString(args[i+2])
+		session, ok4 := asString(args[i+3])
+		logID, ok5 := asString(args[i+4])
+		data, ok6 := asBytes(args[i+5])
+		payload, ok7 := asBytes(args[i+6])
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+			return nil, fmt.Errorf("memdriver: INSERT argument types %v not supported", args[i:i+7])
+		}
+		for _, r := range c.db.rows {
+			if r.shard == shard && r.seq == seq {
+				return nil, fmt.Errorf("memdriver: duplicate primary key (shard=%d, seq=%d)", shard, seq)
+			}
+		}
+		for _, r := range added {
+			if r.shard == shard && r.seq == seq {
+				return nil, fmt.Errorf("memdriver: duplicate primary key (shard=%d, seq=%d)", shard, seq)
+			}
+		}
+		added = append(added, row{shard: shard, seq: seq, kind: kind, session: session, log: logID, data: data, payload: payload})
+	}
+	c.db.rows = append(c.db.rows, added...)
+	sort.SliceStable(c.db.rows, func(i, j int) bool {
+		if c.db.rows[i].shard != c.db.rows[j].shard {
+			return c.db.rows[i].shard < c.db.rows[j].shard
+		}
+		return c.db.rows[i].seq < c.db.rows[j].seq
+	})
+	return result{n: int64(len(added))}, nil
+}
+
+func (c *conn) deleteShard(args []driver.Value) (driver.Result, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("memdriver: DELETE expects 1 argument, got %d", len(args))
+	}
+	shard, ok := asInt(args[0])
+	if !ok {
+		return nil, fmt.Errorf("memdriver: DELETE shard argument %v not supported", args[0])
+	}
+	kept := c.db.rows[:0]
+	var removed int64
+	for _, r := range c.db.rows {
+		if r.shard == shard {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.db.rows = kept
+	return result{n: removed}, nil
+}
+
+func (c *conn) query(query string, args []driver.Value) (driver.Rows, error) {
+	unlock := c.lockUnlessTx()
+	defer unlock()
+	switch {
+	case strings.HasPrefix(query, "SELECT COALESCE(MAX(seq)"):
+		if len(args) != 1 {
+			return nil, fmt.Errorf("memdriver: MAX(seq) expects 1 argument, got %d", len(args))
+		}
+		shard, ok := asInt(args[0])
+		if !ok {
+			return nil, fmt.Errorf("memdriver: MAX(seq) shard argument %v not supported", args[0])
+		}
+		max := int64(-1)
+		for _, r := range c.db.rows {
+			if r.shard == shard && r.seq > max {
+				max = r.seq
+			}
+		}
+		return &rows{cols: []string{"max"}, data: [][]driver.Value{{max}}}, nil
+	case strings.HasPrefix(query, "SELECT kind"):
+		if len(args) != 1 {
+			return nil, fmt.Errorf("memdriver: shard SELECT expects 1 argument, got %d", len(args))
+		}
+		shard, ok := asInt(args[0])
+		if !ok {
+			return nil, fmt.Errorf("memdriver: shard SELECT argument %v not supported", args[0])
+		}
+		var data [][]driver.Value
+		for _, r := range c.db.rows { // rows are sorted by (shard, seq)
+			if r.shard != shard {
+				continue
+			}
+			data = append(data, []driver.Value{r.kind, r.session, r.log, cloneBytes(r.data), cloneBytes(r.payload)})
+		}
+		return &rows{cols: []string{"kind", "session_id", "log_id", "data", "payload"}, data: data}, nil
+	case strings.HasPrefix(query, "SELECT DISTINCT shard"):
+		seen := map[int64]bool{}
+		var shards []int64
+		for _, r := range c.db.rows {
+			if !seen[r.shard] {
+				seen[r.shard] = true
+				shards = append(shards, r.shard)
+			}
+		}
+		sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+		data := make([][]driver.Value, len(shards))
+		for i, sh := range shards {
+			data[i] = []driver.Value{sh}
+		}
+		return &rows{cols: []string{"shard"}, data: data}, nil
+	default:
+		return nil, fmt.Errorf("memdriver: unsupported query %q", query)
+	}
+}
+
+type rows struct {
+	cols []string
+	data [][]driver.Value
+	i    int
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= len(r.data) {
+		return io.EOF
+	}
+	copy(dest, r.data[r.i])
+	r.i++
+	return nil
+}
+
+type result struct{ n int64 }
+
+func (result) LastInsertId() (int64, error) { return 0, nil }
+func (r result) RowsAffected() (int64, error) {
+	return r.n, nil
+}
+
+func asInt(v driver.Value) (int64, bool) {
+	n, ok := v.(int64)
+	return n, ok
+}
+
+func asString(v driver.Value) (string, bool) {
+	switch s := v.(type) {
+	case string:
+		return s, true
+	case []byte:
+		return string(s), true
+	default:
+		return "", false
+	}
+}
+
+func asBytes(v driver.Value) ([]byte, bool) {
+	switch b := v.(type) {
+	case nil:
+		return nil, true
+	case []byte:
+		// Copy: database/sql may reuse the caller's buffer after Exec.
+		return append([]byte(nil), b...), true
+	case string:
+		return []byte(b), true
+	default:
+		return nil, false
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

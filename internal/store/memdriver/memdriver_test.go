@@ -1,0 +1,200 @@
+package memdriver
+
+import (
+	"database/sql"
+	"testing"
+)
+
+// open returns a database/sql handle on a fresh DSN.
+func open(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	Reset(dsn)
+	db, err := sql.Open(Name, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+const insertOne = `INSERT INTO records (shard, seq, kind, session_id, log_id, data, payload) VALUES (?, ?, ?, ?, ?, ?, ?)`
+
+// TestStatePersistsAcrossHandles: the point of the driver — rows
+// committed through one sql.DB survive its Close and appear through a
+// new handle on the same DSN, while Reset drops them.
+func TestStatePersistsAcrossHandles(t *testing.T) {
+	const dsn = "memdriver-persist"
+	db := open(t, dsn)
+	if _, err := db.Exec(insertOne, 0, 0, "session", "s-1", "", []byte("d"), nil); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := sql.Open(Name, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var n int64
+	if err := db2.QueryRow(`SELECT COALESCE(MAX(seq), -1) FROM records WHERE shard = ?`, 0).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("MAX(seq) after reopen = %d, want 0", n)
+	}
+	Reset(dsn)
+	if err := db2.QueryRow(`SELECT COALESCE(MAX(seq), -1) FROM records WHERE shard = ?`, 0).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		// The old handle still points at the pre-Reset database object;
+		// only a fresh open starts empty. Pin that, so tests Reset before
+		// opening, not after.
+		t.Log("existing handle kept its database after Reset (by design)")
+	}
+	db3, err := sql.Open(Name, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if err := db3.QueryRow(`SELECT COALESCE(MAX(seq), -1) FROM records WHERE shard = ?`, 0).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != -1 {
+		t.Errorf("MAX(seq) after Reset+reopen = %d, want the empty sentinel -1", n)
+	}
+}
+
+// TestTransactionRollbackRestoresSnapshot: a transaction that deletes
+// and re-inserts (the compaction shape) must vanish entirely on
+// rollback and land entirely on commit.
+func TestTransactionRollbackRestoresSnapshot(t *testing.T) {
+	db := open(t, "memdriver-tx")
+	for i := 0; i < 3; i++ {
+		if _, err := db.Exec(insertOne, 1, i, "log", "s-1", "l-1", []byte("d"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func() int {
+		rows, err := db.Query(`SELECT kind, session_id, log_id, data, payload FROM records WHERE shard = ? ORDER BY seq`, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		return n
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM records WHERE shard = ?`, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(insertOne, 1, 0, "log", "s-1", "l-2", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 3 {
+		t.Errorf("rows after rollback = %d, want the original 3", n)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM records WHERE shard = ?`, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(insertOne, 1, 0, "log", "s-1", "l-2", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 1 {
+		t.Errorf("rows after committed rewrite = %d, want 1", n)
+	}
+}
+
+// TestInsertRejectsDuplicateKeys: the (shard, seq) primary key holds
+// within one statement and across statements, and a failed multi-row
+// INSERT lands no rows at all.
+func TestInsertRejectsDuplicateKeys(t *testing.T) {
+	db := open(t, "memdriver-dupes")
+	if _, err := db.Exec(insertOne, 0, 0, "log", "s", "l", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(insertOne, 0, 0, "log", "s", "l", nil, nil); err == nil {
+		t.Error("duplicate (shard, seq) insert succeeded")
+	}
+	multi := insertOne[:len(insertOne)-len(`(?, ?, ?, ?, ?, ?, ?)`)] + `(?, ?, ?, ?, ?, ?, ?), (?, ?, ?, ?, ?, ?, ?)`
+	if _, err := db.Exec(multi,
+		0, 1, "log", "s", "l", nil, nil,
+		0, 1, "log", "s", "l", nil, nil); err == nil {
+		t.Error("multi-row insert with an internal duplicate succeeded")
+	}
+	var n int64
+	if err := db.QueryRow(`SELECT COALESCE(MAX(seq), -1) FROM records WHERE shard = ?`, 0).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("MAX(seq) = %d after failed inserts, want 0 (nothing landed)", n)
+	}
+}
+
+// TestUnsupportedStatementsError: the driver understands exactly the
+// store backend's statements and fails loudly on anything else, so a
+// store-side query change cannot silently no-op in CI.
+func TestUnsupportedStatementsError(t *testing.T) {
+	db := open(t, "memdriver-unsupported")
+	if _, err := db.Exec(`UPDATE records SET kind = ?`, "x"); err == nil {
+		t.Error("unsupported UPDATE succeeded")
+	}
+	if _, err := db.Query(`SELECT payload FROM records`); err == nil {
+		t.Error("unsupported SELECT succeeded")
+	}
+}
+
+// TestListShardsSorted: DISTINCT shard returns each populated shard
+// once, ascending.
+func TestListShardsSorted(t *testing.T) {
+	db := open(t, "memdriver-shards")
+	for _, shard := range []int{7, 2, 7, 4} {
+		var seq int64
+		if err := db.QueryRow(`SELECT COALESCE(MAX(seq), -1) FROM records WHERE shard = ?`, shard).Scan(&seq); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(insertOne, shard, seq+1, "log", "s", "l", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Query(`SELECT DISTINCT shard FROM records ORDER BY shard`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []int
+	for rows.Next() {
+		var s int
+		if err := rows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	want := []int{2, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("shards = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shards = %v, want %v", got, want)
+		}
+	}
+}

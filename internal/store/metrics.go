@@ -6,11 +6,22 @@ import (
 	"repro/internal/obs"
 )
 
-// storeMetrics holds the journal instruments one Dir's segments share.
-// The struct is allocated at OpenDir time (so every segment can hold
-// the pointer) and its fields stay nil until Instrument fills them —
-// obs instruments are nil-receiver safe, so an uninstrumented store
-// pays one nil check per event.
+// Instrumenter is implemented by backends that can emit the
+// dpe_store_* journal metrics. The metric names, types, and help are
+// backend-agnostic and identical across implementations (the PR 7
+// stability policy: dashboards must not care whether the journal is a
+// segment directory or a records table) — dpeserver type-asserts the
+// configured Store against this interface and wires whichever backend
+// it got.
+type Instrumenter interface {
+	Instrument(r *obs.Registry)
+}
+
+// storeMetrics holds the journal instruments one backend's shard
+// journals share. The struct is allocated at backend-open time (so
+// every shard journal can hold the pointer) and its fields stay nil
+// until instrument fills them — obs instruments are nil-receiver safe,
+// so an uninstrumented store pays one nil check per event.
 type storeMetrics struct {
 	written     *obs.Counter
 	replayed    *obs.Counter
@@ -19,27 +30,35 @@ type storeMetrics struct {
 	fsync       *obs.Histogram
 }
 
-// Instrument registers the directory store's journal metrics on r and
-// routes every segment's events to them. Call it after OpenDir and
-// before the registry opens or replays any shard journal — metric
-// fields are written without synchronization, on the assumption that
-// wiring happens before serving starts.
-func (d *Dir) Instrument(r *obs.Registry) {
-	m := d.metrics
+// instrument registers the backend-agnostic journal metrics on r. Call
+// it after opening the backend and before the registry opens or
+// replays any shard journal — metric fields are written without
+// synchronization, on the assumption that wiring happens before
+// serving starts.
+func (m *storeMetrics) instrument(r *obs.Registry) {
 	m.written = r.Counter("dpe_store_records_written_total",
-		"Journal records appended (and fsynced) across all shard segments.")
+		"Journal records appended (and made durable) across all shards.")
 	m.replayed = r.Counter("dpe_store_records_replayed_total",
 		"Journal records decoded intact during startup replay.")
 	m.compactions = r.Counter("dpe_store_compactions_total",
-		"Segment compaction rewrites completed.")
+		"Journal compaction rewrites completed.")
 	m.reclaimed = r.Counter("dpe_store_compact_reclaimed_bytes_total",
-		"Bytes reclaimed by compaction (old segment size minus rewritten size).")
+		"Bytes reclaimed by compaction (old journal size minus rewritten size).")
 	m.fsync = r.Histogram("dpe_store_fsync_seconds",
-		"Latency of the fsync acknowledging each journal append.", nil)
+		"Latency of the durability barrier (fsync or transaction commit) acknowledging each journal append.", nil)
 }
 
-// The segment-side hooks below are nil-safe on the metrics struct
-// itself too, so a segment constructed without a Dir still works.
+// Instrument registers the directory store's journal metrics on r and
+// routes every segment's events to them.
+func (d *Dir) Instrument(r *obs.Registry) { d.metrics.instrument(r) }
+
+// Instrument registers the sql store's journal metrics on r — the same
+// names and meanings as the segment backend's, with the transaction
+// commit standing in for fsync in the latency histogram.
+func (s *SQLStore) Instrument(r *obs.Registry) { s.metrics.instrument(r) }
+
+// The journal-side hooks below are nil-safe on the metrics struct
+// itself too, so a journal constructed without a backend still works.
 
 func (m *storeMetrics) recordWritten(syncDur time.Duration) {
 	if m == nil {

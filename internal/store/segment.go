@@ -32,16 +32,26 @@ const frameHeaderSize = 8
 const maxRecordSize = 1 << 30
 
 // Dir is a Store backed by one directory holding one append-only
-// segment file per shard (segment-NNNN.log).
+// segment file per shard (segment-NNNN.log). The directory is locked
+// (path/LOCK) for the Dir's lifetime, so a second process — or a
+// second Dir in this process — opening the same directory fails loudly
+// instead of interleaving appends into the segments; Close releases
+// the lock.
 type Dir struct {
 	path string
 	// metrics is shared by every segment this Dir opens; see
 	// Dir.Instrument (metrics.go). Allocated eagerly so segments opened
 	// before instrumentation still pick up later-wired instruments.
 	metrics *storeMetrics
+
+	mu   sync.Mutex
+	lock *os.File // held flock on path/LOCK; nil once closed
 }
 
-// OpenDir creates (if needed) and opens a store directory.
+// OpenDir creates (if needed), locks, and opens a store directory. It
+// fails when another live Dir — in this or any process — holds the
+// directory; a crashed owner's lock self-releases with its descriptor,
+// so no manual cleanup is ever needed after a crash (on unix).
 func OpenDir(path string) (*Dir, error) {
 	if path == "" {
 		return nil, fmt.Errorf("store: empty directory path")
@@ -49,7 +59,11 @@ func OpenDir(path string) (*Dir, error) {
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", path, err)
 	}
-	return &Dir{path: path, metrics: &storeMetrics{}}, nil
+	lock, err := lockDataDir(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Dir{path: path, lock: lock, metrics: &storeMetrics{}}, nil
 }
 
 // Path returns the store's directory.
@@ -85,9 +99,19 @@ func (d *Dir) List() ([]int, error) {
 	return out, nil
 }
 
-// Close releases the directory handle (a no-op: shard segments own all
-// file descriptors).
-func (d *Dir) Close() error { return nil }
+// Close releases the directory lock, letting another Dir take the
+// directory over; shard segments own their own file descriptors and
+// are closed individually. Safe to call twice.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lock == nil {
+		return nil
+	}
+	err := unlockDataDir(d.lock)
+	d.lock = nil
+	return err
+}
 
 // segment is one shard's on-disk journal.
 type segment struct {

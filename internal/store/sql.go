@@ -1,0 +1,304 @@
+package store
+
+import (
+	"database/sql"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The SQL backend keeps every shard's journal in one relational
+// `records` table keyed by (shard, seq), via the stdlib database/sql
+// seam — so any registered driver (sqlite, Postgres, an in-memory fake
+// in CI) provides durable storage without this module depending on the
+// driver. Appends are single autocommitted INSERTs (the transaction
+// commit is the durability barrier fsync is for segments); compaction
+// is one transaction doing DELETE + batched multi-row INSERTs, so a
+// crash mid-compaction leaves either the old journal or the new one,
+// never a mix — the same atomicity the segment backend gets from its
+// temp-file rename.
+const (
+	sqlCreateTable = `CREATE TABLE IF NOT EXISTS records (shard INTEGER NOT NULL, seq BIGINT NOT NULL, kind TEXT NOT NULL, session_id TEXT NOT NULL, log_id TEXT NOT NULL, data %s, payload %s, PRIMARY KEY (shard, seq))`
+	sqlMaxSeq      = `SELECT COALESCE(MAX(seq), -1) FROM records WHERE shard = ?`
+	sqlInsert      = `INSERT INTO records (shard, seq, kind, session_id, log_id, data, payload) VALUES `
+	sqlSelectShard = `SELECT kind, session_id, log_id, data, payload FROM records WHERE shard = ? ORDER BY seq`
+	sqlDeleteShard = `DELETE FROM records WHERE shard = ?`
+	sqlListShards  = `SELECT DISTINCT shard FROM records ORDER BY shard`
+	// sqlValuesTuple is one row's placeholder group in an INSERT.
+	sqlValuesTuple = `(?, ?, ?, ?, ?, ?, ?)`
+	// sqlInsertBatch is how many rows one compaction INSERT carries:
+	// large enough to amortize round trips, small enough to stay under
+	// every mainstream driver's bind-parameter limit.
+	sqlInsertBatch = 32
+)
+
+// SQLStore is a Store on a database/sql handle.
+type SQLStore struct {
+	db *sql.DB
+	// bind rewrites `?` placeholders into the driver's syntax ($N for
+	// Postgres-family drivers; identity otherwise).
+	bind    func(string) string
+	metrics *storeMetrics
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// OpenSQLDSN opens the sql backend from a combined -store-dsn value of
+// the form "driver:datasource" — e.g. "sqlite3:/var/lib/dpe/dpe.db" or
+// "postgres:host=db dbname=dpe". The driver must already be registered
+// with database/sql by the running binary.
+func OpenSQLDSN(dsn string) (*SQLStore, error) {
+	driverName, dataSource, ok := strings.Cut(dsn, ":")
+	if !ok || driverName == "" {
+		return nil, fmt.Errorf("store: sql DSN %q must be of the form driver:datasource", dsn)
+	}
+	return OpenSQL(driverName, dataSource)
+}
+
+// OpenSQL opens the sql backend on the named database/sql driver,
+// creating the records table when absent.
+func OpenSQL(driverName, dataSource string) (*SQLStore, error) {
+	db, err := sql.Open(driverName, dataSource)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening sql driver %q: %w", driverName, err)
+	}
+	s := &SQLStore{db: db, bind: bindFor(driverName), metrics: &storeMetrics{}}
+	blobType := "BLOB"
+	if postgresDriver(driverName) {
+		blobType = "BYTEA"
+	}
+	if _, err := db.Exec(fmt.Sprintf(sqlCreateTable, blobType, blobType)); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("store: creating records table: %w", err)
+	}
+	return s, nil
+}
+
+func postgresDriver(name string) bool {
+	return strings.Contains(name, "postgres") || strings.Contains(name, "pgx")
+}
+
+// bindFor picks the placeholder rewriter for a driver name.
+func bindFor(driverName string) func(string) string {
+	if !postgresDriver(driverName) {
+		return func(q string) string { return q }
+	}
+	return func(q string) string {
+		var b strings.Builder
+		b.Grow(len(q) + 8)
+		n := 0
+		for i := 0; i < len(q); i++ {
+			if q[i] == '?' {
+				n++
+				b.WriteByte('$')
+				b.WriteString(strconv.Itoa(n))
+			} else {
+				b.WriteByte(q[i])
+			}
+		}
+		return b.String()
+	}
+}
+
+// Open returns shard i's journal, resuming the sequence number after
+// the highest row already present.
+func (s *SQLStore) Open(shard int) (Log, error) {
+	if shard < 0 {
+		return nil, fmt.Errorf("store: negative shard %d", shard)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, errSQLClosed
+	}
+	var max int64
+	if err := s.db.QueryRow(s.bind(sqlMaxSeq), shard).Scan(&max); err != nil {
+		return nil, fmt.Errorf("store: reading shard %d sequence: %w", shard, err)
+	}
+	return &sqlLog{st: s, shard: shard, next: max + 1}, nil
+}
+
+// List returns the shards that hold at least one record, sorted. An
+// opened-but-never-written shard is invisible — the table is the only
+// state, and it has no rows for that shard.
+func (s *SQLStore) List() ([]int, error) {
+	rows, err := s.db.Query(sqlListShards)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing shards: %w", err)
+	}
+	defer rows.Close()
+	var out []int
+	for rows.Next() {
+		var shard int
+		if err := rows.Scan(&shard); err != nil {
+			return nil, fmt.Errorf("store: scanning shard list: %w", err)
+		}
+		out = append(out, shard)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("store: listing shards: %w", err)
+	}
+	return out, nil
+}
+
+// Close closes the database handle. Safe to call twice.
+func (s *SQLStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.db.Close()
+}
+
+var errSQLClosed = errors.New("store: sql journal is closed")
+
+// sqlLog is one shard's journal rows.
+type sqlLog struct {
+	mu     sync.Mutex
+	st     *SQLStore
+	shard  int
+	next   int64
+	closed bool
+}
+
+// Append inserts one record row; the autocommit is the durability
+// barrier, timed into the same histogram as segment fsyncs.
+func (l *sqlLog) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errSQLClosed
+	}
+	start := time.Now()
+	_, err := l.st.db.Exec(l.st.bind(sqlInsert+sqlValuesTuple),
+		l.shard, l.next, string(rec.Kind), rec.Session, rec.Log, rec.Data, rec.Blob)
+	if err != nil {
+		return fmt.Errorf("store: inserting record for shard %d: %w", l.shard, err)
+	}
+	l.st.metrics.recordWritten(time.Since(start))
+	l.next++
+	return nil
+}
+
+// Replay streams the shard's rows in sequence order. Unlike a segment
+// file there is no torn tail to truncate — a row either committed or
+// does not exist — so every row present is intact.
+func (l *sqlLog) Replay(fn func(rec Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errSQLClosed
+	}
+	rows, err := l.st.db.Query(l.st.bind(sqlSelectShard), l.shard)
+	if err != nil {
+		return fmt.Errorf("store: replaying shard %d: %w", l.shard, err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var kind, session, logID string
+		var data, blob []byte
+		if err := rows.Scan(&kind, &session, &logID, &data, &blob); err != nil {
+			return fmt.Errorf("store: scanning shard %d row: %w", l.shard, err)
+		}
+		l.st.metrics.recordReplayed()
+		if err := fn(Record{Kind: Kind(kind), Session: session, Log: logID, Data: data, Blob: blob}); err != nil {
+			return err
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return fmt.Errorf("store: replaying shard %d: %w", l.shard, err)
+	}
+	return nil
+}
+
+// recordRowSize approximates one record's storage footprint, for the
+// compaction-reclaimed metric (the segment backend uses file sizes;
+// rows have no single natural size, so both sides of the subtraction
+// use the same estimate).
+func recordRowSize(kind, session, logID string, data, blob []byte) int64 {
+	return int64(len(kind) + len(session) + len(logID) + len(data) + len(blob))
+}
+
+// Compact atomically replaces the shard's rows with recs in one
+// transaction: DELETE, then batched multi-row INSERTs. Sequence
+// numbers restart at zero.
+func (l *sqlLog) Compact(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errSQLClosed
+	}
+	tx, err := l.st.db.Begin()
+	if err != nil {
+		return fmt.Errorf("store: starting compaction for shard %d: %w", l.shard, err)
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			tx.Rollback()
+		}
+	}()
+	// Size the rows being replaced, for the reclaimed-bytes metric.
+	var oldSize int64
+	rows, err := tx.Query(l.st.bind(sqlSelectShard), l.shard)
+	if err != nil {
+		return fmt.Errorf("store: sizing shard %d before compaction: %w", l.shard, err)
+	}
+	for rows.Next() {
+		var kind, session, logID string
+		var data, blob []byte
+		if err := rows.Scan(&kind, &session, &logID, &data, &blob); err != nil {
+			rows.Close()
+			return fmt.Errorf("store: sizing shard %d before compaction: %w", l.shard, err)
+		}
+		oldSize += recordRowSize(kind, session, logID, data, blob)
+	}
+	if err := rows.Close(); err != nil {
+		return fmt.Errorf("store: sizing shard %d before compaction: %w", l.shard, err)
+	}
+	if _, err := tx.Exec(l.st.bind(sqlDeleteShard), l.shard); err != nil {
+		return fmt.Errorf("store: clearing shard %d: %w", l.shard, err)
+	}
+	var newSize int64
+	for start := 0; start < len(recs); start += sqlInsertBatch {
+		end := start + sqlInsertBatch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		batch := recs[start:end]
+		tuples := make([]string, len(batch))
+		args := make([]any, 0, len(batch)*7)
+		for i, rec := range batch {
+			tuples[i] = sqlValuesTuple
+			args = append(args, l.shard, int64(start+i), string(rec.Kind), rec.Session, rec.Log, rec.Data, rec.Blob)
+			newSize += recordRowSize(string(rec.Kind), rec.Session, rec.Log, rec.Data, rec.Blob)
+		}
+		q := l.st.bind(sqlInsert + strings.Join(tuples, ", "))
+		if _, err := tx.Exec(q, args...); err != nil {
+			return fmt.Errorf("store: rewriting shard %d: %w", l.shard, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("store: committing shard %d compaction: %w", l.shard, err)
+	}
+	committed = true
+	l.next = int64(len(recs))
+	l.st.metrics.recordCompaction(oldSize, newSize)
+	return nil
+}
+
+// Close marks the journal closed; the shared database handle belongs
+// to the SQLStore. Safe to call twice.
+func (l *sqlLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}

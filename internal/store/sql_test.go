@@ -1,0 +1,126 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/store/memdriver"
+)
+
+func TestBindForRewritesPostgresPlaceholders(t *testing.T) {
+	q := "INSERT INTO records (a, b) VALUES (?, ?), (?, ?)"
+	got := bindFor("pgx")(q)
+	want := "INSERT INTO records (a, b) VALUES ($1, $2), ($3, $4)"
+	if got != want {
+		t.Errorf("bindFor(pgx) = %q, want %q", got, want)
+	}
+	if got := bindFor("postgres")("? ?"); got != "$1 $2" {
+		t.Errorf("bindFor(postgres) = %q, want numbered placeholders", got)
+	}
+	// Non-postgres drivers pass queries through untouched.
+	if got := bindFor(memdriver.Name)(q); got != q {
+		t.Errorf("bindFor(%s) rewrote %q into %q", memdriver.Name, q, got)
+	}
+}
+
+func TestOpenSQLDSNRejectsMalformedDSNs(t *testing.T) {
+	for _, dsn := range []string{"", "no-colon", ":datasource-without-driver"} {
+		if _, err := OpenSQLDSN(dsn); err == nil || !strings.Contains(err.Error(), "driver:datasource") {
+			t.Errorf("OpenSQLDSN(%q) = %v, want a driver:datasource error", dsn, err)
+		}
+	}
+	if _, err := OpenSQLDSN("no-such-driver:x"); err == nil {
+		t.Error("OpenSQLDSN with an unregistered driver succeeded")
+	}
+}
+
+// TestSQLStoreSurvivesHandleRestart is the store-level kill-and-restart
+// check: rows written through one handle replay through a fresh handle
+// on the same database, and the sequence resumes after the highest row
+// so post-restart appends keep the order.
+func TestSQLStoreSurvivesHandleRestart(t *testing.T) {
+	const ds = "sql-handle-restart"
+	memdriver.Reset(ds)
+	st, err := OpenSQL(memdriver.Name, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := st.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindSession, Session: "s-1", Data: []byte(`{"created":"x"}`)},
+		{Kind: KindLog, Session: "s-1", Log: "l-1", Data: []byte(`["q"]`), Blob: []byte{1, 2}},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The "kill": drop the handles without any graceful flush — a
+	// committed row is the durability unit.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenSQL(memdriver.Name, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	shards, err := st2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0] != 1 {
+		t.Fatalf("List after restart = %v, want [1]", shards)
+	}
+	l2, err := st2.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(Record{Kind: KindDelete, Session: "s-1"}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := l2.Replay(func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after restart, want 3", len(got))
+	}
+	if got[0].Session != "s-1" || got[1].Log != "l-1" || got[2].Kind != KindDelete {
+		t.Errorf("replay order broken after restart: %+v", got)
+	}
+	if _, err := st2.Open(-1); err == nil {
+		t.Error("Open(-1) succeeded, want a negative-shard error")
+	}
+}
+
+// TestSQLStoreClosedHandleErrors pins the closed-store surface: Open on
+// a closed SQLStore fails, and both Closes stay idempotent.
+func TestSQLStoreClosedHandleErrors(t *testing.T) {
+	const ds = "sql-closed-handle"
+	memdriver.Reset(ds)
+	st, err := OpenSQL(memdriver.Name, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	if _, err := st.Open(0); err == nil {
+		t.Error("Open on a closed SQLStore succeeded")
+	}
+}
